@@ -1,0 +1,78 @@
+// Ablation: exhaustive (optimal) search vs the Efficient-IQ heuristic.
+// The paper reports that even for the smallest dataset the exhaustive search
+// needs > 4 hours per query (§6.3.2); this bench shows the combinatorial
+// blow-up directly and measures how close the heuristic's cost gets to the
+// optimum on instances where the optimum is still computable.
+
+#include <cstdio>
+
+#include "bench/common/harness.h"
+#include "core/exhaustive.h"
+#include "util/timer.h"
+
+namespace iq {
+namespace bench {
+namespace {
+
+int Run(const BenchOptions& opts) {
+  std::printf("== Ablation: exhaustive optimum vs heuristic ==\n");
+  TablePrinter table({"|Q|", "tau", "exhaustive (ms)", "heuristic (ms)",
+                      "opt cost", "heuristic cost", "cost ratio",
+                      "slowdown (x)"});
+  for (int m : {6, 8, 10, 12, 14}) {
+    const int n = 25;
+    // Small k so queries are selective (with k >= n every object trivially
+    // hits everything and the optimum degenerates to cost 0).
+    Dataset data = MakeIndependent(n, 2, opts.seed + static_cast<uint64_t>(m));
+    QueryGenOptions qopts;
+    qopts.k_min = 1;
+    qopts.k_max = 3;
+    auto workload = Workload::Make(
+        std::move(data), LinearForm::Identity(2),
+        MakeQueries(m, 2, opts.seed + static_cast<uint64_t>(m) + 1, qopts));
+    IQ_CHECK(workload.ok());
+    const Workload& w = *workload;
+    // Pick the object with the fewest current hits as the target.
+    int target = 0;
+    for (int i = 1; i < n; ++i) {
+      if (w.index->HitCount(i) < w.index->HitCount(target)) target = i;
+    }
+    const int tau = m / 2;
+    auto ctx = IqContext::FromIndex(w.index.get(), target);
+    IQ_CHECK(ctx.ok());
+
+    WallTimer timer;
+    auto opt = ExhaustiveMinCost(*ctx, tau);
+    double ex_ms = timer.ElapsedMillis();
+
+    timer.Restart();
+    EseEvaluator ese(w.index.get(), target);
+    auto heuristic = MinCostIq(*ctx, &ese, tau);
+    double h_ms = timer.ElapsedMillis();
+
+    if (!opt.ok() || !heuristic.ok() || !heuristic->reached_goal) {
+      table.AddRow({FmtInt(m), FmtInt(tau), FmtDouble(ex_ms, 2),
+                    FmtDouble(h_ms, 2), "-", "-", "-", "-"});
+      continue;
+    }
+    table.AddRow({FmtInt(m), FmtInt(tau), FmtDouble(ex_ms, 2),
+                  FmtDouble(h_ms, 2), FmtDouble(opt->cost, 4),
+                  FmtDouble(heuristic->cost, 4),
+                  FmtDouble(heuristic->cost / std::max(1e-12, opt->cost), 2),
+                  FmtDouble(ex_ms / std::max(1e-9, h_ms), 1)});
+  }
+  table.Print();
+  std::printf("\n(the subset enumeration grows as C(|Q|, tau): doubling |Q| "
+              "multiplies the exhaustive time by orders of magnitude, while "
+              "the heuristic stays in the millisecond range at a small "
+              "cost premium)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace iq
+
+int main(int argc, char** argv) {
+  return iq::bench::Run(iq::bench::ParseArgs(argc, argv));
+}

@@ -1,0 +1,106 @@
+// Ablation: subdomain index design choices.
+//  (a) sharing: how many queries share a subdomain (result-cache hit rate)
+//      as |Q| grows — the effect Algorithm 1 exists for;
+//  (b) signature depth κ: build time / memory / #subdomains as κ grows
+//      beyond the required max_k + 1;
+//  (c) the §4.3 kNN shortcut: fraction of query insertions resolved without
+//      a full signature computation.
+
+#include <cstdio>
+
+#include "bench/common/harness.h"
+#include "util/timer.h"
+
+namespace iq {
+namespace bench {
+namespace {
+
+int Run(const BenchOptions& opts) {
+  const int n = Scaled(PaperParams::kObjectsDefault, opts.scale);
+  const int dim = PaperParams::kDim;
+
+  std::printf("== Ablation (a): subdomain sharing vs |D| and |Q| ==\n");
+  std::printf("(sharing emerges when the query set is dense relative to the\n"
+              " arrangement of intersection hyperplanes, i.e. small |D| or\n"
+              " large/clustered |Q|)\n");
+  {
+    TablePrinter table({"|D|", "|Q|", "#subdomains", "queries/subdomain",
+                        "build (s)"});
+    const int m = Scaled(PaperParams::kQueriesDefault, opts.scale);
+    for (int small_n : {20, 100, 500, 5000, n}) {
+      Workload w = MakeLinearWorkload(SyntheticKind::kIndependent, small_n, m,
+                                      dim, opts.seed);
+      table.AddRow({FmtInt(small_n), FmtInt(m),
+                    FmtInt(w.index->num_subdomains()),
+                    FmtDouble(static_cast<double>(m) /
+                                  w.index->num_subdomains(), 2),
+                    FmtDouble(w.index->build_seconds(), 3)});
+    }
+    table.Print();
+  }
+
+  std::printf("\n== Ablation (b): signature depth kappa (|D| = %d) ==\n", n);
+  {
+    const int m = Scaled(PaperParams::kQueriesDefault, opts.scale);
+    Dataset data = MakeIndependent(n, dim, opts.seed);
+    QuerySet queries(dim);
+    QueryGenOptions qopts;
+    qopts.k_max = 50;
+    for (TopKQuery& q : MakeQueries(m, dim, opts.seed + 1, qopts)) {
+      IQ_CHECK(queries.Add(std::move(q)).ok());
+    }
+    FunctionView view(&data, LinearForm::Identity(dim));
+    TablePrinter table({"kappa", "#subdomains", "build (s)", "memory (MB)"});
+    for (int kappa : {51, 64, 96, 128, 192}) {
+      SubdomainIndexOptions sopts;
+      sopts.kappa = kappa;
+      auto index = SubdomainIndex::Build(&view, &queries, sopts);
+      IQ_CHECK(index.ok());
+      table.AddRow({FmtInt(kappa), FmtInt(index->num_subdomains()),
+                    FmtDouble(index->build_seconds(), 3),
+                    FmtDouble(index->MemoryBytes() / 1048576.0, 2)});
+    }
+    table.Print();
+  }
+
+  std::printf("\n== Ablation (c): kNN shortcut for query insertion ==\n");
+  {
+    const int m = Scaled(PaperParams::kQueriesDefault, opts.scale);
+    TablePrinter table({"insert batch", "kNN shortcut hits", "hit rate (%)",
+                        "time/insert (us)"});
+    for (int batch : {100, 400, 1600}) {
+      Workload w = MakeLinearWorkload(SyntheticKind::kIndependent, n, m, dim,
+                                      opts.seed + 3);
+      Rng rng(opts.seed + 4);
+      QueryGenOptions qopts;
+      qopts.k_max = 50;
+      // The shortcut pays off for near-duplicate preferences (think: many
+      // users sharing a canned preference profile).
+      qopts.distribution = QueryDistribution::kClustered;
+      qopts.num_clusters = 8;
+      qopts.cluster_spread = 0.0005;
+      auto extra = MakeQueries(batch, dim, opts.seed + 5, qopts);
+      WallTimer timer;
+      for (TopKQuery& q : extra) {
+        auto id = w.queries->Add(std::move(q));
+        IQ_CHECK(id.ok());
+        IQ_CHECK(w.index->OnQueryAdded(*id).ok());
+      }
+      double us = timer.ElapsedMicros() / batch;
+      size_t hits = w.index->knn_shortcut_hits();
+      table.AddRow({FmtInt(batch), FmtInt(static_cast<long long>(hits)),
+                    FmtDouble(100.0 * static_cast<double>(hits) / batch, 1),
+                    FmtDouble(us, 1)});
+    }
+    table.Print();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace iq
+
+int main(int argc, char** argv) {
+  return iq::bench::Run(iq::bench::ParseArgs(argc, argv));
+}

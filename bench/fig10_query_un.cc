@@ -1,0 +1,9 @@
+// Figure 10: query processing time and strategy quality vs |Q| with the
+// UN (uniform, independent weights) query workload.
+#include "bench/common/harness.h"
+
+int main(int argc, char** argv) {
+  return iq::bench::RunQueryProcessingByQueries(
+      iq::QueryDistribution::kUniform, "Figure 10",
+      iq::bench::ParseArgs(argc, argv));
+}

@@ -1,0 +1,9 @@
+// Figure 11: query processing time and strategy quality vs |Q| with the
+// CL (clustered weights) query workload.
+#include "bench/common/harness.h"
+
+int main(int argc, char** argv) {
+  return iq::bench::RunQueryProcessingByQueries(
+      iq::QueryDistribution::kClustered, "Figure 11",
+      iq::bench::ParseArgs(argc, argv));
+}

@@ -1,0 +1,56 @@
+// Figure 12: query processing on the (simulated) real-world datasets.
+// Paper setup: VEHICLE and HOUSE with a random query set one third of the
+// dataset size; the four schemes of §6.1; metrics as in Figures 7-11.
+
+#include <cstdio>
+
+#include "bench/common/harness.h"
+#include "util/logging.h"
+
+namespace iq {
+namespace bench {
+namespace {
+
+void RunDataset(const char* name, Dataset data, const BenchOptions& opts,
+                TablePrinter* table) {
+  const int m = data.size() / 3;
+  const int dim = data.dim();
+  QueryGenOptions qopts;
+  qopts.k_min = 1;
+  qopts.k_max = 50;
+  auto workload =
+      Workload::Make(std::move(data), LinearForm::Identity(dim),
+                     MakeQueries(m, dim, opts.seed + 1, qopts));
+  IQ_CHECK(workload.ok());
+  for (const SchemeResult& r :
+       RunPointAllSchemes(*workload, opts, opts.seed + 9)) {
+    table->AddRow({name, r.scheme, FmtDouble(r.avg_millis, 1),
+                   FmtDouble(r.avg_cost_per_hit, 4),
+                   FmtDouble(r.mincost_avg_cost, 4),
+                   FmtDouble(100 * r.mincost_goal_rate, 0),
+                   FmtDouble(r.maxhit_avg_hits, 1), FmtInt(r.completed)});
+  }
+}
+
+int Run(const BenchOptions& opts) {
+  std::printf("== Figure 12: query processing on (simulated) real-world "
+              "datasets (scale %.2f) ==\n",
+              opts.scale);
+  TablePrinter table({"dataset", "scheme", "avg time (ms)", "cost/hit",
+                      "MC cost", "MC goal (%)", "MH hits", "IQs"});
+  RunDataset("VEHICLE", MakeVehicle(opts.seed, Scaled(37051, opts.scale)),
+             opts, &table);
+  RunDataset("HOUSE", MakeHouse(opts.seed, Scaled(100000, opts.scale)), opts,
+             &table);
+  table.Print();
+  std::printf("\n(paper shape: same scheme ordering as on synthetic data)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace iq
+
+int main(int argc, char** argv) {
+  return iq::bench::Run(iq::bench::ParseArgs(argc, argv));
+}

@@ -1,0 +1,51 @@
+// Figure 13: scalability of Efficient-IQ to the number of variables in the
+// (interpreted) functions. Paper setup: polynomial utility functions with
+// 1..5 variables, default |D| and |Q|, Efficient-IQ only (RTA cannot handle
+// non-linear utilities). The paper observes sub-linear growth of the query
+// processing time in the number of variables.
+
+#include <cstdio>
+
+#include "bench/common/harness.h"
+
+namespace iq {
+namespace bench {
+namespace {
+
+int Run(const BenchOptions& opts) {
+  std::printf("== Figure 13: scalability to the number of variables "
+              "(scale %.2f, %d+%d IQs per point) ==\n",
+              opts.scale, opts.iqs_per_point, opts.iqs_per_point);
+  const int n = Scaled(PaperParams::kObjectsDefault, opts.scale);
+  const int m = Scaled(PaperParams::kQueriesDefault, opts.scale);
+
+  TablePrinter table({"#variables", "avg time (ms)", "cost/hit", "MC cost",
+                      "MC goal (%)", "MH hits", "index build (s)"});
+  for (int vars = 1; vars <= 5; ++vars) {
+    // `vars`-attribute objects, polynomial utility with `vars` weight terms
+    // of degree up to 5 (§6.2).
+    Workload w = MakePolynomialWorkload(
+        SyntheticKind::kIndependent, n, m, vars, vars,
+        opts.seed + static_cast<uint64_t>(vars) * 13);
+    SchemeResult r =
+        RunIqBatch(w, IqScheme::kEfficient, opts.iqs_per_point, opts.seed + 7);
+    table.AddRow({FmtInt(vars), FmtDouble(r.avg_millis, 1),
+                  FmtDouble(r.avg_cost_per_hit, 4),
+                  FmtDouble(r.mincost_avg_cost, 4),
+                  FmtDouble(100 * r.mincost_goal_rate, 0),
+                  FmtDouble(r.maxhit_avg_hits, 1),
+                  FmtDouble(w.index->build_seconds(), 3)});
+  }
+  table.Print();
+  std::printf("\n(paper shape: processing time increases with the number of "
+              "variables, but sub-linearly)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace iq
+
+int main(int argc, char** argv) {
+  return iq::bench::Run(iq::bench::ParseArgs(argc, argv));
+}

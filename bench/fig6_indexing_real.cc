@@ -1,0 +1,85 @@
+// Figure 6: indexing cost on the real-world datasets.
+// Paper setup: VEHICLE (37051 x 5) and HOUSE (100000 x 4), query set one
+// third of the dataset size, three indexing schemes: Efficient-IQ, plain
+// R-tree, DominantGraph. The datasets here are the simulated stand-ins of
+// data/real_world.h (see DESIGN.md §2 for the substitution).
+
+#include <cstdio>
+
+#include "bench/common/harness.h"
+#include "util/logging.h"
+#include "index/dominant_graph.h"
+#include "index/rtree.h"
+#include "util/timer.h"
+
+namespace iq {
+namespace bench {
+namespace {
+
+void RunDataset(const char* name, Dataset data, const BenchOptions& opts,
+                TablePrinter* table) {
+  const int n = data.size();
+  const int m = n / 3;  // paper: query set one third of the dataset size
+  const int dim = data.dim();
+  QueryGenOptions qopts;
+  qopts.k_min = 1;
+  qopts.k_max = 50;
+  auto workload =
+      Workload::Make(std::move(data), LinearForm::Identity(dim),
+                     MakeQueries(m, dim, opts.seed + 1, qopts));
+  IQ_CHECK(workload.ok());
+  const Workload& w = *workload;
+
+  double eiq_time = w.index->build_seconds();
+  double eiq_size = 100.0 * static_cast<double>(w.index->MemoryBytes()) /
+                    static_cast<double>(w.RawDataBytes());
+
+  std::vector<Vec> points;
+  std::vector<int> ids;
+  for (int q = 0; q < w.queries->size(); ++q) {
+    points.push_back(w.index->aug_weights(q));
+    ids.push_back(q);
+  }
+  WallTimer timer;
+  RTree rtree = RTree::BulkLoad(dim, points, ids);
+  double rt_time = timer.ElapsedSeconds();
+  double rt_size = 100.0 * static_cast<double>(rtree.MemoryBytes()) /
+                   static_cast<double>(w.RawDataBytes());
+
+  timer.Restart();
+  DominantGraph dg(w.view->rows());
+  double dg_time = timer.ElapsedSeconds();
+  double dg_size = 100.0 * static_cast<double>(dg.MemoryBytes()) /
+                   static_cast<double>(w.RawDataBytes());
+
+  table->AddRow({name, FmtInt(n), FmtInt(m), FmtDouble(eiq_time, 3),
+                 FmtDouble(eiq_size, 1), FmtDouble(rt_time, 3),
+                 FmtDouble(rt_size, 1), FmtDouble(dg_time, 3),
+                 FmtDouble(dg_size, 1)});
+}
+
+int Run(const BenchOptions& opts) {
+  std::printf("== Figure 6: indexing cost on (simulated) real-world datasets "
+              "(scale %.2f) ==\n",
+              opts.scale);
+  TablePrinter table({"dataset", "|D|", "|Q|", "EfficientIQ t(s)",
+                      "EfficientIQ sz(%)", "R-tree t(s)", "R-tree sz(%)",
+                      "DomGraph t(s)", "DomGraph sz(%)"});
+  RunDataset("VEHICLE", MakeVehicle(opts.seed, Scaled(37051, opts.scale)),
+             opts, &table);
+  RunDataset("HOUSE", MakeHouse(opts.seed, Scaled(100000, opts.scale)), opts,
+             &table);
+  table.Print();
+  std::printf("\n(paper shape: consistent with the synthetic results — "
+              "Efficient-IQ builds in time comparable to DominantGraph and "
+              "costs ~20%% more time than a bare R-tree)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace iq
+
+int main(int argc, char** argv) {
+  return iq::bench::Run(iq::bench::ParseArgs(argc, argv));
+}

@@ -1,0 +1,9 @@
+// Figure 7: query processing time and strategy quality vs |D| on the
+// Independent (IN) synthetic dataset; the four schemes of §6.1.
+#include "bench/common/harness.h"
+
+int main(int argc, char** argv) {
+  return iq::bench::RunQueryProcessingByObjects(
+      iq::SyntheticKind::kIndependent, "Figure 7",
+      iq::bench::ParseArgs(argc, argv));
+}

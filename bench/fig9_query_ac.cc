@@ -1,0 +1,9 @@
+// Figure 9: query processing time and strategy quality vs |D| on the
+// Anti-correlated (AC) synthetic dataset; the four schemes of §6.1.
+#include "bench/common/harness.h"
+
+int main(int argc, char** argv) {
+  return iq::bench::RunQueryProcessingByObjects(
+      iq::SyntheticKind::kAntiCorrelated, "Figure 9",
+      iq::bench::ParseArgs(argc, argv));
+}

@@ -1,0 +1,79 @@
+// Micro-benchmarks (google-benchmark) for the R-tree substrate.
+
+#include <benchmark/benchmark.h>
+
+#include "index/rtree.h"
+#include "util/random.h"
+
+namespace iq {
+namespace {
+
+std::vector<Vec> Points(int n, int dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec> pts;
+  pts.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) pts.push_back(rng.UniformVector(dim, 0.0, 1.0));
+  return pts;
+}
+
+void BM_RTreeInsert(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto pts = Points(n, 3, 1);
+  for (auto _ : state) {
+    RTree tree(3);
+    for (int i = 0; i < n; ++i) tree.Insert(pts[static_cast<size_t>(i)], i);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RTreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_RTreeBulkLoad(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto pts = Points(n, 3, 2);
+  std::vector<int> ids(pts.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int>(i);
+  for (auto _ : state) {
+    RTree tree = RTree::BulkLoad(3, pts, ids);
+    benchmark::DoNotOptimize(tree.height());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RTreeBulkLoad)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RTreeRangeSearch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto pts = Points(n, 3, 3);
+  std::vector<int> ids(pts.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int>(i);
+  RTree tree = RTree::BulkLoad(3, pts, ids);
+  Rng rng(4);
+  for (auto _ : state) {
+    Vec lo = rng.UniformVector(3, 0.0, 0.9);
+    Vec hi = lo;
+    for (auto& v : hi) v += 0.1;
+    int count = 0;
+    tree.RangeSearch(Mbr(lo, hi), [&count](int, const Vec&) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_RTreeRangeSearch)->Arg(10000)->Arg(100000);
+
+void BM_RTreeKNearest(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto pts = Points(n, 3, 5);
+  std::vector<int> ids(pts.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int>(i);
+  RTree tree = RTree::BulkLoad(3, pts, ids);
+  Rng rng(6);
+  for (auto _ : state) {
+    auto nn = tree.KNearest(rng.UniformVector(3, 0.0, 1.0), 8);
+    benchmark::DoNotOptimize(nn.size());
+  }
+}
+BENCHMARK(BM_RTreeKNearest)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace iq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Micro-benchmarks (google-benchmark) for the optimization substrate:
+// the closed-form single-halfspace solvers (Eq. 13-14), Dykstra projection,
+// and the penalty solver.
+
+#include <benchmark/benchmark.h>
+
+#include "opt/dykstra.h"
+#include "opt/hit_solver.h"
+#include "util/random.h"
+
+namespace iq {
+namespace {
+
+void BM_HalfspaceL2(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Vec a = rng.UniformVector(dim, 0.1, 1.0);
+  AdjustBox box = AdjustBox::Unbounded(dim);
+  for (auto _ : state) {
+    auto sol = MinCostForHalfspace(a, -0.5, CostFunction::L2(), box);
+    benchmark::DoNotOptimize(sol->cost);
+  }
+}
+BENCHMARK(BM_HalfspaceL2)->Arg(3)->Arg(10)->Arg(50);
+
+void BM_HalfspaceL2Boxed(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  Rng rng(2);
+  Vec a = rng.UniformVector(dim, 0.1, 1.0);
+  AdjustBox box = AdjustBox::Unbounded(dim);
+  for (int j = 0; j < dim; j += 2) box.SetRange(j, -0.05, 0.05);
+  for (auto _ : state) {
+    auto sol = MinCostForHalfspace(a, -0.5, CostFunction::L2(), box);
+    benchmark::DoNotOptimize(sol.ok());
+  }
+}
+BENCHMARK(BM_HalfspaceL2Boxed)->Arg(3)->Arg(10)->Arg(50);
+
+void BM_HalfspaceL1(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  Rng rng(3);
+  Vec a = rng.UniformVector(dim, 0.1, 1.0);
+  AdjustBox box = AdjustBox::Unbounded(dim);
+  for (auto _ : state) {
+    auto sol = MinCostForHalfspace(a, -0.5, CostFunction::L1(), box);
+    benchmark::DoNotOptimize(sol->cost);
+  }
+}
+BENCHMARK(BM_HalfspaceL1)->Arg(3)->Arg(10)->Arg(50);
+
+void BM_DykstraProjection(benchmark::State& state) {
+  const int constraints = static_cast<int>(state.range(0));
+  Rng rng(4);
+  const int dim = 3;
+  std::vector<Vec> A;
+  Vec b;
+  for (int i = 0; i < constraints; ++i) {
+    A.push_back(rng.UniformVector(dim, 0.1, 1.0));
+    b.push_back(-rng.UniformDouble(0.1, 0.5));
+  }
+  AdjustBox box = AdjustBox::Unbounded(dim);
+  for (auto _ : state) {
+    auto p = DykstraProject(A, b, box, Zeros(dim));
+    benchmark::DoNotOptimize(p.ok());
+  }
+}
+BENCHMARK(BM_DykstraProjection)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_PenaltySolver(benchmark::State& state) {
+  AdjustBox box = AdjustBox::Unbounded(3);
+  for (auto _ : state) {
+    auto sol = MinCostNonlinear(
+        [](const Vec& s) {
+          return (1.0 + s[0]) * (1.0 + s[0]) + s[1] * s[1] + s[2] - 0.25;
+        },
+        nullptr, CostFunction::L2(), box);
+    benchmark::DoNotOptimize(sol.ok());
+  }
+}
+BENCHMARK(BM_PenaltySolver);
+
+}  // namespace
+}  // namespace iq
+
+BENCHMARK_MAIN();

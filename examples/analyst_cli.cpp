@@ -1,0 +1,355 @@
+// analyst_cli — an interactive front end for the Improvement-Query analytic
+// tool (the paper's §6.1 GUI, as a terminal REPL). Reads commands from stdin
+// or from a script file passed as argv[1].
+//
+//   gen objects <n> <dim> [kind] [seed]   synthesize an object table
+//   gen queries <m> [kmax] [seed]         synthesize a preference table
+//   load <table> <file.csv>               load a CSV into the catalog
+//   sql <SELECT ...>                      run a query against the catalog
+//   build [utility <expr>]                wire tables into the engine
+//   targets <SELECT id ...>               choose improvement targets
+//   mincost <tau> [scheme]                run Min-Cost IQs on the targets
+//   maxhit <beta> [scheme]                run Max-Hit IQs on the targets
+//   hits <id>                             reverse top-k count of one object
+//   tables                                list catalog tables
+//   help / quit
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/explain.h"
+#include "core/iq_algorithms.h"
+#include "data/queries.h"
+#include "data/synthetic.h"
+#include "db/improvement_tool.h"
+#include "util/string_util.h"
+
+namespace {
+
+using iq::db::ColumnType;
+using iq::db::Table;
+using iq::db::Value;
+
+constexpr const char* kHelp = R"(commands:
+  gen objects <n> <dim> [in|co|ac] [seed]
+  gen queries <m> [kmax] [seed]
+  load <table> <file.csv>
+  save <table> <file.csv>
+  sql <SELECT ...>
+  build [utility <expression over x1..xd, w1..wT>]
+  targets <SELECT id-column ...>
+  mincost <tau> [efficient|rta|greedy|random|exhaustive]
+  maxhit <beta> [scheme]
+  explain <object-id> <tau>   (run a Min-Cost IQ and audit its effects)
+  hits <object-id>
+  tables
+  help | quit
+)";
+
+class Cli {
+ public:
+  // Returns false when the session should end.
+  bool Handle(const std::string& line) {
+    auto parts = Tokenize(line);
+    if (parts.empty()) return true;
+    const std::string& cmd = parts[0];
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "help") {
+      std::printf("%s", kHelp);
+    } else if (cmd == "gen") {
+      Gen(parts);
+    } else if (cmd == "load") {
+      Load(parts);
+    } else if (cmd == "save") {
+      Save(parts);
+    } else if (cmd == "sql") {
+      Sql(line.size() > 4 ? line.substr(4) : "");
+    } else if (cmd == "build") {
+      Build(parts);
+    } else if (cmd == "targets") {
+      Targets(line.size() > 8 ? line.substr(8) : "");
+    } else if (cmd == "mincost") {
+      RunIq(parts, /*min_cost=*/true);
+    } else if (cmd == "maxhit") {
+      RunIq(parts, /*min_cost=*/false);
+    } else if (cmd == "explain") {
+      Explain(parts);
+    } else if (cmd == "hits") {
+      Hits(parts);
+    } else if (cmd == "tables") {
+      for (const auto& name : tool_.catalog().TableNames()) {
+        std::printf("  %s\n", name.c_str());
+      }
+    } else {
+      std::printf("unknown command '%s' (try: help)\n", cmd.c_str());
+    }
+    return true;
+  }
+
+ private:
+  static std::vector<std::string> Tokenize(const std::string& line) {
+    std::vector<std::string> out;
+    std::istringstream in(line);
+    std::string tok;
+    while (in >> tok) out.push_back(tok);
+    return out;
+  }
+
+  void Gen(const std::vector<std::string>& parts) {
+    if (parts.size() < 3) {
+      std::printf("usage: gen objects|queries <count> ...\n");
+      return;
+    }
+    if (parts[1] == "objects") {
+      int n = atoi(parts[2].c_str());
+      dim_ = parts.size() > 3 ? atoi(parts[3].c_str()) : 3;
+      iq::SyntheticKind kind = iq::SyntheticKind::kIndependent;
+      if (parts.size() > 4) {
+        if (parts[4] == "co") kind = iq::SyntheticKind::kCorrelated;
+        if (parts[4] == "ac") kind = iq::SyntheticKind::kAntiCorrelated;
+      }
+      uint64_t seed = parts.size() > 5 ? strtoull(parts[5].c_str(), nullptr, 10)
+                                       : 1;
+      iq::Dataset data = iq::MakeSynthetic(kind, n, dim_, seed);
+      std::vector<iq::db::Column> cols = {{"id", ColumnType::kInt}};
+      for (int j = 0; j < dim_; ++j) {
+        cols.push_back({iq::StrFormat("x%d", j + 1), ColumnType::kDouble});
+      }
+      Table t("objects", cols);
+      for (int i = 0; i < data.size(); ++i) {
+        std::vector<Value> row = {static_cast<int64_t>(i)};
+        for (double v : data.attrs(i)) row.emplace_back(v);
+        (void)t.Append(std::move(row));
+      }
+      tool_.catalog().Drop("objects");
+      Report(tool_.catalog().Register(std::move(t)));
+      std::printf("objects: %d rows, %d attributes\n", n, dim_);
+    } else if (parts[1] == "queries") {
+      if (dim_ == 0) {
+        std::printf("gen objects first (queries need the dimensionality)\n");
+        return;
+      }
+      int m = atoi(parts[2].c_str());
+      iq::QueryGenOptions qopts;
+      qopts.k_max = parts.size() > 3 ? atoi(parts[3].c_str()) : 10;
+      uint64_t seed = parts.size() > 4 ? strtoull(parts[4].c_str(), nullptr, 10)
+                                       : 2;
+      std::vector<iq::db::Column> cols;
+      for (int j = 0; j < dim_; ++j) {
+        cols.push_back({iq::StrFormat("w%d", j + 1), ColumnType::kDouble});
+      }
+      cols.push_back({"k", ColumnType::kInt});
+      Table t("queries", cols);
+      for (iq::TopKQuery& q : iq::MakeQueries(m, dim_, seed, qopts)) {
+        std::vector<Value> row;
+        for (double v : q.weights) row.emplace_back(v);
+        row.emplace_back(static_cast<int64_t>(q.k));
+        (void)t.Append(std::move(row));
+      }
+      tool_.catalog().Drop("queries");
+      Report(tool_.catalog().Register(std::move(t)));
+      std::printf("queries: %d rows, k <= %d\n", m, qopts.k_max);
+    } else {
+      std::printf("usage: gen objects|queries ...\n");
+    }
+  }
+
+  void Load(const std::vector<std::string>& parts) {
+    if (parts.size() < 3) {
+      std::printf("usage: load <table> <file.csv>\n");
+      return;
+    }
+    auto csv = iq::ReadCsvFile(parts[2]);
+    if (!csv.ok()) {
+      Report(csv.status());
+      return;
+    }
+    auto table = Table::FromCsv(parts[1], *csv);
+    if (!table.ok()) {
+      Report(table.status());
+      return;
+    }
+    tool_.catalog().Drop(parts[1]);
+    Report(tool_.catalog().Register(std::move(*table)));
+  }
+
+  void Save(const std::vector<std::string>& parts) {
+    if (parts.size() < 3) {
+      std::printf("usage: save <table> <file.csv>\n");
+      return;
+    }
+    auto table = tool_.catalog().Get(parts[1]);
+    if (!table.ok()) {
+      Report(table.status());
+      return;
+    }
+    if (Report(iq::WriteCsvFile((*table)->ToCsv(), parts[2]))) {
+      std::printf("wrote %s (%d rows)\n", parts[2].c_str(),
+                  (*table)->num_rows());
+    }
+  }
+
+  void Sql(const std::string& statement) {
+    auto result = iq::db::Query(tool_.catalog(), statement);
+    if (!result.ok()) {
+      Report(result.status());
+      return;
+    }
+    std::printf("%s", result->ToDisplayString().c_str());
+  }
+
+  void Build(const std::vector<std::string>& parts) {
+    if (dim_ == 0) {
+      std::printf("gen/load an objects table first\n");
+      return;
+    }
+    std::vector<std::string> attrs, weights;
+    for (int j = 0; j < dim_; ++j) {
+      attrs.push_back(iq::StrFormat("x%d", j + 1));
+      weights.push_back(iq::StrFormat("w%d", j + 1));
+    }
+    if (!Report(tool_.LoadObjects("objects", attrs, "id"))) return;
+    if (!Report(tool_.LoadQueries("queries", weights, "k"))) return;
+    if (parts.size() > 2 && parts[1] == "utility") {
+      std::string expr;
+      for (size_t i = 2; i < parts.size(); ++i) {
+        if (i > 2) expr += ' ';
+        expr += parts[i];
+      }
+      if (!Report(tool_.SetUtilityExpression(expr))) return;
+    }
+    if (Report(tool_.BuildEngine())) {
+      std::printf("engine ready: %d objects, %d queries, %d subdomains\n",
+                  tool_.engine().dataset().num_active(),
+                  tool_.engine().queries().num_active(),
+                  tool_.engine().index().num_subdomains());
+    }
+  }
+
+  void Targets(const std::string& sql) {
+    if (!tool_.engine_ready()) {
+      std::printf("build the engine first\n");
+      return;
+    }
+    auto t = tool_.SelectTargets(sql);
+    if (!t.ok()) {
+      Report(t.status());
+      return;
+    }
+    targets_ = *t;
+    std::printf("selected %zu targets\n", targets_.size());
+  }
+
+  static iq::IqScheme SchemeFromName(const std::string& name) {
+    if (name == "rta") return iq::IqScheme::kRta;
+    if (name == "greedy") return iq::IqScheme::kGreedy;
+    if (name == "random") return iq::IqScheme::kRandom;
+    if (name == "exhaustive") return iq::IqScheme::kExhaustive;
+    return iq::IqScheme::kEfficient;
+  }
+
+  void RunIq(const std::vector<std::string>& parts, bool min_cost) {
+    if (!tool_.engine_ready()) {
+      std::printf("build the engine first\n");
+      return;
+    }
+    if (targets_.empty()) {
+      std::printf("select targets first\n");
+      return;
+    }
+    if (parts.size() < 2) {
+      std::printf("usage: %s <value> [scheme]\n", min_cost ? "mincost"
+                                                           : "maxhit");
+      return;
+    }
+    iq::IqScheme scheme =
+        parts.size() > 2 ? SchemeFromName(parts[2]) : iq::IqScheme::kEfficient;
+    auto report = min_cost
+                      ? tool_.MinCost(targets_, atoi(parts[1].c_str()), {},
+                                      scheme)
+                      : tool_.MaxHit(targets_, atof(parts[1].c_str()), {},
+                                     scheme);
+    if (!report.ok()) {
+      Report(report.status());
+      return;
+    }
+    std::printf("%s", report->ToDisplayString().c_str());
+  }
+
+  void Explain(const std::vector<std::string>& parts) {
+    if (!tool_.engine_ready() || parts.size() < 3) {
+      std::printf("usage (after build): explain <object-id> <tau>\n");
+      return;
+    }
+    int id = atoi(parts[1].c_str());
+    int tau = atoi(parts[2].c_str());
+    auto& engine = tool_.engine();
+    if (id < 0 || id >= engine.dataset().size()) {
+      std::printf("no such object\n");
+      return;
+    }
+    auto r = engine.MinCost(id, tau);
+    if (!r.ok()) {
+      Report(r.status());
+      return;
+    }
+    auto report = iq::ExplainStrategy(engine.index(), id, r->strategy);
+    if (!report.ok()) {
+      Report(report.status());
+      return;
+    }
+    std::printf("%s", report->ToString().c_str());
+  }
+
+  void Hits(const std::vector<std::string>& parts) {
+    if (!tool_.engine_ready() || parts.size() < 2) {
+      std::printf("usage (after build): hits <object-id>\n");
+      return;
+    }
+    int id = atoi(parts[1].c_str());
+    if (id < 0 || id >= tool_.engine().dataset().size()) {
+      std::printf("no such object\n");
+      return;
+    }
+    std::printf("object %d hits %d of %d queries\n", id,
+                tool_.engine().HitCount(id),
+                tool_.engine().queries().num_active());
+  }
+
+  bool Report(const iq::Status& status) {
+    if (!status.ok()) std::printf("error: %s\n", status.ToString().c_str());
+    return status.ok();
+  }
+
+  iq::db::ImprovementTool tool_;
+  std::vector<int> targets_;
+  int dim_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  std::istream* in = &std::cin;
+  std::ifstream file;
+  if (argc > 1) {
+    file.open(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open script %s\n", argv[1]);
+      return 1;
+    }
+    in = &file;
+  } else {
+    std::printf("iq analyst tool — type 'help' for commands\n");
+  }
+  std::string line;
+  while (true) {
+    if (in == &std::cin) std::printf("iq> ");
+    if (!std::getline(*in, line)) break;
+    if (in != &std::cin && !line.empty()) std::printf("iq> %s\n", line.c_str());
+    if (!cli.Handle(line)) break;
+  }
+  return 0;
+}

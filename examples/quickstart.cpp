@@ -1,0 +1,102 @@
+// Quickstart: the camera example from Figure 1 of the paper.
+//
+// A small camera catalog competes for buyers whose preferences are top-k
+// queries. We ask two Improvement Queries about camera p1:
+//   * Min-Cost IQ — cheapest adjustment so p1 is the top choice of at least
+//     `tau` buyers;
+//   * Max-Hit IQ — best adjustment affordable within a budget.
+//
+// Ranking convention: the engine selects the k objects with the LOWEST
+// score (paper §3.2). Preferences that favour large values therefore carry
+// negative weights: "5.0*resolution + 3.5*storage - 0.05*price, higher is
+// better" becomes weights {-5.0, -3.5, +0.05}.
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "util/string_util.h"
+
+namespace {
+
+void PrintResult(const char* title, const iq::IqResult& r) {
+  std::printf("%s\n", title);
+  std::printf("  strategy: {resolution %+.2f Mpx, storage %+.2f GB, price "
+              "%+.2f $}\n",
+              r.strategy[0], r.strategy[1], r.strategy[2]);
+  std::printf("  cost=%.3f  hits %d -> %d  (goal %s, %d iterations)\n\n",
+              r.cost, r.hits_before, r.hits_after,
+              r.reached_goal ? "reached" : "NOT reached", r.iterations);
+}
+
+}  // namespace
+
+int main() {
+  // The camera catalog (resolution Mpx, storage GB, price $).
+  iq::Dataset cameras(3);
+  cameras.Add({10, 2, 250});  // p1 — our product
+  cameras.Add({12, 4, 340});  // p2
+  cameras.Add({16, 8, 520});  // p3
+  cameras.Add({8, 4, 180});   // p4
+  cameras.Add({14, 2, 300});  // p5
+  const int p1 = 0;
+
+  // Buyer preferences as top-k queries (Figure 1 style, sign-flipped so
+  // that lower score = more preferred).
+  std::vector<iq::TopKQuery> buyers = {
+      {1, {-5.0, -3.5, 0.05}},  // values resolution, then storage
+      {1, {-2.5, -7.0, 0.08}},  // storage-focused
+      {2, {-1.0, -1.0, 0.10}},  // budget-conscious, will consider 2 models
+      {1, {-6.0, -0.5, 0.02}},  // resolution enthusiast
+      {2, {-0.5, -4.0, 0.06}},  // storage within reason
+      {1, {-3.0, -3.0, 0.04}},
+  };
+
+  auto engine = iq::IqEngine::Create(
+      std::move(cameras), iq::LinearForm::Identity(3), std::move(buyers));
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("== Camera improvement quickstart ==\n");
+  std::printf("p1 currently hits %d of %d buyer queries\n\n",
+              engine->HitCount(p1), engine->queries().size());
+
+  // The manufacturer can change resolution/storage/price, but the price cut
+  // is capped at $80 and hardware can only be upgraded, not downgraded.
+  iq::IqOptions options;
+  options.box = iq::AdjustBox::Unbounded(3);
+  options.box->SetRange(0, 0.0, 12.0);    // resolution: only up, +12 Mpx max
+  options.box->SetRange(1, 0.0, 16.0);    // storage: only up
+  options.box->SetRange(2, -80.0, 0.0);   // price: only down, $80 max cut
+  // Cost: changing price is much cheaper than re-engineering the sensor.
+  options.cost = iq::CostFunction::WeightedL2({5.0, 2.0, 0.05});
+
+  // Min-Cost IQ: reach at least 4 buyers.
+  auto min_cost = engine->MinCost(p1, /*tau=*/4, options);
+  if (!min_cost.ok()) {
+    std::fprintf(stderr, "min-cost: %s\n",
+                 min_cost.status().ToString().c_str());
+    return 1;
+  }
+  PrintResult("Min-Cost IQ (tau = 4):", *min_cost);
+
+  // Max-Hit IQ: what is achievable with a budget of 6.0?
+  auto max_hit = engine->MaxHit(p1, /*beta=*/6.0, options);
+  if (!max_hit.ok()) {
+    std::fprintf(stderr, "max-hit: %s\n", max_hit.status().ToString().c_str());
+    return 1;
+  }
+  PrintResult("Max-Hit IQ (budget = 6.0):", *max_hit);
+
+  // Apply the Min-Cost strategy permanently and verify.
+  if (auto st = engine->ApplyStrategy(p1, min_cost->strategy); !st.ok()) {
+    std::fprintf(stderr, "apply: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("After applying the Min-Cost strategy, p1 = {%.2f Mpx, %.2f "
+              "GB, $%.2f} and hits %d queries.\n",
+              engine->dataset().attrs(p1)[0], engine->dataset().attrs(p1)[1],
+              engine->dataset().attrs(p1)[2], engine->HitCount(p1));
+  return 0;
+}

@@ -1,0 +1,42 @@
+#ifndef IQ_CORE_COMBINATORIAL_H_
+#define IQ_CORE_COMBINATORIAL_H_
+
+#include <vector>
+
+#include "core/iq_algorithms.h"
+
+namespace iq {
+
+/// Result of a multi-target (combinatorial) improvement query (§5.1).
+/// Hit counting follows the paper: a query hit by several improved targets
+/// counts once.
+struct MultiIqResult {
+  std::vector<int> targets;
+  /// strategies[i] improves targets[i]; costs[i] = Cost_i(strategies[i]).
+  std::vector<Vec> strategies;
+  std::vector<double> costs;
+  double total_cost = 0.0;
+  int hits_before = 0;
+  int hits_after = 0;
+  bool reached_goal = false;
+  int iterations = 0;
+  double seconds = 0.0;
+};
+
+/// Combinatorial Min-Cost Improvement Strategy (Definition 5): the greedy
+/// of §5.1 — per iteration, the (target, query) candidate with the best
+/// cost-per-hit ratio is applied, until the union hit count reaches tau.
+/// `options` holds one entry per target, or a single entry shared by all.
+Result<MultiIqResult> CombinatorialMinCostIq(
+    const SubdomainIndex& index, const std::vector<int>& targets, int tau,
+    const std::vector<IqOptions>& options);
+
+/// Combinatorial Max-Hit Improvement Strategy (Definition 6): same loop,
+/// candidates filtered by the remaining shared budget beta.
+Result<MultiIqResult> CombinatorialMaxHitIq(
+    const SubdomainIndex& index, const std::vector<int>& targets, double beta,
+    const std::vector<IqOptions>& options);
+
+}  // namespace iq
+
+#endif  // IQ_CORE_COMBINATORIAL_H_

@@ -1,0 +1,217 @@
+#include "core/engine.h"
+
+#include "util/logging.h"
+
+namespace iq {
+
+const char* IqSchemeName(IqScheme scheme) {
+  switch (scheme) {
+    case IqScheme::kEfficient:
+      return "Efficient-IQ";
+    case IqScheme::kRta:
+      return "RTA-IQ";
+    case IqScheme::kGreedy:
+      return "Greedy";
+    case IqScheme::kRandom:
+      return "Random";
+    case IqScheme::kExhaustive:
+      return "Exhaustive";
+  }
+  return "?";
+}
+
+Result<IqEngine> IqEngine::Create(Dataset dataset, LinearForm form,
+                                  std::vector<TopKQuery> queries,
+                                  EngineOptions options) {
+  IqEngine engine;
+  engine.dataset_ = std::make_unique<Dataset>(std::move(dataset));
+  engine.queries_ = std::make_unique<QuerySet>(form.num_weights());
+  for (TopKQuery& q : queries) {
+    auto added = engine.queries_->Add(std::move(q));
+    if (!added.ok()) return added.status();
+  }
+  engine.view_ =
+      std::make_unique<FunctionView>(engine.dataset_.get(), std::move(form));
+  IQ_ASSIGN_OR_RETURN(
+      SubdomainIndex index,
+      SubdomainIndex::Build(engine.view_.get(), engine.queries_.get(),
+                            options.index));
+  engine.index_ = std::make_unique<SubdomainIndex>(std::move(index));
+  return engine;
+}
+
+Result<std::vector<ScoredObject>> IqEngine::TopK(const Vec& weights,
+                                                 int k) const {
+  if (static_cast<int>(weights.size()) != view_->form().num_weights()) {
+    return Status::InvalidArgument("weight vector length mismatch");
+  }
+  std::vector<bool> mask(static_cast<size_t>(dataset_->size()));
+  for (int i = 0; i < dataset_->size(); ++i) {
+    mask[static_cast<size_t>(i)] = dataset_->is_active(i);
+  }
+  return TopKScan(view_->rows(), &mask, view_->form().AugmentWeights(weights),
+                  k);
+}
+
+Result<int> IqEngine::RankUnderQuery(int object, int q) const {
+  if (object < 0 || object >= dataset_->size() ||
+      !dataset_->is_active(object)) {
+    return Status::InvalidArgument("object is not active");
+  }
+  if (q < 0 || q >= queries_->size() || !queries_->is_active(q)) {
+    return Status::InvalidArgument("query is not active");
+  }
+  const Vec& w = index_->aug_weights(q);
+  double score = view_->Score(object, w);
+  int rank = 1;
+  for (int i = 0; i < dataset_->size(); ++i) {
+    if (i == object || !dataset_->is_active(i)) continue;
+    double s = view_->Score(i, w);
+    if (s < score || (s == score && i < object)) ++rank;
+  }
+  return rank;
+}
+
+Result<std::vector<std::pair<int, int>>> IqEngine::ReverseKRanks(
+    int object, int k) const {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  std::vector<std::pair<int, int>> ranked;  // (rank, query) for sorting
+  for (int q = 0; q < queries_->size(); ++q) {
+    if (!queries_->is_active(q)) continue;
+    IQ_ASSIGN_OR_RETURN(int rank, RankUnderQuery(object, q));
+    ranked.emplace_back(rank, q);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  if (static_cast<int>(ranked.size()) > k) {
+    ranked.resize(static_cast<size_t>(k));
+  }
+  std::vector<std::pair<int, int>> out;
+  out.reserve(ranked.size());
+  for (const auto& [rank, q] : ranked) out.emplace_back(q, rank);
+  return out;
+}
+
+Result<int> IqEngine::BestWorkloadRank(int object) const {
+  if (queries_->num_active() == 0) {
+    return Status::FailedPrecondition("no active queries");
+  }
+  IQ_ASSIGN_OR_RETURN(auto best, ReverseKRanks(object, 1));
+  return best[0].second;
+}
+
+Result<IqResult> IqEngine::MinCost(int target, int tau,
+                                   const IqOptions& options, IqScheme scheme) {
+  IQ_ASSIGN_OR_RETURN(IqContext ctx, IqContext::FromIndex(index_.get(), target));
+  switch (scheme) {
+    case IqScheme::kEfficient: {
+      EseEvaluator ese(index_.get(), target);
+      return MinCostIq(ctx, &ese, tau, options);
+    }
+    case IqScheme::kRta: {
+      RtaStrategyEvaluator rta(view_.get(), queries_.get(), target);
+      return MinCostIq(ctx, &rta, tau, options);
+    }
+    case IqScheme::kGreedy: {
+      EseEvaluator ese(index_.get(), target);
+      return GreedyMinCost(ctx, &ese, tau, options);
+    }
+    case IqScheme::kRandom: {
+      EseEvaluator ese(index_.get(), target);
+      return RandomMinCost(ctx, &ese, tau, options);
+    }
+    case IqScheme::kExhaustive: {
+      ExhaustiveOptions ex;
+      ex.iq = options;
+      return ExhaustiveMinCost(ctx, tau, ex);
+    }
+  }
+  return Status::InvalidArgument("unknown scheme");
+}
+
+Result<IqResult> IqEngine::MaxHit(int target, double beta,
+                                  const IqOptions& options, IqScheme scheme) {
+  IQ_ASSIGN_OR_RETURN(IqContext ctx, IqContext::FromIndex(index_.get(), target));
+  switch (scheme) {
+    case IqScheme::kEfficient: {
+      EseEvaluator ese(index_.get(), target);
+      return MaxHitIq(ctx, &ese, beta, options);
+    }
+    case IqScheme::kRta: {
+      RtaStrategyEvaluator rta(view_.get(), queries_.get(), target);
+      return MaxHitIq(ctx, &rta, beta, options);
+    }
+    case IqScheme::kGreedy: {
+      EseEvaluator ese(index_.get(), target);
+      return GreedyMaxHit(ctx, &ese, beta, options);
+    }
+    case IqScheme::kRandom: {
+      EseEvaluator ese(index_.get(), target);
+      return RandomMaxHit(ctx, &ese, beta, options);
+    }
+    case IqScheme::kExhaustive: {
+      ExhaustiveOptions ex;
+      ex.iq = options;
+      return ExhaustiveMaxHit(ctx, beta, ex);
+    }
+  }
+  return Status::InvalidArgument("unknown scheme");
+}
+
+Result<MultiIqResult> IqEngine::MultiMinCost(
+    const std::vector<int>& targets, int tau,
+    const std::vector<IqOptions>& options) {
+  return CombinatorialMinCostIq(*index_, targets, tau, options);
+}
+
+Result<MultiIqResult> IqEngine::MultiMaxHit(
+    const std::vector<int>& targets, double beta,
+    const std::vector<IqOptions>& options) {
+  return CombinatorialMaxHitIq(*index_, targets, beta, options);
+}
+
+Result<int> IqEngine::AddQuery(TopKQuery q) {
+  IQ_ASSIGN_OR_RETURN(int id, queries_->Add(std::move(q)));
+  IQ_RETURN_IF_ERROR(index_->OnQueryAdded(id));
+  return id;
+}
+
+Status IqEngine::RemoveQuery(int q) {
+  IQ_RETURN_IF_ERROR(queries_->Remove(q));
+  return index_->OnQueryRemoved(q);
+}
+
+Result<int> IqEngine::AddObject(Vec attrs) {
+  if (static_cast<int>(attrs.size()) != dataset_->dim()) {
+    return Status::InvalidArgument("attribute dimension mismatch");
+  }
+  int id = dataset_->Add(std::move(attrs));
+  view_->AppendRow(id);
+  IQ_RETURN_IF_ERROR(index_->OnObjectAdded(id));
+  return id;
+}
+
+Status IqEngine::RemoveObject(int id) {
+  IQ_RETURN_IF_ERROR(dataset_->Remove(id));
+  return index_->OnObjectRemoved(id);
+}
+
+Status IqEngine::ApplyStrategy(int target, const Vec& strategy) {
+  if (target < 0 || target >= dataset_->size() ||
+      !dataset_->is_active(target)) {
+    return Status::InvalidArgument("target is not an active object");
+  }
+  if (static_cast<int>(strategy.size()) != dataset_->dim()) {
+    return Status::InvalidArgument("strategy dimension mismatch");
+  }
+  Vec improved = Add(dataset_->attrs(target), strategy);
+  // Update order matters: the index patches signatures by treating the
+  // change as remove + add, so the dataset/view must change in between.
+  IQ_RETURN_IF_ERROR(dataset_->Remove(target));
+  IQ_RETURN_IF_ERROR(index_->OnObjectRemoved(target));
+  IQ_RETURN_IF_ERROR(dataset_->SetAttrsIncludingInactive(target, improved));
+  IQ_RETURN_IF_ERROR(dataset_->Reactivate(target));
+  view_->RefreshRow(target);
+  return index_->OnObjectAdded(target);
+}
+
+}  // namespace iq

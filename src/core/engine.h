@@ -1,0 +1,109 @@
+#ifndef IQ_CORE_ENGINE_H_
+#define IQ_CORE_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/combinatorial.h"
+#include "core/exhaustive.h"
+#include "core/iq_algorithms.h"
+#include "topk/topk.h"
+
+namespace iq {
+
+/// Processing scheme for an improvement query — the four schemes compared in
+/// the paper's evaluation (§6.1) plus the optimal exhaustive option.
+enum class IqScheme {
+  kEfficient,   // proposed: ESE over the subdomain index
+  kRta,         // RTA-IQ: reverse top-k threshold algorithm evaluation
+  kGreedy,      // simple greedy: always the cheapest single query
+  kRandom,      // random strategy sampling
+  kExhaustive,  // optimal (tiny inputs only)
+};
+
+const char* IqSchemeName(IqScheme scheme);
+
+struct EngineOptions {
+  SubdomainIndexOptions index;
+};
+
+/// The analytic tool's core facade (§6.1): owns the dataset, the query
+/// workload, the objects-as-functions view and the subdomain index, and
+/// exposes improvement queries plus live data maintenance. This is the
+/// public API the examples and the DBMS integration build on.
+class IqEngine {
+ public:
+  /// All queries share one utility `form` (use LinearForm::Identity(dim) for
+  /// the plain linear utility, Linearize() for a complex one, or a
+  /// UnifiedFamily-derived form for heterogeneous workloads).
+  static Result<IqEngine> Create(Dataset dataset, LinearForm form,
+                                 std::vector<TopKQuery> queries,
+                                 EngineOptions options = {});
+
+  const Dataset& dataset() const { return *dataset_; }
+  const QuerySet& queries() const { return *queries_; }
+  const FunctionView& view() const { return *view_; }
+  const SubdomainIndex& index() const { return *index_; }
+
+  /// Number of queries currently hit by an object (reverse top-k count).
+  int HitCount(int object) const { return index_->HitCount(object); }
+  std::vector<int> HitSet(int object) const {
+    return index_->HitSet(object);
+  }
+
+  /// Evaluates one ad-hoc top-k query (weights in the utility's original
+  /// weight space).
+  Result<std::vector<ScoredObject>> TopK(const Vec& weights, int k) const;
+
+  // ---- Related rank-aware operators (paper §2) ----
+
+  /// Reverse top-k (Vlachou et al.): the queries whose top-k contains the
+  /// object — identical to HitSet, provided under the literature name.
+  std::vector<int> ReverseTopK(int object) const { return HitSet(object); }
+
+  /// The object's rank under query q: 1 + number of active competitors
+  /// scoring strictly better (ties resolved by id, matching TopKScan).
+  Result<int> RankUnderQuery(int object, int q) const;
+
+  /// Reverse k-ranks (Zhang et al.): the k queries where the object ranks
+  /// best, as (query id, rank) pairs ordered by ascending rank.
+  Result<std::vector<std::pair<int, int>>> ReverseKRanks(int object,
+                                                         int k) const;
+
+  /// The best rank the object achieves across the current workload (a
+  /// workload-restricted analogue of the maximum rank query of Mouratidis
+  /// et al., which optimizes over all possible utility functions).
+  Result<int> BestWorkloadRank(int object) const;
+
+  // ---- Improvement queries ----
+  Result<IqResult> MinCost(int target, int tau, const IqOptions& options = {},
+                           IqScheme scheme = IqScheme::kEfficient);
+  Result<IqResult> MaxHit(int target, double beta,
+                          const IqOptions& options = {},
+                          IqScheme scheme = IqScheme::kEfficient);
+  Result<MultiIqResult> MultiMinCost(const std::vector<int>& targets, int tau,
+                                     const std::vector<IqOptions>& options);
+  Result<MultiIqResult> MultiMaxHit(const std::vector<int>& targets,
+                                    double beta,
+                                    const std::vector<IqOptions>& options);
+
+  // ---- Live maintenance (§4.3) ----
+  Result<int> AddQuery(TopKQuery q);
+  Status RemoveQuery(int q);
+  Result<int> AddObject(Vec attrs);
+  Status RemoveObject(int id);
+  /// Permanently applies an improvement strategy to an object.
+  Status ApplyStrategy(int target, const Vec& strategy);
+
+ private:
+  IqEngine() = default;
+
+  std::unique_ptr<Dataset> dataset_;
+  std::unique_ptr<QuerySet> queries_;
+  std::unique_ptr<FunctionView> view_;
+  std::unique_ptr<SubdomainIndex> index_;
+};
+
+}  // namespace iq
+
+#endif  // IQ_CORE_ENGINE_H_

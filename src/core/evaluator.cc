@@ -1,0 +1,141 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/wedge.h"
+#include "topk/topk.h"
+#include "util/logging.h"
+
+namespace iq {
+
+EseEvaluator::EseEvaluator(const SubdomainIndex* index, int target)
+    : index_(index), target_(target) {
+  thresholds_ = index_->HitThresholds(target);
+  const QuerySet& queries = index_->queries();
+  base_hit_flags_.assign(static_cast<size_t>(queries.size()), false);
+  for (int q = 0; q < queries.size(); ++q) {
+    if (!queries.is_active(q)) continue;
+    double score = index_->view().Score(target_, index_->aug_weights(q));
+    bool hit = HitByThreshold(score, thresholds_[static_cast<size_t>(q)]);
+    base_hit_flags_[static_cast<size_t>(q)] = hit;
+    if (hit) ++base_hits_;
+  }
+}
+
+int EseEvaluator::HitsForCoeffs(const Vec& c) {
+  ++calls_;
+  const QuerySet& queries = index_->queries();
+  int hits = 0;
+  for (int q = 0; q < queries.size(); ++q) {
+    if (!queries.is_active(q)) continue;
+    double score = Dot(c, index_->aug_weights(q));
+    if (HitByThreshold(score, thresholds_[static_cast<size_t>(q)])) ++hits;
+  }
+  return hits;
+}
+
+std::vector<int> EseEvaluator::AffectedQueries(const Vec& c_from,
+                                               const Vec& c_to) const {
+  const QuerySet& queries = index_->queries();
+  std::vector<bool> seen(static_cast<size_t>(queries.size()), false);
+  std::vector<int> out;
+  const FunctionView& view = index_->view();
+  const Dataset& data = view.dataset();
+
+  for (int l : index_->SignatureMembers()) {
+    if (l == target_ || !data.is_active(l)) continue;
+    const Vec& cl = view.coeffs(l);
+    Wedge wedge(IntersectionPlane(c_from, cl), IntersectionPlane(c_to, cl));
+    index_->rtree().SearchIf(
+        [&wedge](const Mbr& box) { return wedge.MayIntersect(box); },
+        [&wedge](const Vec& w) { return wedge.Contains(w); },
+        [&seen, &out](int q, const Vec&) {
+          if (!seen[static_cast<size_t>(q)]) {
+            seen[static_cast<size_t>(q)] = true;
+            out.push_back(q);
+          }
+        });
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int EseEvaluator::HitsViaWedges(const Vec& c) {
+  ++calls_;
+  const Vec& c_base = index_->view().coeffs(target_);
+  int hits = base_hits_;
+  for (int q : AffectedQueries(c_base, c)) {
+    double score = Dot(c, index_->aug_weights(q));
+    bool now = HitByThreshold(score, thresholds_[static_cast<size_t>(q)]);
+    bool before = base_hit_flags_[static_cast<size_t>(q)];
+    hits += static_cast<int>(now) - static_cast<int>(before);
+  }
+  return hits;
+}
+
+namespace {
+
+std::vector<bool> BuildActiveMask(const Dataset& data) {
+  std::vector<bool> mask(static_cast<size_t>(data.size()));
+  for (int i = 0; i < data.size(); ++i) {
+    mask[static_cast<size_t>(i)] = data.is_active(i);
+  }
+  return mask;
+}
+
+}  // namespace
+
+BruteForceEvaluator::BruteForceEvaluator(const FunctionView* view,
+                                         const QuerySet* queries, int target)
+    : view_(view), queries_(queries), target_(target) {
+  active_mask_ = BuildActiveMask(view_->dataset());
+  aug_w_.resize(static_cast<size_t>(queries_->size()));
+  for (int q = 0; q < queries_->size(); ++q) {
+    if (!queries_->is_active(q)) continue;
+    aug_w_[static_cast<size_t>(q)] =
+        view_->form().AugmentWeights(queries_->query(q).weights);
+  }
+  base_hits_ = HitsForCoeffs(view_->coeffs(target));
+  calls_ = 0;
+}
+
+int BruteForceEvaluator::HitsForCoeffs(const Vec& c) {
+  ++calls_;
+  int hits = 0;
+  for (int q = 0; q < queries_->size(); ++q) {
+    if (!queries_->is_active(q)) continue;
+    const Vec& w = aug_w_[static_cast<size_t>(q)];
+    double kth = KthBestScore(view_->rows(), &active_mask_, w,
+                              queries_->query(q).k, target_);
+    if (HitByThreshold(Dot(c, w), kth)) ++hits;
+  }
+  return hits;
+}
+
+RtaStrategyEvaluator::RtaStrategyEvaluator(const FunctionView* view,
+                                           const QuerySet* queries,
+                                           int target)
+    : view_(view), queries_(queries), target_(target) {
+  active_mask_ = BuildActiveMask(view_->dataset());
+  for (int q = 0; q < queries_->size(); ++q) {
+    if (!queries_->is_active(q)) continue;
+    aug_w_dense_.push_back(
+        view_->form().AugmentWeights(queries_->query(q).weights));
+    ks_dense_.push_back(queries_->query(q).k);
+  }
+  order_ = Rta::LocalityOrder(aug_w_dense_);
+  rta_ = std::make_unique<Rta>(&view_->rows(), &active_mask_, target_);
+  base_hits_ = HitsForCoeffs(view_->coeffs(target));
+  calls_ = 0;
+  total_full_evaluations_ = 0;
+}
+
+int RtaStrategyEvaluator::HitsForCoeffs(const Vec& c) {
+  ++calls_;
+  int hits = rta_->CountHits(c, aug_w_dense_, ks_dense_, &order_);
+  total_full_evaluations_ += rta_->full_evaluations();
+  return hits;
+}
+
+}  // namespace iq

@@ -1,0 +1,126 @@
+#ifndef IQ_CORE_EVALUATOR_H_
+#define IQ_CORE_EVALUATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/subdomain_index.h"
+#include "topk/rta.h"
+
+namespace iq {
+
+/// Evaluates H(p_target + s): the number of queries the improved target
+/// hits. The improved object is passed as its coefficient vector; the
+/// target's original row is excluded from every competition (the improved
+/// object replaces it, paper §3.1).
+///
+/// The three implementations mirror the paper's compared schemes:
+/// Ese (the proposed Algorithm 2), Rta (reverse top-k baseline), and
+/// BruteForce (index-free re-evaluation).
+class StrategyEvaluator {
+ public:
+  virtual ~StrategyEvaluator() = default;
+
+  /// H for the improved target's coefficient vector.
+  virtual int HitsForCoeffs(const Vec& c) = 0;
+
+  /// H of the unimproved target.
+  virtual int base_hits() const = 0;
+
+  virtual const char* name() const = 0;
+
+  /// Number of HitsForCoeffs calls so far (experiment bookkeeping).
+  size_t calls() const { return calls_; }
+
+ protected:
+  size_t calls_ = 0;
+};
+
+/// Efficient Strategy Evaluation (Algorithm 2). The subdomain index already
+/// paid for ranking every query once; evaluation of a strategy then needs a
+/// single dot product per query against the cached hit threshold t_q —
+/// no top-k re-evaluation ever happens here. A geometric retrieval path
+/// (affected-subspace wedges over the R-tree, pruned to signature-member
+/// competitors) is exposed for thin strategies and validated against the
+/// scan in tests.
+class EseEvaluator : public StrategyEvaluator {
+ public:
+  EseEvaluator(const SubdomainIndex* index, int target);
+
+  int HitsForCoeffs(const Vec& c) override;
+  int base_hits() const override { return base_hits_; }
+  const char* name() const override { return "Efficient-IQ"; }
+
+  int target() const { return target_; }
+  /// Cached per-query hit thresholds (NaN on inactive slots).
+  const std::vector<double>& thresholds() const { return thresholds_; }
+  /// Hit flags of the unimproved target.
+  const std::vector<bool>& base_hit_flags() const { return base_hit_flags_; }
+
+  /// Query ids whose result may change between coefficient vectors c_from
+  /// and c_to: union of the affected subspaces (Eq. 2-5) of every signature-
+  /// member competitor, retrieved through the R-tree with wedge pruning.
+  std::vector<int> AffectedQueries(const Vec& c_from, const Vec& c_to) const;
+
+  /// H computed the fully geometric way (Algorithm 2 literal): start from
+  /// the base hit flags and re-test only AffectedQueries(base, c).
+  int HitsViaWedges(const Vec& c);
+
+ private:
+  const SubdomainIndex* index_;
+  int target_;
+  int base_hits_ = 0;
+  std::vector<double> thresholds_;
+  std::vector<bool> base_hit_flags_;
+};
+
+/// Index-free baseline: recomputes the k-th competitor score per query with
+/// a full scan on every evaluation.
+class BruteForceEvaluator : public StrategyEvaluator {
+ public:
+  BruteForceEvaluator(const FunctionView* view, const QuerySet* queries,
+                      int target);
+
+  int HitsForCoeffs(const Vec& c) override;
+  int base_hits() const override { return base_hits_; }
+  const char* name() const override { return "BruteForce"; }
+
+ private:
+  const FunctionView* view_;
+  const QuerySet* queries_;
+  int target_;
+  int base_hits_ = 0;
+  std::vector<Vec> aug_w_;
+  std::vector<bool> active_mask_;
+};
+
+/// RTA-IQ's evaluator: the reverse top-k Threshold Algorithm decides, per
+/// evaluation, which queries the improved object hits (linear utilities
+/// only, as in the paper).
+class RtaStrategyEvaluator : public StrategyEvaluator {
+ public:
+  RtaStrategyEvaluator(const FunctionView* view, const QuerySet* queries,
+                       int target);
+
+  int HitsForCoeffs(const Vec& c) override;
+  int base_hits() const override { return base_hits_; }
+  const char* name() const override { return "RTA-IQ"; }
+
+  size_t total_full_evaluations() const { return total_full_evaluations_; }
+
+ private:
+  const FunctionView* view_;
+  const QuerySet* queries_;
+  int target_;
+  int base_hits_ = 0;
+  std::vector<Vec> aug_w_dense_;   // active queries only
+  std::vector<int> ks_dense_;
+  std::vector<int> order_;
+  std::vector<bool> active_mask_;
+  std::unique_ptr<Rta> rta_;
+  size_t total_full_evaluations_ = 0;
+};
+
+}  // namespace iq
+
+#endif  // IQ_CORE_EVALUATOR_H_

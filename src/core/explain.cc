@@ -1,0 +1,85 @@
+#include "core/explain.h"
+
+#include <algorithm>
+
+#include "topk/topk.h"
+#include "util/string_util.h"
+
+namespace iq {
+
+std::string StrategyReport::ToString(int max_rows) const {
+  std::string out = StrFormat(
+      "strategy for object #%d: hits %d -> %d (%+d)\n", target, hits_before,
+      hits_after, hits_after - hits_before);
+  auto render = [&out, max_rows](const char* title,
+                                 const std::vector<QueryEffect>& effects) {
+    if (effects.empty()) return;
+    out += StrFormat("%s (%zu):\n", title, effects.size());
+    int shown = 0;
+    for (const QueryEffect& e : effects) {
+      if (shown++ >= max_rows) {
+        out += StrFormat("  ... %zu more\n", effects.size() - max_rows);
+        break;
+      }
+      out += StrFormat(
+          "  query %-5d score %8.4f -> %8.4f  threshold %8.4f  margin %.4f\n",
+          e.query, e.score_before, e.score_after, e.threshold, e.margin);
+    }
+  };
+  render("gained", gained);
+  render("lost", lost);
+  return out;
+}
+
+Result<StrategyReport> ExplainStrategy(const SubdomainIndex& index,
+                                       int target, const Vec& strategy) {
+  const FunctionView& view = index.view();
+  const Dataset& data = view.dataset();
+  if (target < 0 || target >= data.size() || !data.is_active(target)) {
+    return Status::InvalidArgument("target is not an active object");
+  }
+  if (static_cast<int>(strategy.size()) != data.dim()) {
+    return Status::InvalidArgument("strategy dimension mismatch");
+  }
+
+  StrategyReport report;
+  report.target = target;
+  report.strategy = strategy;
+
+  const Vec& c_before = view.coeffs(target);
+  Vec c_after = view.CoefficientsFor(Add(data.attrs(target), strategy));
+
+  const QuerySet& queries = index.queries();
+  for (int q = 0; q < queries.size(); ++q) {
+    if (!queries.is_active(q)) continue;
+    const Vec& w = index.aug_weights(q);
+    double t = index.KthScoreExcluding(q, target);
+    QueryEffect e;
+    e.query = q;
+    e.threshold = t;
+    e.score_before = Dot(c_before, w);
+    e.score_after = Dot(c_after, w);
+    bool before = HitByThreshold(e.score_before, t);
+    bool after = HitByThreshold(e.score_after, t);
+    if (before) ++report.hits_before;
+    if (after) ++report.hits_after;
+    if (before == after) continue;
+    if (after) {
+      e.direction = 1;
+      e.margin = t - e.score_after;
+      report.gained.push_back(e);
+    } else {
+      e.direction = -1;
+      e.margin = e.score_after - t;
+      report.lost.push_back(e);
+    }
+  }
+  auto by_margin = [](const QueryEffect& a, const QueryEffect& b) {
+    return a.margin > b.margin;
+  };
+  std::sort(report.gained.begin(), report.gained.end(), by_margin);
+  std::sort(report.lost.begin(), report.lost.end(), by_margin);
+  return report;
+}
+
+}  // namespace iq

@@ -1,0 +1,49 @@
+#ifndef IQ_CORE_EXPLAIN_H_
+#define IQ_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/subdomain_index.h"
+#include "util/status.h"
+
+namespace iq {
+
+/// Per-query effect of an improvement strategy.
+struct QueryEffect {
+  int query = -1;
+  /// Hit threshold t_q (k-th best competitor score).
+  double threshold = 0.0;
+  double score_before = 0.0;
+  double score_after = 0.0;
+  /// +1 gained, -1 lost.
+  int direction = 0;
+  /// How far inside the winning halfspace the improved object lands
+  /// (threshold - score_after for gains; score_after - threshold for
+  /// losses). Small margins mean fragile hits.
+  double margin = 0.0;
+};
+
+/// Human-auditable account of what an improvement strategy does: which
+/// queries flip, with scores and safety margins. The analytic tool prints
+/// this so a decision maker can see *why* the strategy works, not just that
+/// it does.
+struct StrategyReport {
+  int target = -1;
+  Vec strategy;
+  int hits_before = 0;
+  int hits_after = 0;
+  std::vector<QueryEffect> gained;  // sorted by descending margin
+  std::vector<QueryEffect> lost;
+
+  /// Multi-line plain-text rendering.
+  std::string ToString(int max_rows = 10) const;
+};
+
+/// Analyzes `strategy` for `target` against the indexed workload.
+Result<StrategyReport> ExplainStrategy(const SubdomainIndex& index,
+                                       int target, const Vec& strategy);
+
+}  // namespace iq
+
+#endif  // IQ_CORE_EXPLAIN_H_

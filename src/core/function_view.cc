@@ -1,0 +1,51 @@
+#include "core/function_view.h"
+
+#include "util/logging.h"
+
+namespace iq {
+namespace {
+
+bool FormIsIdentity(const LinearForm& form, int dim) {
+  if (form.has_bias() || form.num_slots() != dim) return false;
+  for (int j = 0; j < dim; ++j) {
+    const AttrPoly& poly = form.slot(j);
+    if (poly.size() != 1) return false;
+    const Monomial& m = poly[0];
+    if (m.coef != 1.0 || m.factors.size() != 1 || m.factors[0].first != j ||
+        m.factors[0].second != 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+FunctionView::FunctionView(const Dataset* dataset, LinearForm form)
+    : dataset_(dataset),
+      form_(std::move(form)),
+      is_identity_(FormIsIdentity(form_, dataset->dim())) {
+  coeffs_.reserve(static_cast<size_t>(dataset_->size()));
+  for (int i = 0; i < dataset_->size(); ++i) {
+    coeffs_.push_back(form_.Coefficients(dataset_->attrs(i)));
+  }
+}
+
+void FunctionView::RefreshRow(int id) {
+  IQ_CHECK(id >= 0 && id < static_cast<int>(coeffs_.size()));
+  coeffs_[static_cast<size_t>(id)] = form_.Coefficients(dataset_->attrs(id));
+}
+
+void FunctionView::AppendRow(int id) {
+  IQ_CHECK(id == static_cast<int>(coeffs_.size()));
+  coeffs_.push_back(form_.Coefficients(dataset_->attrs(id)));
+}
+
+size_t FunctionView::MemoryBytes() const {
+  size_t bytes = sizeof(FunctionView);
+  for (const Vec& c : coeffs_) bytes += c.capacity() * sizeof(double);
+  bytes += coeffs_.capacity() * sizeof(Vec);
+  return bytes;
+}
+
+}  // namespace iq

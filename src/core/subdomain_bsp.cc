@@ -1,0 +1,76 @@
+#include "core/subdomain_bsp.h"
+
+#include <algorithm>
+
+#include "geom/hyperplane.h"
+
+namespace iq {
+
+std::vector<std::vector<int>> FindSubdomainsBsp(
+    const FunctionView& view, const std::vector<Vec>& query_points) {
+  const Dataset& data = view.dataset();
+  std::vector<int> active;
+  for (int i = 0; i < data.size(); ++i) {
+    if (data.is_active(i)) active.push_back(i);
+  }
+
+  // Start with a single subdomain holding every query (Algorithm 1 line 1).
+  std::vector<std::vector<int>> groups;
+  {
+    std::vector<int> all(query_points.size());
+    for (size_t q = 0; q < query_points.size(); ++q) all[q] = static_cast<int>(q);
+    if (!all.empty()) groups.push_back(std::move(all));
+  }
+
+  // Consider intersections one at a time; split every overlapping group into
+  // its `above` and `below` parts, discarding empty sides (lines 6-26).
+  for (size_t a = 0; a < active.size(); ++a) {
+    for (size_t b = a + 1; b < active.size(); ++b) {
+      Hyperplane plane =
+          IntersectionPlane(view.coeffs(active[a]), view.coeffs(active[b]));
+      std::vector<std::vector<int>> next;
+      next.reserve(groups.size());
+      for (auto& g : groups) {
+        std::vector<int> above, below;
+        for (int q : g) {
+          if (plane.Above(query_points[static_cast<size_t>(q)])) {
+            above.push_back(q);
+          } else {
+            below.push_back(q);
+          }
+        }
+        if (!above.empty()) next.push_back(std::move(above));
+        if (!below.empty()) next.push_back(std::move(below));
+      }
+      groups = std::move(next);
+    }
+  }
+
+  for (auto& g : groups) std::sort(g.begin(), g.end());
+  std::sort(groups.begin(), groups.end());
+  return groups;
+}
+
+std::vector<std::vector<int>> PartitionBySignature(
+    const SubdomainIndex& index) {
+  std::vector<std::vector<int>> groups;
+  const QuerySet& queries = index.queries();
+  std::vector<std::vector<int>> by_sd;
+  for (int q = 0; q < queries.size(); ++q) {
+    if (!queries.is_active(q)) continue;
+    int sd = index.subdomain_of(q);
+    if (sd >= static_cast<int>(by_sd.size())) {
+      by_sd.resize(static_cast<size_t>(sd) + 1);
+    }
+    by_sd[static_cast<size_t>(sd)].push_back(q);
+  }
+  for (auto& g : by_sd) {
+    if (g.empty()) continue;
+    std::sort(g.begin(), g.end());
+    groups.push_back(std::move(g));
+  }
+  std::sort(groups.begin(), groups.end());
+  return groups;
+}
+
+}  // namespace iq

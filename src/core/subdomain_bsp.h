@@ -1,0 +1,33 @@
+#ifndef IQ_CORE_SUBDOMAIN_BSP_H_
+#define IQ_CORE_SUBDOMAIN_BSP_H_
+
+#include <vector>
+
+#include "core/function_view.h"
+#include "core/subdomain_index.h"
+#include "geom/vec.h"
+
+namespace iq {
+
+/// Literal Algorithm 1 (FindSubdomains): partitions the query points by
+/// binary space partitioning against every pairwise intersection hyperplane
+/// of the object-functions, keeping only occupied subdomains.
+///
+/// This is exponential in principle and enumerates O(n^2) hyperplanes, so it
+/// is only usable at small scale; it exists as the ground truth that the
+/// scalable signature grouping of SubdomainIndex is property-tested against
+/// (two queries share a BSP cell iff they induce the same total order of all
+/// object-functions; with κ = n the signature partition is identical).
+///
+/// Returns groups of indices into `query_points`, each sorted ascending,
+/// groups ordered by their smallest member.
+std::vector<std::vector<int>> FindSubdomainsBsp(
+    const FunctionView& view, const std::vector<Vec>& query_points);
+
+/// The occupied-subdomain partition of an index, in the same normalized
+/// format (groups of query ids, sorted; groups ordered by smallest member).
+std::vector<std::vector<int>> PartitionBySignature(const SubdomainIndex& index);
+
+}  // namespace iq
+
+#endif  // IQ_CORE_SUBDOMAIN_BSP_H_

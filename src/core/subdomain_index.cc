@@ -1,0 +1,368 @@
+#include "core/subdomain_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "topk/topk.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace iq {
+namespace {
+
+std::string SignatureKey(const std::vector<int>& sig) {
+  std::string key(sig.size() * sizeof(int), '\0');
+  if (!sig.empty()) std::memcpy(key.data(), sig.data(), key.size());
+  return key;
+}
+
+std::vector<bool> ActiveMask(const Dataset& data) {
+  std::vector<bool> mask(static_cast<size_t>(data.size()));
+  for (int i = 0; i < data.size(); ++i) mask[static_cast<size_t>(i)] = data.is_active(i);
+  return mask;
+}
+
+}  // namespace
+
+Result<SubdomainIndex> SubdomainIndex::Build(const FunctionView* view,
+                                             const QuerySet* queries,
+                                             SubdomainIndexOptions options) {
+  if (view == nullptr || queries == nullptr) {
+    return Status::InvalidArgument("view/queries must not be null");
+  }
+  if (queries->num_weights() != view->form().num_weights()) {
+    return Status::InvalidArgument(
+        "query weight count does not match the utility form");
+  }
+  WallTimer timer;
+  SubdomainIndex index;
+  index.view_ = view;
+  index.queries_ = queries;
+  int kappa = options.kappa;
+  if (kappa <= 0) kappa = queries->max_k() + 1;
+  kappa = std::max(kappa, 2);
+  index.kappa_ = kappa;
+
+  const int m = queries->size();
+  index.aug_w_.resize(static_cast<size_t>(m));
+  index.sd_of_.assign(static_cast<size_t>(m), -1);
+  index.sig_member_count_.assign(
+      static_cast<size_t>(view->dataset().size()), 0);
+  index.boundary_bloom_ = std::make_unique<BloomFilter>(
+      static_cast<size_t>(std::max(64, m)) * static_cast<size_t>(kappa), 0.01);
+
+  std::vector<Vec> points;
+  std::vector<int> ids;
+  points.reserve(static_cast<size_t>(queries->num_active()));
+  ids.reserve(points.capacity());
+
+  for (int q = 0; q < m; ++q) {
+    if (!queries->is_active(q)) continue;
+    index.aug_w_[static_cast<size_t>(q)] =
+        view->form().AugmentWeights(queries->query(q).weights);
+    const Vec& w = index.aug_w_[static_cast<size_t>(q)];
+    std::vector<int> sig = index.ComputeSignature(w);
+    int sd = index.FindOrCreateSubdomain(std::move(sig));
+    index.AttachQueryToSubdomain(q, sd);
+    points.push_back(w);
+    ids.push_back(q);
+  }
+
+  index.rtree_ = std::make_unique<RTree>(RTree::BulkLoad(
+      view->form().num_slots(), points, ids, options.rtree_max_entries));
+
+  index.build_seconds_ = timer.ElapsedSeconds();
+  return index;
+}
+
+std::vector<int> SubdomainIndex::ComputeSignature(const Vec& aug_w) const {
+  std::vector<bool> mask = ActiveMask(view_->dataset());
+  std::vector<ScoredObject> top =
+      TopKScan(view_->rows(), &mask, aug_w, kappa_);
+  std::vector<int> sig;
+  sig.reserve(top.size());
+  for (const ScoredObject& so : top) sig.push_back(so.id);
+  return sig;
+}
+
+bool SubdomainIndex::SignatureMatches(const Vec& aug_w,
+                                      const std::vector<int>& sig) const {
+  const Dataset& data = view_->dataset();
+  // A short signature is only valid when it holds every active object.
+  if (static_cast<int>(sig.size()) < kappa_ &&
+      static_cast<int>(sig.size()) != data.num_active()) {
+    return false;
+  }
+  // One unsorted pass: (a) members must appear in strictly increasing
+  // (score, id) order along the signature, (b) no non-member may rank
+  // before the last member. This is the signature analogue of checking the
+  // above/below relations against a subdomain's boundary intersections.
+  std::vector<bool> is_member(static_cast<size_t>(data.size()), false);
+  for (int obj : sig) {
+    if (obj < 0 || obj >= data.size() || !data.is_active(obj)) return false;
+    is_member[static_cast<size_t>(obj)] = true;
+  }
+  double prev_score = -std::numeric_limits<double>::infinity();
+  int prev_id = -1;
+  for (int obj : sig) {
+    double s = view_->Score(obj, aug_w);
+    if (s < prev_score || (s == prev_score && obj < prev_id)) return false;
+    prev_score = s;
+    prev_id = obj;
+  }
+  for (int i = 0; i < data.size(); ++i) {
+    if (!data.is_active(i) || is_member[static_cast<size_t>(i)]) continue;
+    double s = view_->Score(i, aug_w);
+    if (s < prev_score || (s == prev_score && i < prev_id)) return false;
+  }
+  return true;
+}
+
+int SubdomainIndex::FindOrCreateSubdomain(std::vector<int> signature) {
+  std::string key = SignatureKey(signature);
+  auto it = signature_to_sd_.find(key);
+  if (it != signature_to_sd_.end()) return it->second;
+  int sd;
+  if (!free_subdomains_.empty()) {
+    sd = free_subdomains_.back();
+    free_subdomains_.pop_back();
+  } else {
+    sd = static_cast<int>(subdomains_.size());
+    subdomains_.emplace_back();
+  }
+  Subdomain& s = subdomains_[static_cast<size_t>(sd)];
+  s.signature = std::move(signature);
+  s.query_ids.clear();
+  s.occupied = true;
+  ++num_occupied_;
+  signature_to_sd_.emplace(std::move(key), sd);
+  for (int obj : s.signature) {
+    ++sig_member_count_[static_cast<size_t>(obj)];
+    boundary_bloom_->Add(BloomFilter::KeyFromPair(obj, sd));
+  }
+  return sd;
+}
+
+void SubdomainIndex::AttachQueryToSubdomain(int q, int sd) {
+  sd_of_[static_cast<size_t>(q)] = sd;
+  subdomains_[static_cast<size_t>(sd)].query_ids.push_back(q);
+}
+
+void SubdomainIndex::DetachQueryFromSubdomain(int q) {
+  int sd = sd_of_[static_cast<size_t>(q)];
+  if (sd < 0) return;
+  auto& list = subdomains_[static_cast<size_t>(sd)].query_ids;
+  list.erase(std::remove(list.begin(), list.end(), q), list.end());
+  sd_of_[static_cast<size_t>(q)] = -1;
+  ReleaseSubdomainIfEmpty(sd);
+}
+
+void SubdomainIndex::ReleaseSubdomainIfEmpty(int sd) {
+  Subdomain& s = subdomains_[static_cast<size_t>(sd)];
+  if (!s.occupied || !s.query_ids.empty()) return;
+  signature_to_sd_.erase(SignatureKey(s.signature));
+  for (int obj : s.signature) {
+    --sig_member_count_[static_cast<size_t>(obj)];
+  }
+  s.signature.clear();
+  s.occupied = false;
+  --num_occupied_;
+  free_subdomains_.push_back(sd);
+}
+
+std::vector<int> SubdomainIndex::SignatureMembers() const {
+  std::vector<int> members;
+  for (int i = 0; i < static_cast<int>(sig_member_count_.size()); ++i) {
+    if (sig_member_count_[static_cast<size_t>(i)] > 0) members.push_back(i);
+  }
+  return members;
+}
+
+double SubdomainIndex::KthScoreExcluding(int q, int target) const {
+  const int sd = sd_of_[static_cast<size_t>(q)];
+  IQ_DCHECK(sd >= 0);
+  const std::vector<int>& sig = subdomains_[static_cast<size_t>(sd)].signature;
+  const int k = queries_->query(q).k;
+  const Vec& w = aug_w_[static_cast<size_t>(q)];
+  int seen = 0;
+  for (int obj : sig) {
+    if (obj == target) continue;
+    ++seen;
+    if (seen == k) return view_->Score(obj, w);
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+std::vector<double> SubdomainIndex::HitThresholds(int target) const {
+  std::vector<double> t(static_cast<size_t>(queries_->size()),
+                        std::numeric_limits<double>::quiet_NaN());
+  for (int q = 0; q < queries_->size(); ++q) {
+    if (!queries_->is_active(q)) continue;
+    t[static_cast<size_t>(q)] = KthScoreExcluding(q, target);
+  }
+  return t;
+}
+
+bool SubdomainIndex::Hits(int target, int q) const {
+  double score = view_->Score(target, aug_w_[static_cast<size_t>(q)]);
+  return HitByThreshold(score, KthScoreExcluding(q, target));
+}
+
+int SubdomainIndex::HitCount(int target) const {
+  int hits = 0;
+  for (int q = 0; q < queries_->size(); ++q) {
+    if (queries_->is_active(q) && Hits(target, q)) ++hits;
+  }
+  return hits;
+}
+
+std::vector<int> SubdomainIndex::HitSet(int target) const {
+  std::vector<int> out;
+  for (int q = 0; q < queries_->size(); ++q) {
+    if (queries_->is_active(q) && Hits(target, q)) out.push_back(q);
+  }
+  return out;
+}
+
+Status SubdomainIndex::OnQueryAdded(int q) {
+  if (q < 0 || q >= queries_->size() || !queries_->is_active(q)) {
+    return Status::InvalidArgument("query id is not an active query");
+  }
+  if (static_cast<size_t>(q) < aug_w_.size() &&
+      sd_of_.size() > static_cast<size_t>(q) &&
+      sd_of_[static_cast<size_t>(q)] >= 0) {
+    return Status::AlreadyExists("query already indexed");
+  }
+  aug_w_.resize(static_cast<size_t>(queries_->size()));
+  sd_of_.resize(static_cast<size_t>(queries_->size()), -1);
+  aug_w_[static_cast<size_t>(q)] =
+      view_->form().AugmentWeights(queries_->query(q).weights);
+  const Vec& w = aug_w_[static_cast<size_t>(q)];
+
+  // kNN shortcut (§4.3): try the subdomains of nearby query points first.
+  int sd = -1;
+  for (const auto& [nbr, dist] : rtree_->KNearest(w, 4)) {
+    (void)dist;
+    int cand = sd_of_[static_cast<size_t>(nbr)];
+    if (cand < 0) continue;
+    if (SignatureMatches(w, subdomains_[static_cast<size_t>(cand)].signature)) {
+      sd = cand;
+      ++knn_shortcut_hits_;
+      break;
+    }
+  }
+  if (sd < 0) {
+    sd = FindOrCreateSubdomain(ComputeSignature(w));
+  }
+  AttachQueryToSubdomain(q, sd);
+  rtree_->Insert(w, q);
+  return Status::Ok();
+}
+
+Status SubdomainIndex::OnQueryRemoved(int q) {
+  if (q < 0 || q >= static_cast<int>(sd_of_.size()) ||
+      sd_of_[static_cast<size_t>(q)] < 0) {
+    return Status::NotFound("query is not indexed");
+  }
+  rtree_->Remove(aug_w_[static_cast<size_t>(q)], q);
+  DetachQueryFromSubdomain(q);
+  return Status::Ok();
+}
+
+Status SubdomainIndex::OnObjectAdded(int id) {
+  if (id < 0 || id >= view_->dataset().size() ||
+      !view_->dataset().is_active(id)) {
+    return Status::InvalidArgument("object id is not an active object");
+  }
+  sig_member_count_.resize(static_cast<size_t>(view_->dataset().size()), 0);
+  const Vec& c = view_->coeffs(id);
+
+  // A new object can only change a query's signature when it enters the
+  // top-κ prefix; test against the current κ-th member first (one dot).
+  for (int q = 0; q < queries_->size(); ++q) {
+    if (!queries_->is_active(q)) continue;
+    int sd = sd_of_[static_cast<size_t>(q)];
+    const Vec& w = aug_w_[static_cast<size_t>(q)];
+    const std::vector<int>& sig =
+        subdomains_[static_cast<size_t>(sd)].signature;
+    double score_new = Dot(c, w);
+    bool enters;
+    if (static_cast<int>(sig.size()) < kappa_) {
+      enters = true;  // prefix not full: the new object always joins it
+    } else {
+      int last = sig.back();
+      double last_score = view_->Score(last, w);
+      enters = score_new < last_score ||
+               (score_new == last_score && id < last);
+    }
+    if (!enters) continue;
+    // Rebuild the prefix by inserting into the ordered member list.
+    std::vector<std::pair<double, int>> ranked;
+    ranked.reserve(sig.size() + 1);
+    for (int obj : sig) ranked.emplace_back(view_->Score(obj, w), obj);
+    ranked.emplace_back(score_new, id);
+    std::sort(ranked.begin(), ranked.end());
+    if (static_cast<int>(ranked.size()) > kappa_) ranked.pop_back();
+    std::vector<int> new_sig;
+    new_sig.reserve(ranked.size());
+    for (const auto& [s, obj] : ranked) new_sig.push_back(obj);
+    DetachQueryFromSubdomain(q);
+    AttachQueryToSubdomain(q, FindOrCreateSubdomain(std::move(new_sig)));
+  }
+  return Status::Ok();
+}
+
+Status SubdomainIndex::OnObjectRemoved(int id) {
+  if (id < 0 || id >= static_cast<int>(sig_member_count_.size())) {
+    return Status::OutOfRange("object id out of range");
+  }
+  // Collect queries whose signature contains the object. The Bloom filter
+  // over (object, subdomain) membership prunes subdomains that certainly do
+  // not use the object as a boundary (paper §4.3).
+  std::vector<int> affected;
+  for (int sd = 0; sd < static_cast<int>(subdomains_.size()); ++sd) {
+    const Subdomain& s = subdomains_[static_cast<size_t>(sd)];
+    if (!s.occupied) continue;
+    if (!boundary_bloom_->MayContain(BloomFilter::KeyFromPair(id, sd))) {
+      continue;
+    }
+    if (std::find(s.signature.begin(), s.signature.end(), id) ==
+        s.signature.end()) {
+      continue;  // bloom false positive
+    }
+    affected.insert(affected.end(), s.query_ids.begin(), s.query_ids.end());
+  }
+  for (int q : affected) {
+    DetachQueryFromSubdomain(q);
+  }
+  for (int q : affected) {
+    std::vector<int> sig = ComputeSignature(aug_w_[static_cast<size_t>(q)]);
+    AttachQueryToSubdomain(q, FindOrCreateSubdomain(std::move(sig)));
+  }
+  return Status::Ok();
+}
+
+Status SubdomainIndex::OnObjectChanged(int id) {
+  // In-place attribute change = remove + add, on the signature level.
+  IQ_RETURN_IF_ERROR(OnObjectRemoved(id));
+  return OnObjectAdded(id);
+}
+
+size_t SubdomainIndex::MemoryBytes() const {
+  size_t bytes = sizeof(SubdomainIndex);
+  for (const Vec& w : aug_w_) bytes += w.capacity() * sizeof(double);
+  bytes += sd_of_.capacity() * sizeof(int);
+  for (const Subdomain& s : subdomains_) {
+    bytes += sizeof(Subdomain);
+    bytes += s.signature.capacity() * sizeof(int);
+    bytes += s.query_ids.capacity() * sizeof(int);
+  }
+  bytes += sig_member_count_.capacity() * sizeof(int);
+  if (rtree_ != nullptr) bytes += rtree_->MemoryBytes();
+  if (boundary_bloom_ != nullptr) bytes += boundary_bloom_->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace iq

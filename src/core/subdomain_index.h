@@ -1,0 +1,150 @@
+#ifndef IQ_CORE_SUBDOMAIN_INDEX_H_
+#define IQ_CORE_SUBDOMAIN_INDEX_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/function_view.h"
+#include "core/query.h"
+#include "index/bloom_filter.h"
+#include "index/rtree.h"
+#include "util/status.h"
+
+namespace iq {
+
+/// Options for SubdomainIndex::Build.
+struct SubdomainIndexOptions {
+  /// Signature prefix length κ. Queries are grouped by the identity of their
+  /// ordered top-κ objects — the scalable equivalent of the subdomain
+  /// partition of Algorithm 1 (see DESIGN.md §2): two queries share a
+  /// truncated subdomain iff every rank that can influence any top-k result
+  /// (k <= max_k < κ) is identical. -1 = max_k + 1.
+  int kappa = -1;
+  int rtree_max_entries = 16;
+};
+
+/// The paper's query index (§4.1): query points grouped by subdomain and
+/// indexed in an R-tree over the (augmented) weight domain.
+///
+/// Responsibilities:
+///  * build-time: find each query's subdomain (signature), cache the shared
+///    ranking prefix — this is the expensive ranking work that ESE reuses;
+///  * query-time: per-(query,target) hit thresholds t_q in O(κ) — the score
+///    of the k-th best competitor, cached ranking makes this sort-free;
+///  * geometric retrieval: the R-tree supports the affected-subspace (wedge)
+///    searches of Algorithm 2;
+///  * maintenance (§4.3): add/remove query (kNN candidate subdomains),
+///    add/remove object (signature patching; a Bloom filter over
+///    (object, subdomain) boundary membership prunes the removal scan).
+class SubdomainIndex {
+ public:
+  /// `view` and `queries` must outlive the index. Both may be mutated later
+  /// only through the On*() update hooks below (plus the owners' own
+  /// mutators), never behind the index's back.
+  static Result<SubdomainIndex> Build(const FunctionView* view,
+                                      const QuerySet* queries,
+                                      SubdomainIndexOptions options = {});
+
+  SubdomainIndex(SubdomainIndex&&) = default;
+  SubdomainIndex& operator=(SubdomainIndex&&) = default;
+
+  const FunctionView& view() const { return *view_; }
+  const QuerySet& queries() const { return *queries_; }
+  const RTree& rtree() const { return *rtree_; }
+
+  int kappa() const { return kappa_; }
+  /// Number of non-empty subdomains.
+  int num_subdomains() const { return num_occupied_; }
+  /// Subdomain id of query q (-1 when the query is inactive).
+  int subdomain_of(int q) const { return sd_of_[static_cast<size_t>(q)]; }
+  /// Ordered ids of the top-κ objects shared by every query in `sd`.
+  const std::vector<int>& signature(int sd) const {
+    return subdomains_[static_cast<size_t>(sd)].signature;
+  }
+  /// Query ids currently assigned to `sd`.
+  const std::vector<int>& subdomain_queries(int sd) const {
+    return subdomains_[static_cast<size_t>(sd)].query_ids;
+  }
+  /// Augmented weight vector of query q (bias slot included).
+  const Vec& aug_weights(int q) const {
+    return aug_w_[static_cast<size_t>(q)];
+  }
+
+  /// Object ids that appear in at least one signature — the only possible
+  /// "boundary" competitors for hit changes; the geometric ESE path loops
+  /// over these instead of all n objects.
+  std::vector<int> SignatureMembers() const;
+
+  /// t_q: the score of the k-th best object under query q excluding
+  /// `target`. +infinity when fewer than k competitors exist. O(κ).
+  double KthScoreExcluding(int q, int target) const;
+
+  /// t_q for every active query (inactive slots = NaN). O(m·κ).
+  std::vector<double> HitThresholds(int target) const;
+
+  /// Hit test/count/set for an object in its original position.
+  bool Hits(int target, int q) const;
+  int HitCount(int target) const;
+  std::vector<int> HitSet(int target) const;
+
+  // ---- §4.3 maintenance hooks (call after mutating the owners) ----
+
+  /// Query `q` was appended to the QuerySet. Uses the kNN candidate-
+  /// subdomain shortcut before falling back to a full signature computation.
+  Status OnQueryAdded(int q);
+  /// Query `q` was tombstoned in the QuerySet.
+  Status OnQueryRemoved(int q);
+  /// Object `id` was appended (FunctionView row already appended).
+  Status OnObjectAdded(int id);
+  /// Object `id` was tombstoned (dataset row inactive).
+  Status OnObjectRemoved(int id);
+  /// Object `id`'s attributes changed in place (FunctionView row refreshed).
+  Status OnObjectChanged(int id);
+
+  // ---- stats ----
+  double build_seconds() const { return build_seconds_; }
+  size_t MemoryBytes() const;
+  /// How many OnQueryAdded calls were resolved by the kNN shortcut.
+  size_t knn_shortcut_hits() const { return knn_shortcut_hits_; }
+
+ private:
+  struct Subdomain {
+    std::vector<int> signature;
+    std::vector<int> query_ids;
+    bool occupied = false;
+  };
+
+  SubdomainIndex() = default;
+
+  std::vector<int> ComputeSignature(const Vec& aug_w) const;
+  /// Verifies "q belongs to subdomain sd" with one unsorted scan (the
+  /// signature-based analogue of the paper's boundary above/below checks).
+  bool SignatureMatches(const Vec& aug_w, const std::vector<int>& sig) const;
+  int FindOrCreateSubdomain(std::vector<int> signature);
+  void DetachQueryFromSubdomain(int q);
+  void AttachQueryToSubdomain(int q, int sd);
+  void ReleaseSubdomainIfEmpty(int sd);
+
+  const FunctionView* view_ = nullptr;
+  const QuerySet* queries_ = nullptr;
+  int kappa_ = 0;
+
+  std::vector<Vec> aug_w_;
+  std::vector<int> sd_of_;
+  std::vector<Subdomain> subdomains_;
+  std::vector<int> free_subdomains_;
+  int num_occupied_ = 0;
+  std::unordered_map<std::string, int> signature_to_sd_;
+  // sig_member_count_[obj] = number of subdomains whose signature holds obj.
+  std::vector<int> sig_member_count_;
+  std::unique_ptr<RTree> rtree_;
+  std::unique_ptr<BloomFilter> boundary_bloom_;
+
+  double build_seconds_ = 0.0;
+  size_t knn_shortcut_hits_ = 0;
+};
+
+}  // namespace iq
+
+#endif  // IQ_CORE_SUBDOMAIN_INDEX_H_

@@ -1,0 +1,30 @@
+#ifndef IQ_DATA_IO_H_
+#define IQ_DATA_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/query.h"
+#include "util/status.h"
+
+namespace iq {
+
+/// CSV persistence for experiment workloads: objects and queries round-trip
+/// through plain files so runs can be archived and shared.
+///
+/// Format:
+///  * objects:  header "id,x1..xd", one row per active object;
+///  * queries:  header "k,w1..wT", one row per active query.
+
+Status SaveDatasetCsv(const Dataset& data, const std::string& path);
+Result<Dataset> LoadDatasetCsv(const std::string& path);
+
+Status SaveQueriesCsv(const QuerySet& queries, const std::string& path);
+/// Returns the queries plus the weight arity found in the header.
+Result<std::vector<TopKQuery>> LoadQueriesCsv(const std::string& path,
+                                              int* num_weights = nullptr);
+
+}  // namespace iq
+
+#endif  // IQ_DATA_IO_H_

@@ -1,0 +1,89 @@
+#include "data/queries.h"
+
+#include <algorithm>
+
+#include "expr/expr.h"
+#include "util/string_util.h"
+
+namespace iq {
+
+const char* QueryDistributionName(QueryDistribution d) {
+  return d == QueryDistribution::kUniform ? "UN" : "CL";
+}
+
+std::vector<TopKQuery> MakeQueries(int m, int num_weights, uint64_t seed,
+                                   const QueryGenOptions& options) {
+  Rng rng(seed);
+  std::vector<Vec> centers;
+  if (options.distribution == QueryDistribution::kClustered) {
+    for (int c = 0; c < options.num_clusters; ++c) {
+      centers.push_back(rng.UniformVector(num_weights, 0.0, 1.0));
+    }
+  }
+
+  std::vector<TopKQuery> out;
+  out.reserve(static_cast<size_t>(m));
+  for (int j = 0; j < m; ++j) {
+    TopKQuery q;
+    q.k = static_cast<int>(rng.UniformInt(options.k_min, options.k_max));
+    if (options.distribution == QueryDistribution::kUniform) {
+      q.weights = rng.UniformVector(num_weights, 0.0, 1.0);
+    } else {
+      const Vec& center = centers[rng.NextUint64(centers.size())];
+      q.weights.resize(static_cast<size_t>(num_weights));
+      for (int t = 0; t < num_weights; ++t) {
+        q.weights[static_cast<size_t>(t)] = std::clamp(
+            center[static_cast<size_t>(t)] +
+                rng.Gaussian(0.0, options.cluster_spread),
+            0.0, 1.0);
+      }
+    }
+    if (options.normalize_sum) {
+      double sum = 0.0;
+      for (double w : q.weights) sum += w;
+      if (sum > 1e-12) {
+        for (double& w : q.weights) w /= sum;
+      } else {
+        q.weights.assign(q.weights.size(),
+                         1.0 / static_cast<double>(num_weights));
+      }
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+Result<GeneratedUtility> MakePolynomialUtility(int dim, int num_terms,
+                                               int max_term_degree,
+                                               uint64_t seed) {
+  if (dim < 1 || num_terms < 1 || max_term_degree < 1) {
+    return Status::InvalidArgument("dim/terms/degree must be positive");
+  }
+  Rng rng(seed);
+  std::vector<std::string> terms;
+  for (int t = 0; t < num_terms; ++t) {
+    int degree = static_cast<int>(rng.UniformInt(1, max_term_degree));
+    // Spread the degree over randomly chosen attributes.
+    std::vector<int> exponents(static_cast<size_t>(dim), 0);
+    for (int e = 0; e < degree; ++e) {
+      ++exponents[rng.NextUint64(static_cast<uint64_t>(dim))];
+    }
+    std::string term = StrFormat("w%d", t + 1);
+    for (int a = 0; a < dim; ++a) {
+      int e = exponents[static_cast<size_t>(a)];
+      if (e == 1) {
+        term += StrFormat(" * x%d", a + 1);
+      } else if (e > 1) {
+        term += StrFormat(" * x%d^%d", a + 1, e);
+      }
+    }
+    terms.push_back(std::move(term));
+  }
+  GeneratedUtility out{StrJoin(terms, " + "), LinearForm::Identity(1),
+                       num_terms};
+  IQ_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr(out.text, dim, num_terms));
+  IQ_ASSIGN_OR_RETURN(out.form, Linearize(*expr, dim, num_terms));
+  return out;
+}
+
+}  // namespace iq

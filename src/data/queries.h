@@ -1,0 +1,53 @@
+#ifndef IQ_DATA_QUERIES_H_
+#define IQ_DATA_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+#include "expr/linearize.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace iq {
+
+/// Weight distribution of a generated query workload (§6.2: UN = uniform and
+/// independent coefficients, CL = clustered coefficients; generation follows
+/// Vlachou et al.).
+enum class QueryDistribution { kUniform, kClustered };
+
+const char* QueryDistributionName(QueryDistribution d);
+
+struct QueryGenOptions {
+  QueryDistribution distribution = QueryDistribution::kUniform;
+  int k_min = 1;
+  int k_max = 50;  // paper: k randomly selected from [1, 50]
+  /// CL only: number of preference clusters and their spread.
+  int num_clusters = 5;
+  double cluster_spread = 0.05;
+  /// Normalize each weight vector to sum 1 (the convention RTA assumes).
+  bool normalize_sum = false;
+};
+
+/// Generates m queries with `num_weights` non-negative weights in [0, 1].
+std::vector<TopKQuery> MakeQueries(int m, int num_weights, uint64_t seed,
+                                   const QueryGenOptions& options = {});
+
+/// A randomly generated polynomial utility (§6.2: "polynomial utility
+/// functions ... degree of each term randomly chosen from [1, 5]"):
+///   u(p) = Σ_t w_t * Π x_a^e,  Σ e in [1, max_term_degree].
+/// The expression is linear in its weights, so linearization always
+/// succeeds; `form` is ready for the engine and `text` shows the formula.
+struct GeneratedUtility {
+  std::string text;
+  LinearForm form;
+  int num_weights = 0;
+};
+
+Result<GeneratedUtility> MakePolynomialUtility(int dim, int num_terms,
+                                               int max_term_degree,
+                                               uint64_t seed);
+
+}  // namespace iq
+
+#endif  // IQ_DATA_QUERIES_H_

@@ -1,0 +1,63 @@
+#include "data/real_world.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iq {
+
+Dataset MakeVehicle(uint64_t seed, int n) {
+  Rng rng(seed);
+  Dataset data(5);
+  for (int i = 0; i < n; ++i) {
+    double year = static_cast<double>(rng.UniformInt(1984, 2016));
+    double weight = std::clamp(rng.Gaussian(3500.0, 800.0), 1500.0, 6500.0);
+    // Horsepower scales with weight, log-normal spread; newer cars stronger.
+    double hp = (weight / 3500.0) * 190.0 *
+                std::exp(rng.Gaussian(0.0, 0.25)) *
+                (1.0 + 0.004 * (year - 2000.0));
+    hp = std::clamp(hp, 50.0, 700.0);
+    // MPG anti-correlated with weight and horsepower, improving with year.
+    double mpg = 58.0 - 0.0062 * weight - 0.045 * hp +
+                 0.25 * (year - 1984.0) / 32.0 * 8.0 + rng.Gaussian(0.0, 2.5);
+    mpg = std::clamp(mpg, 8.0, 60.0);
+    // Annual fuel cost: ~12k miles at ~$2.5/gallon, inverse in MPG.
+    double cost = 12000.0 / mpg * 2.5 * std::exp(rng.Gaussian(0.0, 0.08));
+    data.Add({year, weight, hp, mpg, cost});
+  }
+  data.NormalizeToUnit();
+  return data;
+}
+
+Dataset MakeHouse(uint64_t seed, int n) {
+  Rng rng(seed);
+  Dataset data(4);
+  for (int i = 0; i < n; ++i) {
+    // House value: log-normal around $180k.
+    double value = 180000.0 * std::exp(rng.Gaussian(0.0, 0.55));
+    value = std::clamp(value, 20000.0, 2000000.0);
+    // Income correlates with value (price-to-income ratio ~3.5).
+    double income = value / 3.5 * std::exp(rng.Gaussian(0.0, 0.35));
+    income = std::clamp(income, 8000.0, 800000.0);
+    // Household size: skewed small, mostly independent of wealth.
+    double persons = 1.0 + std::floor(-2.2 * std::log(1.0 - rng.UniformDouble()));
+    persons = std::clamp(persons, 1.0, 12.0);
+    // Monthly mortgage: ~0.5% of value per month, noisy, some outright owners.
+    double mortgage = rng.Bernoulli(0.25)
+                          ? 0.0
+                          : value * 0.005 * std::exp(rng.Gaussian(0.0, 0.3));
+    data.Add({value, income, persons, mortgage});
+  }
+  data.NormalizeToUnit();
+  return data;
+}
+
+RealWorldInfo VehicleInfo() {
+  return {"VEHICLE", {"year", "weight", "horsepower", "mpg", "annual_cost"}};
+}
+
+RealWorldInfo HouseInfo() {
+  return {"HOUSE",
+          {"house_value", "household_income", "persons", "mortgage_payment"}};
+}
+
+}  // namespace iq

@@ -1,0 +1,41 @@
+#ifndef IQ_DATA_REAL_WORLD_H_
+#define IQ_DATA_REAL_WORLD_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "util/random.h"
+
+namespace iq {
+
+/// Simulated stand-ins for the paper's two real-world datasets (§6.2).
+/// The originals (fueleconomy.gov VEHICLE; IPUMS HOUSE) are not
+/// redistributable here, so these generators reproduce their cardinality,
+/// attribute count, and qualitative correlation structure — the properties
+/// the indexing/query-cost experiments actually exercise — and are then
+/// min-max normalized to [0, 1] exactly as the paper does. See DESIGN.md §2.
+
+/// VEHICLE: 37051 vehicle models with
+///   year, weight (lb), horsepower, MPG, annual fuel cost ($).
+/// Correlations: horsepower rises with weight; MPG falls with weight and
+/// horsepower; annual cost is inversely tied to MPG.
+Dataset MakeVehicle(uint64_t seed, int n = 37051);
+
+/// HOUSE: 100000 household records with
+///   house value, household income, persons, monthly mortgage payment.
+/// Correlations: income and mortgage scale with house value; household size
+/// is mostly independent.
+Dataset MakeHouse(uint64_t seed, int n = 100000);
+
+struct RealWorldInfo {
+  std::string name;
+  std::vector<std::string> attributes;
+};
+
+RealWorldInfo VehicleInfo();
+RealWorldInfo HouseInfo();
+
+}  // namespace iq
+
+#endif  // IQ_DATA_REAL_WORLD_H_

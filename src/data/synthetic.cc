@@ -1,0 +1,82 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace iq {
+
+Dataset MakeIndependent(int n, int dim, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(dim);
+  for (int i = 0; i < n; ++i) {
+    data.Add(rng.UniformVector(dim, 0.0, 1.0));
+  }
+  return data;
+}
+
+Dataset MakeCorrelated(int n, int dim, uint64_t seed, double spread) {
+  Rng rng(seed);
+  Dataset data(dim);
+  for (int i = 0; i < n; ++i) {
+    double base = rng.UniformDouble();
+    Vec row(static_cast<size_t>(dim));
+    for (auto& v : row) {
+      v = std::clamp(base + rng.Gaussian(0.0, spread), 0.0, 1.0);
+    }
+    data.Add(std::move(row));
+  }
+  return data;
+}
+
+Dataset MakeAntiCorrelated(int n, int dim, uint64_t seed, double plane_spread,
+                           double within_spread) {
+  Rng rng(seed);
+  Dataset data(dim);
+  for (int i = 0; i < n; ++i) {
+    // Pick a point near the constant-sum hyperplane, then redistribute mass
+    // across dimensions with zero-mean offsets.
+    double base = std::clamp(rng.Gaussian(0.5, plane_spread), 0.0, 1.0);
+    Vec offsets(static_cast<size_t>(dim));
+    double mean = 0.0;
+    for (auto& e : offsets) {
+      e = rng.UniformDouble(-within_spread, within_spread);
+      mean += e;
+    }
+    mean /= static_cast<double>(dim);
+    Vec row(static_cast<size_t>(dim));
+    for (int j = 0; j < dim; ++j) {
+      row[static_cast<size_t>(j)] =
+          std::clamp(base + offsets[static_cast<size_t>(j)] - mean, 0.0, 1.0);
+    }
+    data.Add(std::move(row));
+  }
+  return data;
+}
+
+const char* SyntheticKindName(SyntheticKind kind) {
+  switch (kind) {
+    case SyntheticKind::kIndependent:
+      return "IN";
+    case SyntheticKind::kCorrelated:
+      return "CO";
+    case SyntheticKind::kAntiCorrelated:
+      return "AC";
+  }
+  return "?";
+}
+
+Dataset MakeSynthetic(SyntheticKind kind, int n, int dim, uint64_t seed) {
+  switch (kind) {
+    case SyntheticKind::kIndependent:
+      return MakeIndependent(n, dim, seed);
+    case SyntheticKind::kCorrelated:
+      return MakeCorrelated(n, dim, seed);
+    case SyntheticKind::kAntiCorrelated:
+      return MakeAntiCorrelated(n, dim, seed);
+  }
+  IQ_LOG(Fatal) << "unknown synthetic kind";
+  return Dataset(1);
+}
+
+}  // namespace iq

@@ -1,0 +1,28 @@
+#include "data/workload.h"
+
+namespace iq {
+
+Result<Workload> Workload::Make(Dataset data, LinearForm form,
+                                std::vector<TopKQuery> queries,
+                                SubdomainIndexOptions options) {
+  Workload w;
+  w.data = std::make_unique<Dataset>(std::move(data));
+  w.queries = std::make_unique<QuerySet>(form.num_weights());
+  for (TopKQuery& q : queries) {
+    auto added = w.queries->Add(std::move(q));
+    if (!added.ok()) return added.status();
+  }
+  w.view = std::make_unique<FunctionView>(w.data.get(), std::move(form));
+  IQ_ASSIGN_OR_RETURN(
+      SubdomainIndex index,
+      SubdomainIndex::Build(w.view.get(), w.queries.get(), options));
+  w.index = std::make_unique<SubdomainIndex>(std::move(index));
+  return w;
+}
+
+size_t Workload::RawDataBytes() const {
+  return static_cast<size_t>(data->size()) *
+         static_cast<size_t>(data->dim()) * sizeof(double);
+}
+
+}  // namespace iq

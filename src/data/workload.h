@@ -1,0 +1,33 @@
+#ifndef IQ_DATA_WORKLOAD_H_
+#define IQ_DATA_WORKLOAD_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/function_view.h"
+#include "core/query.h"
+#include "core/subdomain_index.h"
+
+namespace iq {
+
+/// A self-owning experiment workload: dataset + query set + objects-as-
+/// functions view + subdomain index, wired together with stable addresses.
+/// The benchmark harness and larger examples build on this.
+struct Workload {
+  std::unique_ptr<Dataset> data;
+  std::unique_ptr<QuerySet> queries;
+  std::unique_ptr<FunctionView> view;
+  std::unique_ptr<SubdomainIndex> index;
+
+  static Result<Workload> Make(Dataset data, LinearForm form,
+                               std::vector<TopKQuery> queries,
+                               SubdomainIndexOptions options = {});
+
+  /// Bytes of the raw object table (n * d doubles) — the denominator of the
+  /// paper's "index size (percentage)" plots.
+  size_t RawDataBytes() const;
+};
+
+}  // namespace iq
+
+#endif  // IQ_DATA_WORKLOAD_H_

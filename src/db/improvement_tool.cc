@@ -1,0 +1,290 @@
+#include "db/improvement_tool.h"
+
+#include "expr/expr.h"
+#include "expr/linearize.h"
+#include "util/string_util.h"
+
+namespace iq {
+namespace db {
+
+Status ImprovementTool::LoadObjects(
+    const std::string& table, const std::vector<std::string>& attr_columns,
+    const std::string& id_column) {
+  IQ_ASSIGN_OR_RETURN(const Table* t, catalog_.Get(table));
+  if (attr_columns.empty()) {
+    return Status::InvalidArgument("no attribute columns given");
+  }
+  for (const std::string& c : attr_columns) {
+    int idx = t->ColumnIndex(c);
+    if (idx < 0) return Status::NotFound("no such column: " + c);
+    if (t->columns()[static_cast<size_t>(idx)].type == ColumnType::kString) {
+      return Status::InvalidArgument("attribute column is not numeric: " + c);
+    }
+  }
+  if (!id_column.empty() && t->ColumnIndex(id_column) < 0) {
+    return Status::NotFound("no such id column: " + id_column);
+  }
+  object_table_ = table;
+  attr_columns_ = attr_columns;
+  id_column_ = id_column;
+  engine_.reset();
+  return Status::Ok();
+}
+
+Status ImprovementTool::LoadQueries(
+    const std::string& table, const std::vector<std::string>& weight_columns,
+    const std::string& k_column) {
+  IQ_ASSIGN_OR_RETURN(const Table* t, catalog_.Get(table));
+  if (weight_columns.empty()) {
+    return Status::InvalidArgument("no weight columns given");
+  }
+  for (const std::string& c : weight_columns) {
+    if (t->ColumnIndex(c) < 0) return Status::NotFound("no such column: " + c);
+  }
+  if (t->ColumnIndex(k_column) < 0) {
+    return Status::NotFound("no such k column: " + k_column);
+  }
+  query_table_ = table;
+  weight_columns_ = weight_columns;
+  k_column_ = k_column;
+  engine_.reset();
+  return Status::Ok();
+}
+
+Status ImprovementTool::SetUtilityExpression(const std::string& expression) {
+  utility_expression_ = expression;
+  engine_.reset();
+  return Status::Ok();
+}
+
+Status ImprovementTool::BuildEngine(EngineOptions options) {
+  if (object_table_.empty()) {
+    return Status::FailedPrecondition("LoadObjects() has not been called");
+  }
+  if (query_table_.empty()) {
+    return Status::FailedPrecondition("LoadQueries() has not been called");
+  }
+  IQ_ASSIGN_OR_RETURN(const Table* objects, catalog_.Get(object_table_));
+  IQ_ASSIGN_OR_RETURN(const Table* queries, catalog_.Get(query_table_));
+
+  const int dim = static_cast<int>(attr_columns_.size());
+  const int num_weights = static_cast<int>(weight_columns_.size());
+
+  // Utility form: linear identity by default, variable substitution else.
+  LinearForm form = LinearForm::Identity(dim);
+  if (!utility_expression_.empty()) {
+    IQ_ASSIGN_OR_RETURN(ExprPtr expr,
+                        ParseExpr(utility_expression_, dim, num_weights));
+    IQ_ASSIGN_OR_RETURN(form, Linearize(*expr, dim, num_weights));
+    if (form.num_weights() != num_weights) {
+      return Status::InvalidArgument(
+          "utility expression weight count mismatch");
+    }
+  }
+
+  // Objects.
+  Dataset data(dim);
+  id_to_object_.clear();
+  object_labels_.clear();
+  int id_col = id_column_.empty() ? -1 : objects->ColumnIndex(id_column_);
+  std::vector<int> attr_idx;
+  for (const std::string& c : attr_columns_) {
+    attr_idx.push_back(objects->ColumnIndex(c));
+  }
+  for (int r = 0; r < objects->num_rows(); ++r) {
+    Vec row(static_cast<size_t>(dim));
+    for (int j = 0; j < dim; ++j) {
+      IQ_ASSIGN_OR_RETURN(
+          row[static_cast<size_t>(j)],
+          ValueAsDouble(objects->at(r, attr_idx[static_cast<size_t>(j)])));
+    }
+    int id = data.Add(std::move(row));
+    std::string label =
+        id_col < 0 ? StrFormat("%d", r) : ValueToString(objects->at(r, id_col));
+    if (!id_to_object_.emplace(label, id).second) {
+      return Status::InvalidArgument("duplicate object id: " + label);
+    }
+    object_labels_.push_back(std::move(label));
+  }
+
+  // Queries.
+  std::vector<TopKQuery> qs;
+  std::vector<int> w_idx;
+  for (const std::string& c : weight_columns_) {
+    w_idx.push_back(queries->ColumnIndex(c));
+  }
+  int k_idx = queries->ColumnIndex(k_column_);
+  for (int r = 0; r < queries->num_rows(); ++r) {
+    TopKQuery q;
+    q.weights.resize(static_cast<size_t>(num_weights));
+    for (int j = 0; j < num_weights; ++j) {
+      IQ_ASSIGN_OR_RETURN(
+          q.weights[static_cast<size_t>(j)],
+          ValueAsDouble(queries->at(r, w_idx[static_cast<size_t>(j)])));
+    }
+    IQ_ASSIGN_OR_RETURN(double k, ValueAsDouble(queries->at(r, k_idx)));
+    q.k = static_cast<int>(k);
+    qs.push_back(std::move(q));
+  }
+
+  IQ_ASSIGN_OR_RETURN(IqEngine engine, IqEngine::Create(std::move(data),
+                                                        std::move(form),
+                                                        std::move(qs),
+                                                        options));
+  engine_ = std::make_unique<IqEngine>(std::move(engine));
+  return Status::Ok();
+}
+
+Result<std::vector<int>> ImprovementTool::SelectTargets(
+    const std::string& sql) {
+  if (engine_ == nullptr) {
+    return Status::FailedPrecondition("BuildEngine() has not been called");
+  }
+  IQ_ASSIGN_OR_RETURN(Table result, Query(catalog_, sql));
+  if (result.num_columns() < 1) {
+    return Status::InvalidArgument("target query returned no columns");
+  }
+  std::vector<int> targets;
+  for (int r = 0; r < result.num_rows(); ++r) {
+    std::string label = ValueToString(result.at(r, 0));
+    auto it = id_to_object_.find(label);
+    if (it == id_to_object_.end()) {
+      return Status::NotFound("target id not in the object table: " + label);
+    }
+    targets.push_back(it->second);
+  }
+  return targets;
+}
+
+std::string ImprovementTool::ObjectLabel(int engine_id) const {
+  if (engine_id >= 0 &&
+      engine_id < static_cast<int>(object_labels_.size())) {
+    return object_labels_[static_cast<size_t>(engine_id)];
+  }
+  return StrFormat("%d", engine_id);
+}
+
+Result<Table> ImprovementTool::ReportFromResults(
+    const std::vector<int>& targets, const std::vector<IqResult>& results,
+    IqScheme scheme) const {
+  std::vector<Column> columns = {
+      {"target", ColumnType::kString},   {"scheme", ColumnType::kString},
+      {"hits_before", ColumnType::kInt}, {"hits_after", ColumnType::kInt},
+      {"reached", ColumnType::kInt},     {"cost", ColumnType::kDouble},
+  };
+  const int dim = static_cast<int>(attr_columns_.size());
+  for (int j = 0; j < dim; ++j) {
+    columns.push_back({"s_" + attr_columns_[static_cast<size_t>(j)],
+                       ColumnType::kDouble});
+  }
+  columns.push_back({"millis", ColumnType::kDouble});
+
+  Table report("improvement_report", columns);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    const IqResult& r = results[i];
+    std::vector<Value> row;
+    row.emplace_back(ObjectLabel(targets[i]));
+    row.emplace_back(std::string(IqSchemeName(scheme)));
+    row.emplace_back(static_cast<int64_t>(r.hits_before));
+    row.emplace_back(static_cast<int64_t>(r.hits_after));
+    row.emplace_back(static_cast<int64_t>(r.reached_goal ? 1 : 0));
+    row.emplace_back(r.cost);
+    for (int j = 0; j < dim; ++j) {
+      row.emplace_back(j < static_cast<int>(r.strategy.size())
+                           ? r.strategy[static_cast<size_t>(j)]
+                           : 0.0);
+    }
+    row.emplace_back(r.seconds * 1e3);
+    IQ_RETURN_IF_ERROR(report.Append(std::move(row)));
+  }
+  return report;
+}
+
+Result<Table> ImprovementTool::MinCost(const std::vector<int>& targets,
+                                       int tau, const IqOptions& options,
+                                       IqScheme scheme) {
+  if (engine_ == nullptr) {
+    return Status::FailedPrecondition("BuildEngine() has not been called");
+  }
+  std::vector<IqResult> results;
+  for (int t : targets) {
+    IQ_ASSIGN_OR_RETURN(IqResult r, engine_->MinCost(t, tau, options, scheme));
+    results.push_back(std::move(r));
+  }
+  return ReportFromResults(targets, results, scheme);
+}
+
+Result<Table> ImprovementTool::MaxHit(const std::vector<int>& targets,
+                                      double beta, const IqOptions& options,
+                                      IqScheme scheme) {
+  if (engine_ == nullptr) {
+    return Status::FailedPrecondition("BuildEngine() has not been called");
+  }
+  std::vector<IqResult> results;
+  for (int t : targets) {
+    IQ_ASSIGN_OR_RETURN(IqResult r, engine_->MaxHit(t, beta, options, scheme));
+    results.push_back(std::move(r));
+  }
+  return ReportFromResults(targets, results, scheme);
+}
+
+namespace {
+
+Result<Table> MultiReport(const std::vector<std::string>& labels,
+                          const std::vector<std::string>& attr_columns,
+                          const MultiIqResult& r) {
+  std::vector<Column> columns = {
+      {"target", ColumnType::kString},
+      {"cost", ColumnType::kDouble},
+  };
+  for (const std::string& a : attr_columns) {
+    columns.push_back({"s_" + a, ColumnType::kDouble});
+  }
+  Table report("combined_improvement_report", columns);
+  for (size_t i = 0; i < r.targets.size(); ++i) {
+    std::vector<Value> row;
+    row.emplace_back(labels[i]);
+    row.emplace_back(r.costs[i]);
+    for (size_t j = 0; j < attr_columns.size(); ++j) {
+      row.emplace_back(r.strategies[i][j]);
+    }
+    IQ_RETURN_IF_ERROR(report.Append(std::move(row)));
+  }
+  std::vector<Value> total;
+  total.emplace_back(std::string("TOTAL"));
+  total.emplace_back(r.total_cost);
+  for (size_t j = 0; j < attr_columns.size(); ++j) total.emplace_back(0.0);
+  IQ_RETURN_IF_ERROR(report.Append(std::move(total)));
+  return report;
+}
+
+}  // namespace
+
+Result<Table> ImprovementTool::CombinedMinCost(const std::vector<int>& targets,
+                                               int tau,
+                                               const IqOptions& options) {
+  if (engine_ == nullptr) {
+    return Status::FailedPrecondition("BuildEngine() has not been called");
+  }
+  IQ_ASSIGN_OR_RETURN(MultiIqResult r,
+                      engine_->MultiMinCost(targets, tau, {options}));
+  std::vector<std::string> labels;
+  for (int t : targets) labels.push_back(ObjectLabel(t));
+  return MultiReport(labels, attr_columns_, r);
+}
+
+Result<Table> ImprovementTool::CombinedMaxHit(const std::vector<int>& targets,
+                                              double beta,
+                                              const IqOptions& options) {
+  if (engine_ == nullptr) {
+    return Status::FailedPrecondition("BuildEngine() has not been called");
+  }
+  IQ_ASSIGN_OR_RETURN(MultiIqResult r,
+                      engine_->MultiMaxHit(targets, beta, {options}));
+  std::vector<std::string> labels;
+  for (int t : targets) labels.push_back(ObjectLabel(t));
+  return MultiReport(labels, attr_columns_, r);
+}
+
+}  // namespace db
+}  // namespace iq

@@ -1,0 +1,105 @@
+#ifndef IQ_DB_IMPROVEMENT_TOOL_H_
+#define IQ_DB_IMPROVEMENT_TOOL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "db/sql.h"
+#include "db/table.h"
+
+namespace iq {
+namespace db {
+
+/// The analytic tool of §6.1: integrates improvement queries with the DBMS.
+/// Objects and top-k queries live in catalog tables; users pick target
+/// objects manually or "via an SQL select statement", choose the cost
+/// function and adjustment bounds, and get the improvement strategies back
+/// as a result table.
+///
+/// Typical flow:
+///   ImprovementTool tool;
+///   tool.catalog().Register(camera_table);
+///   tool.LoadObjects("cameras", {"resolution","storage","price"}, "id");
+///   tool.LoadQueries("preferences", {"w1","w2","w3"}, "k");
+///   tool.BuildEngine();
+///   auto targets = tool.SelectTargets("SELECT id FROM cameras WHERE price > 300");
+///   auto report  = tool.MinCost(*targets, /*tau=*/10, options);
+class ImprovementTool {
+ public:
+  ImprovementTool() = default;
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Declares which table/columns hold the object set. `id_column` must be
+  /// unique per row ("" = use the row index as id).
+  Status LoadObjects(const std::string& table,
+                     const std::vector<std::string>& attr_columns,
+                     const std::string& id_column = "");
+
+  /// Declares which table/columns hold the top-k query workload.
+  Status LoadQueries(const std::string& table,
+                     const std::vector<std::string>& weight_columns,
+                     const std::string& k_column);
+
+  /// Optional non-linear utility over x1..xd and w1..wT (default: linear
+  /// w.x). Applied at BuildEngine() via variable substitution (§5.2).
+  Status SetUtilityExpression(const std::string& expression);
+
+  /// Materializes the engine (objects-as-functions view + subdomain index).
+  Status BuildEngine(EngineOptions options = {});
+
+  bool engine_ready() const { return engine_ != nullptr; }
+  IqEngine& engine() { return *engine_; }
+  const IqEngine& engine() const { return *engine_; }
+
+  /// Runs a SELECT whose first result column is the object id column, and
+  /// maps the values to engine object ids.
+  Result<std::vector<int>> SelectTargets(const std::string& sql);
+
+  /// Runs one Min-Cost IQ per target; returns a report table
+  /// (target, scheme, hits_before, hits_after, reached, cost, s_1..s_d,
+  ///  millis).
+  Result<Table> MinCost(const std::vector<int>& targets, int tau,
+                        const IqOptions& options = {},
+                        IqScheme scheme = IqScheme::kEfficient);
+
+  /// Same for Max-Hit IQs.
+  Result<Table> MaxHit(const std::vector<int>& targets, double beta,
+                       const IqOptions& options = {},
+                       IqScheme scheme = IqScheme::kEfficient);
+
+  /// Combinatorial (multi-target) variants (§5.1); one row per target plus
+  /// a TOTAL row.
+  Result<Table> CombinedMinCost(const std::vector<int>& targets, int tau,
+                                const IqOptions& options = {});
+  Result<Table> CombinedMaxHit(const std::vector<int>& targets, double beta,
+                               const IqOptions& options = {});
+
+ private:
+  Result<Table> ReportFromResults(const std::vector<int>& targets,
+                                  const std::vector<IqResult>& results,
+                                  IqScheme scheme) const;
+  std::string ObjectLabel(int engine_id) const;
+
+  Catalog catalog_;
+  std::string object_table_;
+  std::vector<std::string> attr_columns_;
+  std::string id_column_;
+  std::string query_table_;
+  std::vector<std::string> weight_columns_;
+  std::string k_column_;
+  std::string utility_expression_;
+
+  std::map<std::string, int> id_to_object_;   // id value (as string) -> id
+  std::vector<std::string> object_labels_;    // engine id -> id value
+  std::unique_ptr<IqEngine> engine_;
+};
+
+}  // namespace db
+}  // namespace iq
+
+#endif  // IQ_DB_IMPROVEMENT_TOOL_H_

@@ -1,0 +1,375 @@
+#include "db/sql.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace iq {
+namespace db {
+namespace {
+
+enum class TokKind { kIdent, kNumber, kString, kOp, kPunct, kEnd };
+
+struct Token {
+  TokKind kind;
+  std::string text;   // upper-cased for idents
+  std::string raw;    // original spelling
+  double number = 0;
+  bool is_int = false;
+};
+
+Result<std::vector<Token>> LexSql(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  while (i < sql.size()) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t e = i;
+      while (e < sql.size() && (std::isalnum(static_cast<unsigned char>(sql[e])) ||
+                                sql[e] == '_')) {
+        ++e;
+      }
+      std::string raw = sql.substr(i, e - i);
+      std::string up = raw;
+      std::transform(up.begin(), up.end(), up.begin(), [](unsigned char ch) {
+        return static_cast<char>(std::toupper(ch));
+      });
+      out.push_back({TokKind::kIdent, up, raw, 0, false});
+      i = e;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+               ((c == '-' || c == '+') && i + 1 < sql.size() &&
+                (std::isdigit(static_cast<unsigned char>(sql[i + 1])) ||
+                 sql[i + 1] == '.'))) {
+      size_t e = i + 1;
+      bool is_int = c != '.';
+      while (e < sql.size() &&
+             (std::isdigit(static_cast<unsigned char>(sql[e])) ||
+              sql[e] == '.' || sql[e] == 'e' || sql[e] == 'E' ||
+              ((sql[e] == '+' || sql[e] == '-') &&
+               (sql[e - 1] == 'e' || sql[e - 1] == 'E')))) {
+        if (!std::isdigit(static_cast<unsigned char>(sql[e]))) is_int = false;
+        ++e;
+      }
+      std::string text = sql.substr(i, e - i);
+      auto num = ParseDouble(text);
+      if (!num.ok()) return num.status();
+      out.push_back({TokKind::kNumber, text, text, *num, is_int});
+      i = e;
+    } else if (c == '\'') {
+      size_t e = i + 1;
+      std::string s;
+      while (e < sql.size() && sql[e] != '\'') s += sql[e++];
+      if (e >= sql.size()) {
+        return Status::InvalidArgument("unterminated string literal");
+      }
+      out.push_back({TokKind::kString, s, s, 0, false});
+      i = e + 1;
+    } else if (c == '<' || c == '>' || c == '=' || c == '!') {
+      std::string op(1, c);
+      if (i + 1 < sql.size() && (sql[i + 1] == '=' || sql[i + 1] == '>')) {
+        op += sql[i + 1];
+        i += 2;
+      } else {
+        ++i;
+      }
+      out.push_back({TokKind::kOp, op, op, 0, false});
+    } else if (c == ',' || c == '(' || c == ')' || c == '*' || c == ';') {
+      out.push_back({TokKind::kPunct, std::string(1, c), std::string(1, c), 0,
+                     false});
+      ++i;
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("unexpected character '%c' in SQL", c));
+    }
+  }
+  out.push_back({TokKind::kEnd, "", "", 0, false});
+  return out;
+}
+
+class SqlParser {
+ public:
+  explicit SqlParser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Result<SelectStatement> Run() {
+    IQ_RETURN_IF_ERROR(Expect("SELECT"));
+    SelectStatement stmt;
+    if (PeekPunct("*")) {
+      Next();
+    } else {
+      for (;;) {
+        IQ_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+        stmt.columns.push_back(std::move(col));
+        if (PeekPunct(",")) {
+          Next();
+          continue;
+        }
+        break;
+      }
+    }
+    IQ_RETURN_IF_ERROR(Expect("FROM"));
+    IQ_ASSIGN_OR_RETURN(stmt.table, ExpectIdent());
+
+    if (PeekKeyword("WHERE")) {
+      Next();
+      IQ_ASSIGN_OR_RETURN(stmt.where, ParseOr());
+    }
+    if (PeekKeyword("ORDER")) {
+      Next();
+      IQ_RETURN_IF_ERROR(Expect("BY"));
+      IQ_ASSIGN_OR_RETURN(stmt.order_by, ExpectIdent());
+      if (PeekKeyword("ASC")) {
+        Next();
+      } else if (PeekKeyword("DESC")) {
+        Next();
+        stmt.order_desc = true;
+      }
+    }
+    if (PeekKeyword("LIMIT")) {
+      Next();
+      if (Peek().kind != TokKind::kNumber || !Peek().is_int) {
+        return Status::InvalidArgument("LIMIT expects an integer");
+      }
+      stmt.limit = static_cast<int64_t>(Next().number);
+    }
+    if (PeekPunct(";")) Next();
+    if (Peek().kind != TokKind::kEnd) {
+      return Status::InvalidArgument("trailing tokens after statement");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek() const { return toks_[pos_]; }
+  Token Next() { return toks_[pos_++]; }
+  bool PeekKeyword(const char* kw) const {
+    return Peek().kind == TokKind::kIdent && Peek().text == kw;
+  }
+  bool PeekPunct(const char* p) const {
+    return Peek().kind == TokKind::kPunct && Peek().text == p;
+  }
+  Status Expect(const char* kw) {
+    if (!PeekKeyword(kw)) {
+      return Status::InvalidArgument(StrFormat("expected %s", kw));
+    }
+    Next();
+    return Status::Ok();
+  }
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != TokKind::kIdent) {
+      return Status::InvalidArgument("expected identifier");
+    }
+    return Next().raw;
+  }
+
+  Result<std::unique_ptr<Predicate>> ParseOr() {
+    IQ_ASSIGN_OR_RETURN(std::unique_ptr<Predicate> lhs, ParseAnd());
+    while (PeekKeyword("OR")) {
+      Next();
+      IQ_ASSIGN_OR_RETURN(std::unique_ptr<Predicate> rhs, ParseAnd());
+      auto node = std::make_unique<Predicate>();
+      node->kind = Predicate::Kind::kOr;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Predicate>> ParseAnd() {
+    IQ_ASSIGN_OR_RETURN(std::unique_ptr<Predicate> lhs, ParseUnary());
+    while (PeekKeyword("AND")) {
+      Next();
+      IQ_ASSIGN_OR_RETURN(std::unique_ptr<Predicate> rhs, ParseUnary());
+      auto node = std::make_unique<Predicate>();
+      node->kind = Predicate::Kind::kAnd;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Predicate>> ParseUnary() {
+    if (PeekKeyword("NOT")) {
+      Next();
+      IQ_ASSIGN_OR_RETURN(std::unique_ptr<Predicate> inner, ParseUnary());
+      auto node = std::make_unique<Predicate>();
+      node->kind = Predicate::Kind::kNot;
+      node->lhs = std::move(inner);
+      return node;
+    }
+    if (PeekPunct("(")) {
+      Next();
+      IQ_ASSIGN_OR_RETURN(std::unique_ptr<Predicate> inner, ParseOr());
+      if (!PeekPunct(")")) return Status::InvalidArgument("expected ')'");
+      Next();
+      return inner;
+    }
+    // Comparison: column op literal.
+    IQ_ASSIGN_OR_RETURN(std::string column, ExpectIdent());
+    if (Peek().kind != TokKind::kOp) {
+      return Status::InvalidArgument("expected comparison operator");
+    }
+    std::string op = Next().text;
+    if (op == "<>") op = "!=";
+    if (op != "=" && op != "!=" && op != "<" && op != "<=" && op != ">" &&
+        op != ">=") {
+      return Status::InvalidArgument("unsupported operator " + op);
+    }
+    auto node = std::make_unique<Predicate>();
+    node->kind = Predicate::Kind::kCompare;
+    node->column = std::move(column);
+    node->op = std::move(op);
+    const Token& lit = Peek();
+    if (lit.kind == TokKind::kNumber) {
+      if (lit.is_int) {
+        node->literal = static_cast<int64_t>(lit.number);
+      } else {
+        node->literal = lit.number;
+      }
+      Next();
+    } else if (lit.kind == TokKind::kString) {
+      node->literal = lit.raw;
+      Next();
+    } else {
+      return Status::InvalidArgument("expected literal after operator");
+    }
+    return node;
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+Result<bool> EvalPredicate(const Predicate& p, const Table& table, int row) {
+  switch (p.kind) {
+    case Predicate::Kind::kAnd: {
+      IQ_ASSIGN_OR_RETURN(bool l, EvalPredicate(*p.lhs, table, row));
+      if (!l) return false;
+      return EvalPredicate(*p.rhs, table, row);
+    }
+    case Predicate::Kind::kOr: {
+      IQ_ASSIGN_OR_RETURN(bool l, EvalPredicate(*p.lhs, table, row));
+      if (l) return true;
+      return EvalPredicate(*p.rhs, table, row);
+    }
+    case Predicate::Kind::kNot: {
+      IQ_ASSIGN_OR_RETURN(bool l, EvalPredicate(*p.lhs, table, row));
+      return !l;
+    }
+    case Predicate::Kind::kCompare:
+      break;
+  }
+  int col = table.ColumnIndex(p.column);
+  if (col < 0) return Status::NotFound("no such column: " + p.column);
+  const Value& v = table.at(row, col);
+
+  int cmp;  // -1, 0, +1 of (v ? literal)
+  if (std::holds_alternative<std::string>(p.literal) ||
+      std::holds_alternative<std::string>(v)) {
+    if (!std::holds_alternative<std::string>(p.literal) ||
+        !std::holds_alternative<std::string>(v)) {
+      return Status::InvalidArgument("type mismatch in comparison on " +
+                                     p.column);
+    }
+    cmp = std::get<std::string>(v).compare(std::get<std::string>(p.literal));
+    cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+  } else {
+    IQ_ASSIGN_OR_RETURN(double a, ValueAsDouble(v));
+    IQ_ASSIGN_OR_RETURN(double b, ValueAsDouble(p.literal));
+    cmp = a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (p.op == "=") return cmp == 0;
+  if (p.op == "!=") return cmp != 0;
+  if (p.op == "<") return cmp < 0;
+  if (p.op == "<=") return cmp <= 0;
+  if (p.op == ">") return cmp > 0;
+  return cmp >= 0;  // ">="
+}
+
+}  // namespace
+
+Result<SelectStatement> ParseSelect(const std::string& sql) {
+  IQ_ASSIGN_OR_RETURN(std::vector<Token> toks, LexSql(sql));
+  SqlParser parser(std::move(toks));
+  return parser.Run();
+}
+
+Result<Table> ExecuteSelect(const Catalog& catalog,
+                            const SelectStatement& stmt) {
+  IQ_ASSIGN_OR_RETURN(const Table* src, catalog.Get(stmt.table));
+
+  // Resolve projection.
+  std::vector<int> proj;
+  std::vector<Column> out_columns;
+  if (stmt.columns.empty()) {
+    for (int c = 0; c < src->num_columns(); ++c) {
+      proj.push_back(c);
+      out_columns.push_back(src->columns()[static_cast<size_t>(c)]);
+    }
+  } else {
+    for (const std::string& name : stmt.columns) {
+      int c = src->ColumnIndex(name);
+      if (c < 0) return Status::NotFound("no such column: " + name);
+      proj.push_back(c);
+      out_columns.push_back(src->columns()[static_cast<size_t>(c)]);
+    }
+  }
+
+  // Filter.
+  std::vector<int> rows;
+  for (int r = 0; r < src->num_rows(); ++r) {
+    if (stmt.where != nullptr) {
+      IQ_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*stmt.where, *src, r));
+      if (!keep) continue;
+    }
+    rows.push_back(r);
+  }
+
+  // Order.
+  if (!stmt.order_by.empty()) {
+    int c = src->ColumnIndex(stmt.order_by);
+    if (c < 0) return Status::NotFound("no such column: " + stmt.order_by);
+    bool desc = stmt.order_desc;
+    bool numeric =
+        src->columns()[static_cast<size_t>(c)].type != ColumnType::kString;
+    std::stable_sort(rows.begin(), rows.end(), [&](int a, int b) {
+      if (numeric) {
+        double va = *ValueAsDouble(src->at(a, c));
+        double vb = *ValueAsDouble(src->at(b, c));
+        return desc ? va > vb : va < vb;
+      }
+      const std::string& sa = std::get<std::string>(src->at(a, c));
+      const std::string& sb = std::get<std::string>(src->at(b, c));
+      return desc ? sa > sb : sa < sb;
+    });
+  }
+
+  // Limit.
+  if (stmt.limit.has_value() &&
+      static_cast<int64_t>(rows.size()) > *stmt.limit) {
+    rows.resize(static_cast<size_t>(*stmt.limit));
+  }
+
+  Table out("result", out_columns);
+  for (int r : rows) {
+    std::vector<Value> row;
+    row.reserve(proj.size());
+    for (int c : proj) row.push_back(src->at(r, c));
+    IQ_RETURN_IF_ERROR(out.Append(std::move(row)));
+  }
+  return out;
+}
+
+Result<Table> Query(const Catalog& catalog, const std::string& sql) {
+  IQ_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect(sql));
+  return ExecuteSelect(catalog, stmt);
+}
+
+}  // namespace db
+}  // namespace iq

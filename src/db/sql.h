@@ -1,0 +1,58 @@
+#ifndef IQ_DB_SQL_H_
+#define IQ_DB_SQL_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/table.h"
+#include "util/status.h"
+
+namespace iq {
+namespace db {
+
+/// SQL subset supported by the analytic tool's DBMS integration (the paper
+/// lets users pick target objects "via an SQL select statement", §6.1):
+///
+///   SELECT <col[, col]*|*> FROM <table>
+///     [WHERE <predicate>] [ORDER BY <col> [ASC|DESC]] [LIMIT <n>]
+///
+/// Predicates: comparisons (=, !=, <>, <, <=, >, >=) between a column and a
+/// literal (number or 'string'), combined with AND / OR / NOT and
+/// parentheses. Identifiers and keywords are case-insensitive.
+struct Predicate {
+  enum class Kind { kCompare, kAnd, kOr, kNot };
+  Kind kind = Kind::kCompare;
+  // kCompare:
+  std::string column;
+  std::string op;  // one of = != < <= > >=
+  Value literal;
+  // kAnd / kOr: both children; kNot: lhs only.
+  std::unique_ptr<Predicate> lhs;
+  std::unique_ptr<Predicate> rhs;
+};
+
+struct SelectStatement {
+  std::vector<std::string> columns;  // empty = *
+  std::string table;
+  std::unique_ptr<Predicate> where;  // may be null
+  std::string order_by;              // empty = none
+  bool order_desc = false;
+  std::optional<int64_t> limit;
+};
+
+/// Parses a SELECT statement (trailing ';' optional).
+Result<SelectStatement> ParseSelect(const std::string& sql);
+
+/// Executes a statement against the catalog; returns the result table.
+Result<Table> ExecuteSelect(const Catalog& catalog,
+                            const SelectStatement& stmt);
+
+/// Parse + execute.
+Result<Table> Query(const Catalog& catalog, const std::string& sql);
+
+}  // namespace db
+}  // namespace iq
+
+#endif  // IQ_DB_SQL_H_

@@ -1,0 +1,201 @@
+#include "db/table.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace iq {
+namespace db {
+
+const char* ColumnTypeName(ColumnType t) {
+  switch (t) {
+    case ColumnType::kInt:
+      return "INT";
+    case ColumnType::kDouble:
+      return "DOUBLE";
+    case ColumnType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+Result<double> ValueAsDouble(const Value& v) {
+  if (std::holds_alternative<double>(v)) return std::get<double>(v);
+  if (std::holds_alternative<int64_t>(v)) {
+    return static_cast<double>(std::get<int64_t>(v));
+  }
+  return Status::InvalidArgument("string value is not numeric");
+}
+
+std::string ValueToString(const Value& v) {
+  if (std::holds_alternative<double>(v)) {
+    return StrFormat("%g", std::get<double>(v));
+  }
+  if (std::holds_alternative<int64_t>(v)) {
+    return StrFormat("%lld",
+                     static_cast<long long>(std::get<int64_t>(v)));
+  }
+  return std::get<std::string>(v);
+}
+
+Result<Table> Table::FromCsv(std::string name, const CsvTable& csv) {
+  const int cols = csv.num_columns();
+  std::vector<ColumnType> types(static_cast<size_t>(cols), ColumnType::kInt);
+  for (const auto& row : csv.rows) {
+    for (int c = 0; c < cols; ++c) {
+      auto& t = types[static_cast<size_t>(c)];
+      if (t == ColumnType::kString) continue;
+      const std::string& cell = row[static_cast<size_t>(c)];
+      if (t == ColumnType::kInt && !ParseInt(cell).ok()) t = ColumnType::kDouble;
+      if (t == ColumnType::kDouble && !ParseDouble(cell).ok()) {
+        t = ColumnType::kString;
+      }
+    }
+  }
+  std::vector<Column> columns;
+  for (int c = 0; c < cols; ++c) {
+    columns.push_back(
+        {csv.header[static_cast<size_t>(c)], types[static_cast<size_t>(c)]});
+  }
+  Table table(std::move(name), std::move(columns));
+  for (const auto& row : csv.rows) {
+    std::vector<Value> values;
+    values.reserve(static_cast<size_t>(cols));
+    for (int c = 0; c < cols; ++c) {
+      const std::string& cell = row[static_cast<size_t>(c)];
+      switch (types[static_cast<size_t>(c)]) {
+        case ColumnType::kInt:
+          values.emplace_back(*ParseInt(cell));
+          break;
+        case ColumnType::kDouble:
+          values.emplace_back(*ParseDouble(cell));
+          break;
+        case ColumnType::kString:
+          values.emplace_back(cell);
+          break;
+      }
+    }
+    IQ_RETURN_IF_ERROR(table.Append(std::move(values)));
+  }
+  return table;
+}
+
+int Table::ColumnIndex(const std::string& name) const {
+  for (int c = 0; c < num_columns(); ++c) {
+    if (columns_[static_cast<size_t>(c)].name == name) return c;
+  }
+  // SQL identifiers are case-insensitive; fall back to a folded match.
+  std::string folded = StrLower(name);
+  for (int c = 0; c < num_columns(); ++c) {
+    if (StrLower(columns_[static_cast<size_t>(c)].name) == folded) return c;
+  }
+  return -1;
+}
+
+Status Table::Append(std::vector<Value> row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row has %zu values, table %s has %zu columns", row.size(),
+                  name_.c_str(), columns_.size()));
+  }
+  for (size_t c = 0; c < row.size(); ++c) {
+    ColumnType expected = columns_[c].type;
+    bool ok = (expected == ColumnType::kInt &&
+               std::holds_alternative<int64_t>(row[c])) ||
+              (expected == ColumnType::kDouble &&
+               (std::holds_alternative<double>(row[c]) ||
+                std::holds_alternative<int64_t>(row[c]))) ||
+              (expected == ColumnType::kString &&
+               std::holds_alternative<std::string>(row[c]));
+    if (!ok) {
+      return Status::InvalidArgument(
+          StrFormat("column %s expects %s", columns_[c].name.c_str(),
+                    ColumnTypeName(expected)));
+    }
+    if (expected == ColumnType::kDouble &&
+        std::holds_alternative<int64_t>(row[c])) {
+      row[c] = static_cast<double>(std::get<int64_t>(row[c]));  // widen
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::Ok();
+}
+
+CsvTable Table::ToCsv() const {
+  CsvTable csv;
+  for (const Column& c : columns_) csv.header.push_back(c.name);
+  for (const auto& row : rows_) {
+    std::vector<std::string> out;
+    out.reserve(row.size());
+    for (const Value& v : row) out.push_back(ValueToString(v));
+    csv.rows.push_back(std::move(out));
+  }
+  return csv;
+}
+
+std::string Table::ToDisplayString(int max_rows) const {
+  std::vector<size_t> widths;
+  for (const Column& c : columns_) widths.push_back(c.name.size());
+  int shown = std::min(max_rows, num_rows());
+  for (int r = 0; r < shown; ++r) {
+    for (int c = 0; c < num_columns(); ++c) {
+      widths[static_cast<size_t>(c)] = std::max(
+          widths[static_cast<size_t>(c)], ValueToString(at(r, c)).size());
+    }
+  }
+  std::string out;
+  auto add_row = [&](const std::vector<std::string>& cells) {
+    out += "|";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      out += " " + cells[c] +
+             std::string(widths[c] - cells[c].size(), ' ') + " |";
+    }
+    out += "\n";
+  };
+  std::vector<std::string> header;
+  for (const Column& c : columns_) header.push_back(c.name);
+  add_row(header);
+  out += "|";
+  for (size_t c = 0; c < widths.size(); ++c) {
+    out += std::string(widths[c] + 2, '-') + "|";
+  }
+  out += "\n";
+  for (int r = 0; r < shown; ++r) {
+    std::vector<std::string> cells;
+    for (int c = 0; c < num_columns(); ++c) {
+      cells.push_back(ValueToString(at(r, c)));
+    }
+    add_row(cells);
+  }
+  if (shown < num_rows()) {
+    out += StrFormat("... (%d more rows)\n", num_rows() - shown);
+  }
+  return out;
+}
+
+Status Catalog::Register(Table table) {
+  std::string name = table.name();
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table already registered: " + name);
+  }
+  tables_.emplace(std::move(name), std::move(table));
+  return Status::Ok();
+}
+
+Result<const Table*> Catalog::Get(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  return &it->second;
+}
+
+bool Catalog::Drop(const std::string& name) { return tables_.erase(name) > 0; }
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, t] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace db
+}  // namespace iq

@@ -1,0 +1,86 @@
+#ifndef IQ_DB_TABLE_H_
+#define IQ_DB_TABLE_H_
+
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/csv.h"
+#include "util/status.h"
+
+namespace iq {
+namespace db {
+
+/// A cell value. NULLs are not modeled — the analytic workloads this engine
+/// serves are dense numeric tables.
+using Value = std::variant<int64_t, double, std::string>;
+
+enum class ColumnType { kInt, kDouble, kString };
+
+const char* ColumnTypeName(ColumnType t);
+
+/// Converts a value to double (ints widen; strings are an error).
+Result<double> ValueAsDouble(const Value& v);
+std::string ValueToString(const Value& v);
+
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kDouble;
+};
+
+/// An in-memory, row-oriented table.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, std::vector<Column> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  /// Builds a table from CSV with per-column type inference (int -> double
+  /// -> string fallback).
+  static Result<Table> FromCsv(std::string name, const CsvTable& csv);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+  int ColumnIndex(const std::string& name) const;
+
+  const std::vector<Value>& row(int i) const {
+    return rows_[static_cast<size_t>(i)];
+  }
+  const Value& at(int row, int col) const {
+    return rows_[static_cast<size_t>(row)][static_cast<size_t>(col)];
+  }
+
+  /// Appends a row. Error on width or type mismatch.
+  Status Append(std::vector<Value> row);
+
+  CsvTable ToCsv() const;
+
+  /// Pretty-printed table (for the examples' console output).
+  std::string ToDisplayString(int max_rows = 20) const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  std::vector<std::vector<Value>> rows_;
+};
+
+/// The database catalog: named tables.
+class Catalog {
+ public:
+  Status Register(Table table);
+  Result<const Table*> Get(const std::string& name) const;
+  bool Drop(const std::string& name);
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace db
+}  // namespace iq
+
+#endif  // IQ_DB_TABLE_H_

@@ -1,0 +1,373 @@
+#include "expr/expr.h"
+
+#include <cctype>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace iq {
+
+std::unique_ptr<ExprNode> ExprNode::Clone() const {
+  auto out = std::make_unique<ExprNode>();
+  out->kind = kind;
+  out->value = value;
+  out->var_index = var_index;
+  out->func = func;
+  out->children.reserve(children.size());
+  for (const auto& c : children) out->children.push_back(c->Clone());
+  return out;
+}
+
+ExprPtr MakeConst(double v) {
+  auto n = std::make_unique<ExprNode>();
+  n->kind = ExprNode::Kind::kConst;
+  n->value = v;
+  return n;
+}
+
+ExprPtr MakeAttr(int index) {
+  auto n = std::make_unique<ExprNode>();
+  n->kind = ExprNode::Kind::kAttr;
+  n->var_index = index;
+  return n;
+}
+
+ExprPtr MakeWeight(int index) {
+  auto n = std::make_unique<ExprNode>();
+  n->kind = ExprNode::Kind::kWeight;
+  n->var_index = index;
+  return n;
+}
+
+ExprPtr MakeBinary(ExprNode::Kind kind, ExprPtr lhs, ExprPtr rhs) {
+  auto n = std::make_unique<ExprNode>();
+  n->kind = kind;
+  n->children.push_back(std::move(lhs));
+  n->children.push_back(std::move(rhs));
+  return n;
+}
+
+namespace {
+
+enum class TokKind { kNumber, kIdent, kOp, kLParen, kRParen, kComma, kEnd };
+
+struct Token {
+  TokKind kind;
+  double number = 0.0;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& s) : s_(s) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+        size_t end = pos_;
+        while (end < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[end])) ||
+                s_[end] == '.' || s_[end] == 'e' || s_[end] == 'E' ||
+                ((s_[end] == '+' || s_[end] == '-') && end > pos_ &&
+                 (s_[end - 1] == 'e' || s_[end - 1] == 'E')))) {
+          ++end;
+        }
+        auto num = ParseDouble(s_.substr(pos_, end - pos_));
+        if (!num.ok()) return num.status();
+        out.push_back({TokKind::kNumber, *num, ""});
+        pos_ = end;
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t end = pos_;
+        while (end < s_.size() &&
+               (std::isalnum(static_cast<unsigned char>(s_[end])) ||
+                s_[end] == '_')) {
+          ++end;
+        }
+        out.push_back({TokKind::kIdent, 0.0, s_.substr(pos_, end - pos_)});
+        pos_ = end;
+      } else if (c == '(') {
+        out.push_back({TokKind::kLParen, 0.0, "("});
+        ++pos_;
+      } else if (c == ')') {
+        out.push_back({TokKind::kRParen, 0.0, ")"});
+        ++pos_;
+      } else if (c == ',') {
+        out.push_back({TokKind::kComma, 0.0, ","});
+        ++pos_;
+      } else if (c == '+' || c == '-' || c == '*' || c == '/' || c == '^') {
+        out.push_back({TokKind::kOp, 0.0, std::string(1, c)});
+        ++pos_;
+      } else {
+        return Status::InvalidArgument(
+            StrFormat("unexpected character '%c' at position %zu", c, pos_));
+      }
+    }
+    out.push_back({TokKind::kEnd, 0.0, ""});
+    return out;
+  }
+
+ private:
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+bool IsKnownFunction(const std::string& name) {
+  return name == "sqrt" || name == "abs" || name == "log" || name == "exp" ||
+         name == "pow" || name == "min" || name == "max";
+}
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, int dim, int num_weights)
+      : tokens_(std::move(tokens)), dim_(dim), num_weights_(num_weights) {}
+
+  Result<ExprPtr> Run() {
+    IQ_ASSIGN_OR_RETURN(ExprPtr e, ParseSum());
+    if (Peek().kind != TokKind::kEnd) {
+      return Status::InvalidArgument("trailing tokens after expression");
+    }
+    return std::move(e);
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  Token Next() { return tokens_[pos_++]; }
+  bool PeekOp(const char* op) const {
+    return Peek().kind == TokKind::kOp && Peek().text == op;
+  }
+
+  Result<ExprPtr> ParseSum() {
+    IQ_ASSIGN_OR_RETURN(ExprPtr lhs, ParseProduct());
+    while (PeekOp("+") || PeekOp("-")) {
+      bool add = Next().text == "+";
+      IQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseProduct());
+      lhs = MakeBinary(add ? ExprNode::Kind::kAdd : ExprNode::Kind::kSub,
+                       std::move(lhs), std::move(rhs));
+    }
+    return std::move(lhs);
+  }
+
+  Result<ExprPtr> ParseProduct() {
+    IQ_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (PeekOp("*") || PeekOp("/")) {
+      bool mul = Next().text == "*";
+      IQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = MakeBinary(mul ? ExprNode::Kind::kMul : ExprNode::Kind::kDiv,
+                       std::move(lhs), std::move(rhs));
+    }
+    return std::move(lhs);
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (PeekOp("-")) {
+      Next();
+      IQ_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+      auto n = std::make_unique<ExprNode>();
+      n->kind = ExprNode::Kind::kNeg;
+      n->children.push_back(std::move(inner));
+      return std::move(n);
+    }
+    if (PeekOp("+")) Next();
+    return ParsePower();
+  }
+
+  Result<ExprPtr> ParsePower() {
+    IQ_ASSIGN_OR_RETURN(ExprPtr base, ParseAtom());
+    if (PeekOp("^")) {
+      Next();
+      // Right-associative.
+      IQ_ASSIGN_OR_RETURN(ExprPtr exp, ParseUnary());
+      return MakeBinary(ExprNode::Kind::kPow, std::move(base),
+                        std::move(exp));
+    }
+    return std::move(base);
+  }
+
+  Result<ExprPtr> ParseAtom() {
+    Token t = Next();
+    switch (t.kind) {
+      case TokKind::kNumber:
+        return MakeConst(t.number);
+      case TokKind::kLParen: {
+        IQ_ASSIGN_OR_RETURN(ExprPtr e, ParseSum());
+        if (Peek().kind != TokKind::kRParen) {
+          return Status::InvalidArgument("expected ')'");
+        }
+        Next();
+        return std::move(e);
+      }
+      case TokKind::kIdent:
+        return ParseIdent(t.text);
+      default:
+        return Status::InvalidArgument("unexpected token '" + t.text + "'");
+    }
+  }
+
+  Result<ExprPtr> ParseIdent(const std::string& name) {
+    if (Peek().kind == TokKind::kLParen) {
+      if (!IsKnownFunction(name)) {
+        return Status::InvalidArgument("unknown function '" + name + "'");
+      }
+      Next();  // consume '('
+      auto n = std::make_unique<ExprNode>();
+      n->kind = ExprNode::Kind::kCall;
+      n->func = name;
+      if (Peek().kind != TokKind::kRParen) {
+        for (;;) {
+          IQ_ASSIGN_OR_RETURN(ExprPtr arg, ParseSum());
+          n->children.push_back(std::move(arg));
+          if (Peek().kind == TokKind::kComma) {
+            Next();
+            continue;
+          }
+          break;
+        }
+      }
+      if (Peek().kind != TokKind::kRParen) {
+        return Status::InvalidArgument("expected ')' after arguments");
+      }
+      Next();
+      int arity = static_cast<int>(n->children.size());
+      bool binary = name == "pow" || name == "min" || name == "max";
+      if ((binary && arity != 2) || (!binary && arity != 1)) {
+        return Status::InvalidArgument(
+            StrFormat("function '%s' got %d arguments", name.c_str(), arity));
+      }
+      return std::move(n);
+    }
+    // Variable: x<k> or w<k>.
+    if (name.size() >= 2 && (name[0] == 'x' || name[0] == 'w')) {
+      auto idx = ParseInt(name.substr(1));
+      if (idx.ok() && *idx >= 1) {
+        int index = static_cast<int>(*idx) - 1;
+        if (name[0] == 'x') {
+          if (dim_ >= 0 && index >= dim_) {
+            return Status::OutOfRange("attribute " + name + " out of range");
+          }
+          return MakeAttr(index);
+        }
+        if (num_weights_ >= 0 && index >= num_weights_) {
+          return Status::OutOfRange("weight " + name + " out of range");
+        }
+        return MakeWeight(index);
+      }
+    }
+    return Status::InvalidArgument("unknown identifier '" + name + "'");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  int dim_;
+  int num_weights_;
+};
+
+}  // namespace
+
+Result<ExprPtr> ParseExpr(const std::string& text, int dim, int num_weights) {
+  Lexer lexer(text);
+  IQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Run());
+  Parser parser(std::move(tokens), dim, num_weights);
+  return parser.Run();
+}
+
+double EvalExpr(const ExprNode& node, const Vec& attrs, const Vec& weights) {
+  using Kind = ExprNode::Kind;
+  switch (node.kind) {
+    case Kind::kConst:
+      return node.value;
+    case Kind::kAttr:
+      return attrs[static_cast<size_t>(node.var_index)];
+    case Kind::kWeight:
+      return weights[static_cast<size_t>(node.var_index)];
+    case Kind::kAdd:
+      return EvalExpr(*node.children[0], attrs, weights) +
+             EvalExpr(*node.children[1], attrs, weights);
+    case Kind::kSub:
+      return EvalExpr(*node.children[0], attrs, weights) -
+             EvalExpr(*node.children[1], attrs, weights);
+    case Kind::kMul:
+      return EvalExpr(*node.children[0], attrs, weights) *
+             EvalExpr(*node.children[1], attrs, weights);
+    case Kind::kDiv:
+      return EvalExpr(*node.children[0], attrs, weights) /
+             EvalExpr(*node.children[1], attrs, weights);
+    case Kind::kPow:
+      return std::pow(EvalExpr(*node.children[0], attrs, weights),
+                      EvalExpr(*node.children[1], attrs, weights));
+    case Kind::kNeg:
+      return -EvalExpr(*node.children[0], attrs, weights);
+    case Kind::kCall: {
+      double a = EvalExpr(*node.children[0], attrs, weights);
+      if (node.func == "sqrt") return std::sqrt(a);
+      if (node.func == "abs") return std::fabs(a);
+      if (node.func == "log") return std::log(a);
+      if (node.func == "exp") return std::exp(a);
+      double b = node.children.size() > 1
+                     ? EvalExpr(*node.children[1], attrs, weights)
+                     : 0.0;
+      if (node.func == "pow") return std::pow(a, b);
+      if (node.func == "min") return std::min(a, b);
+      if (node.func == "max") return std::max(a, b);
+      IQ_LOG(Fatal) << "unknown function " << node.func;
+      return 0.0;
+    }
+  }
+  return 0.0;
+}
+
+int MaxAttrIndex(const ExprNode& node) {
+  int m = node.kind == ExprNode::Kind::kAttr ? node.var_index + 1 : 0;
+  for (const auto& c : node.children) m = std::max(m, MaxAttrIndex(*c));
+  return m;
+}
+
+int MaxWeightIndex(const ExprNode& node) {
+  int m = node.kind == ExprNode::Kind::kWeight ? node.var_index + 1 : 0;
+  for (const auto& c : node.children) m = std::max(m, MaxWeightIndex(*c));
+  return m;
+}
+
+std::string ExprToString(const ExprNode& node) {
+  using Kind = ExprNode::Kind;
+  switch (node.kind) {
+    case Kind::kConst:
+      return StrFormat("%g", node.value);
+    case Kind::kAttr:
+      return StrFormat("x%d", node.var_index + 1);
+    case Kind::kWeight:
+      return StrFormat("w%d", node.var_index + 1);
+    case Kind::kAdd:
+      return "(" + ExprToString(*node.children[0]) + " + " +
+             ExprToString(*node.children[1]) + ")";
+    case Kind::kSub:
+      return "(" + ExprToString(*node.children[0]) + " - " +
+             ExprToString(*node.children[1]) + ")";
+    case Kind::kMul:
+      return "(" + ExprToString(*node.children[0]) + " * " +
+             ExprToString(*node.children[1]) + ")";
+    case Kind::kDiv:
+      return "(" + ExprToString(*node.children[0]) + " / " +
+             ExprToString(*node.children[1]) + ")";
+    case Kind::kPow:
+      return "(" + ExprToString(*node.children[0]) + " ^ " +
+             ExprToString(*node.children[1]) + ")";
+    case Kind::kNeg:
+      return "(-" + ExprToString(*node.children[0]) + ")";
+    case Kind::kCall: {
+      std::string out = node.func + "(";
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        if (i) out += ", ";
+        out += ExprToString(*node.children[i]);
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace iq

@@ -1,0 +1,68 @@
+#ifndef IQ_EXPR_EXPR_H_
+#define IQ_EXPR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geom/vec.h"
+#include "util/status.h"
+
+namespace iq {
+
+/// AST for utility-function expressions over object attributes `x1..xd`
+/// and query weights `w1..wT`. Supports + - * / ^ (integer or real power),
+/// unary minus, parentheses, and the functions sqrt, abs, log, exp, pow,
+/// min, max.
+///
+/// Example (paper Eq. 19): "sqrt(w1 * x1) + w2 * (x3 / x2)".
+struct ExprNode {
+  enum class Kind {
+    kConst,
+    kAttr,    // x<index+1>
+    kWeight,  // w<index+1>
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+    kPow,
+    kNeg,
+    kCall,
+  };
+
+  Kind kind = Kind::kConst;
+  double value = 0.0;                                   // kConst
+  int var_index = 0;                                    // kAttr / kWeight
+  std::string func;                                     // kCall
+  std::vector<std::unique_ptr<ExprNode>> children;
+
+  std::unique_ptr<ExprNode> Clone() const;
+};
+
+using ExprPtr = std::unique_ptr<ExprNode>;
+
+/// Parses `text`. Attribute references must stay within [x1, x<dim>] and
+/// weight references within [w1, w<num_weights>]; pass -1 to skip either
+/// bound check.
+Result<ExprPtr> ParseExpr(const std::string& text, int dim = -1,
+                          int num_weights = -1);
+
+/// Evaluates the expression. Pre: indices in range of the given vectors.
+double EvalExpr(const ExprNode& node, const Vec& attrs, const Vec& weights);
+
+/// Highest attribute / weight index referenced, plus one (0 when none).
+int MaxAttrIndex(const ExprNode& node);
+int MaxWeightIndex(const ExprNode& node);
+
+/// Round-trippable textual form (for debugging and the DBMS layer).
+std::string ExprToString(const ExprNode& node);
+
+/// Convenience constructors used by the linearizer and tests.
+ExprPtr MakeConst(double v);
+ExprPtr MakeAttr(int index);
+ExprPtr MakeWeight(int index);
+ExprPtr MakeBinary(ExprNode::Kind kind, ExprPtr lhs, ExprPtr rhs);
+
+}  // namespace iq
+
+#endif  // IQ_EXPR_EXPR_H_

@@ -1,0 +1,64 @@
+#include "expr/unify.h"
+
+#include "util/string_util.h"
+
+namespace iq {
+
+int UnifiedFamily::AddMember(LinearForm form) {
+  offsets_.push_back(total_slots_);
+  total_slots_ += form.num_slots();
+  members_.push_back(std::move(form));
+  return static_cast<int>(members_.size()) - 1;
+}
+
+Result<Vec> UnifiedFamily::EmbedWeights(int m, const Vec& w) const {
+  if (m < 0 || m >= num_members()) {
+    return Status::OutOfRange(StrFormat("member %d out of range", m));
+  }
+  const LinearForm& form = members_[static_cast<size_t>(m)];
+  if (static_cast<int>(w.size()) != form.num_weights()) {
+    return Status::InvalidArgument(
+        StrFormat("member %d expects %d weights, got %zu", m,
+                  form.num_weights(), w.size()));
+  }
+  Vec out = Zeros(total_slots_);
+  Vec aug = form.AugmentWeights(w);
+  int off = offsets_[static_cast<size_t>(m)];
+  for (size_t j = 0; j < aug.size(); ++j) {
+    out[static_cast<size_t>(off) + j] = aug[j];
+  }
+  return out;
+}
+
+Vec UnifiedFamily::Coefficients(const Vec& attrs) const {
+  Vec out;
+  out.reserve(static_cast<size_t>(total_slots_));
+  for (const LinearForm& form : members_) {
+    Vec c = form.Coefficients(attrs);
+    out.insert(out.end(), c.begin(), c.end());
+  }
+  return out;
+}
+
+Vec UnifiedFamily::ScoreGradient(const Vec& attrs,
+                                 const Vec& unified_weights) const {
+  Vec grad = Zeros(static_cast<int>(attrs.size()));
+  for (int m = 0; m < num_members(); ++m) {
+    const LinearForm& form = members_[static_cast<size_t>(m)];
+    int off = offsets_[static_cast<size_t>(m)];
+    for (int j = 0; j < form.num_slots(); ++j) {
+      double w = unified_weights[static_cast<size_t>(off + j)];
+      if (w == 0.0) continue;
+      for (const Monomial& mono : form.slot(j)) {
+        mono.AccumulateGradient(attrs, w, &grad);
+      }
+    }
+  }
+  return grad;
+}
+
+double UnifiedFamily::MemberScore(int m, const Vec& attrs, const Vec& w) const {
+  return members_[static_cast<size_t>(m)].Score(attrs, w);
+}
+
+}  // namespace iq

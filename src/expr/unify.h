@@ -1,0 +1,58 @@
+#ifndef IQ_EXPR_UNIFY_H_
+#define IQ_EXPR_UNIFY_H_
+
+#include <vector>
+
+#include "expr/linearize.h"
+#include "geom/vec.h"
+#include "util/status.h"
+
+namespace iq {
+
+/// Heterogeneous utility functions (§5.3): builds one "generic" function
+/// G = u_1 + u_2 + ... with disjoint weight slots so that every user-defined
+/// utility is a special case of G (a query using u_i sets all other members'
+/// slots — including their bias indicator — to zero). This lets the engine
+/// interpret each object as a single function even when users rank with
+/// completely different formulas.
+class UnifiedFamily {
+ public:
+  /// Adds a member utility (already in linear form). Returns its member id.
+  int AddMember(LinearForm form);
+
+  int num_members() const { return static_cast<int>(members_.size()); }
+
+  /// Total number of unified weight slots (Σ member slots).
+  int total_slots() const { return total_slots_; }
+
+  /// First unified slot of member `m`.
+  int SlotOffset(int m) const { return offsets_[static_cast<size_t>(m)]; }
+
+  const LinearForm& member(int m) const {
+    return members_[static_cast<size_t>(m)];
+  }
+
+  /// Unified weight vector for a query of member `m` with weights `w`
+  /// (member block = augmented weights incl. bias indicator 1, rest 0).
+  /// Error when w's length mismatches the member's weight count.
+  Result<Vec> EmbedWeights(int m, const Vec& w) const;
+
+  /// Unified coefficient vector of an object (concatenated member
+  /// coefficients, length total_slots()).
+  Vec Coefficients(const Vec& attrs) const;
+
+  /// Gradient of (unified_weights . Coefficients(p)) w.r.t. attributes.
+  Vec ScoreGradient(const Vec& attrs, const Vec& unified_weights) const;
+
+  /// Score of member m's utility — equals EmbedWeights(m,w) . Coefficients.
+  double MemberScore(int m, const Vec& attrs, const Vec& w) const;
+
+ private:
+  std::vector<LinearForm> members_;
+  std::vector<int> offsets_;
+  int total_slots_ = 0;
+};
+
+}  // namespace iq
+
+#endif  // IQ_EXPR_UNIFY_H_

@@ -1,0 +1,9 @@
+#include "geom/hyperplane.h"
+
+namespace iq {
+
+Hyperplane IntersectionPlane(const Vec& ci, const Vec& cl) {
+  return Hyperplane{Sub(ci, cl), 0.0};
+}
+
+}  // namespace iq

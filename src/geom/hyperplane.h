@@ -1,0 +1,34 @@
+#ifndef IQ_GEOM_HYPERPLANE_H_
+#define IQ_GEOM_HYPERPLANE_H_
+
+#include "geom/vec.h"
+
+namespace iq {
+
+/// A hyperplane {q : normal . q = offset} in the query-weight domain.
+///
+/// In the paper's geometry the intersection of two object-functions f_i and
+/// f_l is the hyperplane Sum_j q^(j) (p_i^(j) - p_l^(j)) = 0, i.e.
+/// normal = p_i - p_l (in augmented-coefficient space) and offset = 0.
+/// A query point q is *above* the plane when Side(q) <= 0 (f_i(q) <= f_l(q)
+/// means p_i ranks no worse than p_l under lower-is-better), matching the
+/// paper's convention that points on the plane count as above.
+struct Hyperplane {
+  Vec normal;
+  double offset = 0.0;
+
+  /// Signed evaluation normal . q - offset.
+  double Side(const Vec& q) const { return Dot(normal, q) - offset; }
+
+  /// Paper convention: q is "above" the intersection of (f_i, f_l) when
+  /// f_i(q) - f_l(q) <= 0.
+  bool Above(const Vec& q) const { return Side(q) <= 0.0; }
+};
+
+/// Builds the intersection hyperplane of the object-functions with
+/// coefficient vectors ci and cl: {q : (ci - cl) . q = 0}.
+Hyperplane IntersectionPlane(const Vec& ci, const Vec& cl);
+
+}  // namespace iq
+
+#endif  // IQ_GEOM_HYPERPLANE_H_

@@ -1,0 +1,151 @@
+#include "geom/plane_sweep.h"
+
+#include <algorithm>
+#include <cmath>
+#include <list>
+
+namespace iq {
+namespace {
+
+double Cross(double ox, double oy, double ax, double ay, double bx,
+             double by) {
+  return (ax - ox) * (by - oy) - (ay - oy) * (bx - ox);
+}
+
+bool OnSegment(const Segment2D& s, double px, double py) {
+  return px >= std::min(s.ax, s.bx) - 1e-12 &&
+         px <= std::max(s.ax, s.bx) + 1e-12 &&
+         py >= std::min(s.ay, s.by) - 1e-12 &&
+         py <= std::max(s.ay, s.by) + 1e-12;
+}
+
+}  // namespace
+
+std::optional<Vec> IntersectSegments(const Segment2D& s, const Segment2D& t) {
+  double d1 = Cross(t.ax, t.ay, t.bx, t.by, s.ax, s.ay);
+  double d2 = Cross(t.ax, t.ay, t.bx, t.by, s.bx, s.by);
+  double d3 = Cross(s.ax, s.ay, s.bx, s.by, t.ax, t.ay);
+  double d4 = Cross(s.ax, s.ay, s.bx, s.by, t.bx, t.by);
+
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    // Proper crossing: solve for the parameter on segment s.
+    double denom = d1 - d2;
+    double u = d1 / denom;
+    return Vec{s.ax + u * (s.bx - s.ax), s.ay + u * (s.by - s.ay)};
+  }
+
+  // Degenerate touches: an endpoint lying on the other segment.
+  if (std::fabs(d1) < 1e-12 && OnSegment(t, s.ax, s.ay)) {
+    return Vec{s.ax, s.ay};
+  }
+  if (std::fabs(d2) < 1e-12 && OnSegment(t, s.bx, s.by)) {
+    return Vec{s.bx, s.by};
+  }
+  if (std::fabs(d3) < 1e-12 && OnSegment(s, t.ax, t.ay)) {
+    return Vec{t.ax, t.ay};
+  }
+  if (std::fabs(d4) < 1e-12 && OnSegment(s, t.bx, t.by)) {
+    return Vec{t.bx, t.by};
+  }
+  return std::nullopt;
+}
+
+std::vector<SegmentIntersection> FindIntersectionsSweep(
+    const std::vector<Segment2D>& segments) {
+  struct Event {
+    double x;
+    int seg;
+    bool start;
+  };
+  std::vector<Event> events;
+  events.reserve(segments.size() * 2);
+  for (int i = 0; i < static_cast<int>(segments.size()); ++i) {
+    const Segment2D& s = segments[static_cast<size_t>(i)];
+    double lo = std::min(s.ax, s.bx);
+    double hi = std::max(s.ax, s.bx);
+    events.push_back({lo, i, true});
+    events.push_back({hi, i, false});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.x != b.x) return a.x < b.x;
+    return a.start > b.start;  // starts before ends at equal x (closed segs)
+  });
+
+  std::vector<SegmentIntersection> out;
+  std::list<int> active;
+  std::vector<std::list<int>::iterator> where(segments.size());
+  std::vector<bool> is_active(segments.size(), false);
+  for (const Event& e : events) {
+    if (e.start) {
+      const Segment2D& s = segments[static_cast<size_t>(e.seg)];
+      for (int j : active) {
+        auto p = IntersectSegments(s, segments[static_cast<size_t>(j)]);
+        if (p.has_value()) {
+          int a = std::min(e.seg, j);
+          int b = std::max(e.seg, j);
+          out.push_back({a, b, (*p)[0], (*p)[1]});
+        }
+      }
+      active.push_front(e.seg);
+      where[static_cast<size_t>(e.seg)] = active.begin();
+      is_active[static_cast<size_t>(e.seg)] = true;
+    } else if (is_active[static_cast<size_t>(e.seg)]) {
+      active.erase(where[static_cast<size_t>(e.seg)]);
+      is_active[static_cast<size_t>(e.seg)] = false;
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SegmentIntersection& a, const SegmentIntersection& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second < b.second;
+            });
+  return out;
+}
+
+std::vector<SegmentIntersection> FindIntersectionsBruteForce(
+    const std::vector<Segment2D>& segments) {
+  std::vector<SegmentIntersection> out;
+  for (int i = 0; i < static_cast<int>(segments.size()); ++i) {
+    for (int j = i + 1; j < static_cast<int>(segments.size()); ++j) {
+      auto p = IntersectSegments(segments[static_cast<size_t>(i)],
+                                 segments[static_cast<size_t>(j)]);
+      if (p.has_value()) out.push_back({i, j, (*p)[0], (*p)[1]});
+    }
+  }
+  return out;
+}
+
+std::optional<Segment2D> ClipLineToBox(double nx, double ny, double offset,
+                                       double lo_x, double lo_y, double hi_x,
+                                       double hi_y) {
+  // Collect intersections of the line nx*x + ny*y = offset with the four box
+  // edges, then keep the two extreme points.
+  std::vector<std::pair<double, double>> pts;
+  auto add = [&](double x, double y) {
+    if (x >= lo_x - 1e-12 && x <= hi_x + 1e-12 && y >= lo_y - 1e-12 &&
+        y <= hi_y + 1e-12) {
+      pts.emplace_back(std::clamp(x, lo_x, hi_x), std::clamp(y, lo_y, hi_y));
+    }
+  };
+  if (std::fabs(ny) > 1e-15) {
+    add(lo_x, (offset - nx * lo_x) / ny);
+    add(hi_x, (offset - nx * hi_x) / ny);
+  }
+  if (std::fabs(nx) > 1e-15) {
+    add((offset - ny * lo_y) / nx, lo_y);
+    add((offset - ny * hi_y) / nx, hi_y);
+  }
+  if (pts.size() < 2) return std::nullopt;
+  auto cmp = [](const std::pair<double, double>& a,
+                const std::pair<double, double>& b) { return a < b; };
+  auto mn = *std::min_element(pts.begin(), pts.end(), cmp);
+  auto mx = *std::max_element(pts.begin(), pts.end(), cmp);
+  if (std::fabs(mn.first - mx.first) < 1e-15 &&
+      std::fabs(mn.second - mx.second) < 1e-15) {
+    return std::nullopt;  // line only touches a corner
+  }
+  return Segment2D{mn.first, mn.second, mx.first, mx.second};
+}
+
+}  // namespace iq

@@ -1,0 +1,50 @@
+#ifndef IQ_GEOM_PLANE_SWEEP_H_
+#define IQ_GEOM_PLANE_SWEEP_H_
+
+#include <optional>
+#include <vector>
+
+#include "geom/vec.h"
+
+namespace iq {
+
+/// A 2-D line segment. Used by the intersection-discovery substrate that
+/// backs the literal Algorithm 1 (FindSubdomains) in two dimensions:
+/// intersection hyperplanes clipped to the query domain box become segments.
+struct Segment2D {
+  double ax = 0, ay = 0, bx = 0, by = 0;
+};
+
+/// A reported pairwise intersection.
+struct SegmentIntersection {
+  int first = 0;   // index of the first segment
+  int second = 0;  // index of the second segment (first < second)
+  double x = 0, y = 0;
+};
+
+/// Exact predicate + point for two closed segments. Collinear overlaps report
+/// one representative point (the first shared endpoint found).
+std::optional<Vec> IntersectSegments(const Segment2D& s, const Segment2D& t);
+
+/// Plane-sweep intersection discovery (Nievergelt-Preparata style interval
+/// sweep): events are segment endpoints sorted by x; a segment is tested only
+/// against segments whose x-interval is active when it starts. O((n+k) * A)
+/// where A is the active-set size — near-linear for the sparse arrangements
+/// produced by subdomain boundaries, and never worse than the brute-force
+/// O(n^2) pair scan it replaces.
+std::vector<SegmentIntersection> FindIntersectionsSweep(
+    const std::vector<Segment2D>& segments);
+
+/// Brute-force all-pairs reference (used as the testing oracle).
+std::vector<SegmentIntersection> FindIntersectionsBruteForce(
+    const std::vector<Segment2D>& segments);
+
+/// Clips the line {q : n.q = offset} to the axis-aligned box
+/// [lo_x,hi_x]x[lo_y,hi_y]. Returns nullopt when the line misses the box.
+std::optional<Segment2D> ClipLineToBox(double nx, double ny, double offset,
+                                       double lo_x, double lo_y, double hi_x,
+                                       double hi_y);
+
+}  // namespace iq
+
+#endif  // IQ_GEOM_PLANE_SWEEP_H_

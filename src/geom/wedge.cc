@@ -1,0 +1,17 @@
+#include "geom/wedge.h"
+
+namespace iq {
+
+bool Wedge::MayIntersect(const Mbr& box) const {
+  PlaneRelation rb = box.Classify(before_);
+  PlaneRelation ra = box.Classify(after_);
+  // The wedge is the symmetric difference of the two "above" halfspaces
+  // (Side <= 0). If the whole box is on the same strict side of both planes,
+  // no point in it flips.
+  if (rb == PlaneRelation::kStraddles || ra == PlaneRelation::kStraddles) {
+    return true;
+  }
+  return rb != ra;
+}
+
+}  // namespace iq

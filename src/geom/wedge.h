@@ -1,0 +1,47 @@
+#ifndef IQ_GEOM_WEDGE_H_
+#define IQ_GEOM_WEDGE_H_
+
+#include "geom/hyperplane.h"
+#include "geom/mbr.h"
+#include "geom/vec.h"
+
+namespace iq {
+
+/// The *affected subspace* of an improvement strategy with respect to one
+/// competitor (paper Eq. 2-5): the region between the pre-improvement
+/// intersection hyperplane of (f_i, f_l) and the post-improvement one.
+///
+/// A query point q is affected iff the sign of (c_i - c_l).q differs from the
+/// sign of (c_i' - c_l).q, i.e. the relative order of target and competitor
+/// flips. This covers both directions (the target overtaking f_l, Eq. 4-5,
+/// and the target falling behind f_l when a strategy worsens an attribute).
+class Wedge {
+ public:
+  /// before: intersection plane built from the original coefficients,
+  /// after: plane from the improved coefficients (vs the same competitor).
+  Wedge(Hyperplane before, Hyperplane after)
+      : before_(std::move(before)), after_(std::move(after)) {}
+
+  const Hyperplane& before() const { return before_; }
+  const Hyperplane& after() const { return after_; }
+
+  /// True iff q lies in the affected subspace (rank of the pair flips).
+  /// Boundary convention matches Hyperplane::Above: Side(q) <= 0 counts as
+  /// "above" on both planes.
+  bool Contains(const Vec& q) const {
+    return before_.Above(q) != after_.Above(q);
+  }
+
+  /// False only when no point of `box` can be inside the wedge; used for
+  /// R-tree subtree pruning. (If the box is strictly on one side of both
+  /// planes with the same orientation, no rank flip can happen inside it.)
+  bool MayIntersect(const Mbr& box) const;
+
+ private:
+  Hyperplane before_;
+  Hyperplane after_;
+};
+
+}  // namespace iq
+
+#endif  // IQ_GEOM_WEDGE_H_

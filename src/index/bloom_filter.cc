@@ -1,0 +1,66 @@
+#include "index/bloom_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iq {
+namespace {
+
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(size_t expected_keys, double fp_rate) {
+  expected_keys = std::max<size_t>(expected_keys, 1);
+  fp_rate = std::clamp(fp_rate, 1e-9, 0.5);
+  double bits_per_key = -std::log(fp_rate) / (std::log(2.0) * std::log(2.0));
+  num_bits_ = std::max<size_t>(
+      64, static_cast<size_t>(std::ceil(bits_per_key *
+                                        static_cast<double>(expected_keys))));
+  num_hashes_ = std::max(
+      1, static_cast<int>(std::round(bits_per_key * std::log(2.0))));
+  bits_.assign((num_bits_ + 63) / 64, 0);
+}
+
+void BloomFilter::Add(uint64_t key) {
+  uint64_t h1 = Mix64(key);
+  uint64_t h2 = Mix64(h1 ^ 0x9E3779B97F4A7C15ULL) | 1;
+  for (int i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % num_bits_;
+    bits_[bit / 64] |= (1ULL << (bit % 64));
+  }
+}
+
+bool BloomFilter::MayContain(uint64_t key) const {
+  uint64_t h1 = Mix64(key);
+  uint64_t h2 = Mix64(h1 ^ 0x9E3779B97F4A7C15ULL) | 1;
+  for (int i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % num_bits_;
+    if ((bits_[bit / 64] & (1ULL << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+uint64_t BloomFilter::KeyFromPair(int a, int b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(b));
+}
+
+uint64_t BloomFilter::KeyFromString(std::string_view s) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace iq

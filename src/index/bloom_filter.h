@@ -1,0 +1,42 @@
+#ifndef IQ_INDEX_BLOOM_FILTER_H_
+#define IQ_INDEX_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace iq {
+
+/// Double-hashing Bloom filter over 64-bit keys.
+///
+/// The paper (§4.3) uses a Bloom filter to index subdomains by their boundary
+/// intersections, so that "does any subdomain use intersection (i,l) as a
+/// boundary?" is answered without scanning subdomains when objects are
+/// removed.
+class BloomFilter {
+ public:
+  /// Sizes the filter for `expected_keys` at the target false-positive rate.
+  BloomFilter(size_t expected_keys, double fp_rate = 0.01);
+
+  void Add(uint64_t key);
+  /// No false negatives; false positives at ~fp_rate.
+  bool MayContain(uint64_t key) const;
+
+  size_t num_bits() const { return num_bits_; }
+  int num_hashes() const { return num_hashes_; }
+  size_t MemoryBytes() const { return bits_.size() * sizeof(uint64_t); }
+
+  /// Mixes two 32-bit ids into a filter key (e.g. an intersection pair).
+  static uint64_t KeyFromPair(int a, int b);
+  /// FNV-1a over bytes, for string keys.
+  static uint64_t KeyFromString(std::string_view s);
+
+ private:
+  size_t num_bits_;
+  int num_hashes_;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace iq
+
+#endif  // IQ_INDEX_BLOOM_FILTER_H_

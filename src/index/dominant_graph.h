@@ -1,0 +1,55 @@
+#ifndef IQ_INDEX_DOMINANT_GRAPH_H_
+#define IQ_INDEX_DOMINANT_GRAPH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "geom/vec.h"
+
+namespace iq {
+
+/// Dominant Graph top-k index (Zou & Chen, ICDE 2008) — the state-of-the-art
+/// indexing baseline the paper compares against in Figures 4 and 6.
+///
+/// Objects are organized in *dominance layers* (layer 0 = the skyline under
+/// lower-is-better dominance; layer i = the skyline after removing layers
+/// < i), with parent->child edges between consecutive layers recording the
+/// direct dominance relation. Under any monotone scoring function (here:
+/// linear with non-negative weights), an object in layer i has at least i
+/// objects scoring no worse, so the top-k result is contained in layers
+/// 0..k-1; a query therefore scores only those layers.
+class DominantGraph {
+ public:
+  /// Builds the index over row vectors (one coefficient vector per object,
+  /// lower attribute values dominate). Ids are the row indices.
+  explicit DominantGraph(const std::vector<Vec>& objects);
+
+  /// Top-k ids and scores for linear utility `weights` (non-negative),
+  /// lower score = better, sorted ascending by score. Ties broken by id.
+  std::vector<std::pair<int, double>> TopK(const Vec& weights, int k) const;
+
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  const std::vector<int>& layer(int i) const {
+    return layers_[static_cast<size_t>(i)];
+  }
+  /// Number of parent->child dominance edges stored.
+  size_t num_edges() const { return num_edges_; }
+
+  size_t MemoryBytes() const;
+
+ private:
+  const std::vector<Vec>* objects_;  // not owned
+  std::vector<std::vector<int>> layers_;
+  std::vector<int> layer_of_;
+  // children_[v] = objects in layer(v)+1 directly dominated by v.
+  std::vector<std::vector<int>> children_;
+  size_t num_edges_ = 0;
+};
+
+/// True iff `a` dominates `b`: a[j] <= b[j] for all j and a != b.
+bool Dominates(const Vec& a, const Vec& b);
+
+}  // namespace iq
+
+#endif  // IQ_INDEX_DOMINANT_GRAPH_H_

@@ -1,0 +1,491 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace iq {
+
+struct RTree::Node {
+  bool is_leaf = true;
+  Mbr mbr;
+  Node* parent = nullptr;
+  std::vector<std::unique_ptr<Node>> children;  // internal nodes
+  std::vector<LeafEntry> entries;               // leaf nodes
+
+  explicit Node(int dim) : mbr(Mbr::Empty(dim)) {}
+
+  int fanout() const {
+    return is_leaf ? static_cast<int>(entries.size())
+                   : static_cast<int>(children.size());
+  }
+
+  void RecomputeMbr(int dim) {
+    mbr = Mbr::Empty(dim);
+    if (is_leaf) {
+      for (const auto& e : entries) mbr.Expand(e.point);
+    } else {
+      for (const auto& c : children) mbr.Expand(c->mbr);
+    }
+  }
+};
+
+RTree::~RTree() = default;
+RTree::RTree(RTree&&) noexcept = default;
+RTree& RTree::operator=(RTree&&) noexcept = default;
+
+RTree::RTree(int dim, int max_entries)
+    : dim_(dim),
+      max_entries_(std::max(4, max_entries)),
+      min_entries_(std::max(2, max_entries / 3)),
+      root_(std::make_unique<Node>(dim)) {}
+
+void RTree::Insert(const Vec& point, int id) {
+  IQ_DCHECK(static_cast<int>(point.size()) == dim_);
+  Node* leaf = ChooseLeaf(point);
+  leaf->entries.push_back(LeafEntry{point, id});
+  leaf->mbr.Expand(point);
+  ++size_;
+  if (leaf->fanout() > max_entries_) {
+    SplitNode(leaf);
+  } else {
+    AdjustUpward(leaf);
+  }
+}
+
+RTree::Node* RTree::ChooseLeaf(const Vec& point) {
+  Node* node = root_.get();
+  while (!node->is_leaf) {
+    Node* best = nullptr;
+    double best_enlarge = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (const auto& c : node->children) {
+      double enlarge = c->mbr.Enlargement(point);
+      double area = c->mbr.Area();
+      if (enlarge < best_enlarge ||
+          (enlarge == best_enlarge && area < best_area)) {
+        best_enlarge = enlarge;
+        best_area = area;
+        best = c.get();
+      }
+    }
+    IQ_CHECK(best != nullptr);
+    node = best;
+  }
+  return node;
+}
+
+namespace {
+
+// Picks the pair of rectangles wasting the most area together (quadratic
+// split seed selection, Guttman).
+template <typename GetMbr>
+std::pair<int, int> PickSeeds(int n, const GetMbr& mbr_of) {
+  int s1 = 0, s2 = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      Mbr combined = mbr_of(i);
+      combined.Expand(mbr_of(j));
+      double waste = combined.Area() - mbr_of(i).Area() - mbr_of(j).Area();
+      if (waste > worst) {
+        worst = waste;
+        s1 = i;
+        s2 = j;
+      }
+    }
+  }
+  return {s1, s2};
+}
+
+}  // namespace
+
+void RTree::SplitNode(Node* node) {
+  const int dim = dim_;
+  Node* right_parent = node->parent;
+
+  auto sibling = std::make_unique<Node>(dim);
+  sibling->is_leaf = node->is_leaf;
+
+  if (node->is_leaf) {
+    std::vector<LeafEntry> all = std::move(node->entries);
+    node->entries.clear();
+    auto mbr_of = [&](int i) { return Mbr(all[static_cast<size_t>(i)].point); };
+    auto [s1, s2] = PickSeeds(static_cast<int>(all.size()), mbr_of);
+
+    Mbr m1(all[static_cast<size_t>(s1)].point);
+    Mbr m2(all[static_cast<size_t>(s2)].point);
+    node->entries.push_back(std::move(all[static_cast<size_t>(s1)]));
+    sibling->entries.push_back(std::move(all[static_cast<size_t>(s2)]));
+    std::vector<LeafEntry> rest;
+    for (int i = 0; i < static_cast<int>(all.size()); ++i) {
+      if (i != s1 && i != s2) rest.push_back(std::move(all[static_cast<size_t>(i)]));
+    }
+    int remaining = static_cast<int>(rest.size());
+    for (auto& e : rest) {
+      // Force-assign when one side must take all remaining to reach min.
+      if (node->fanout() + remaining <= min_entries_) {
+        node->entries.push_back(std::move(e));
+        m1.Expand(node->entries.back().point);
+      } else if (sibling->fanout() + remaining <= min_entries_) {
+        sibling->entries.push_back(std::move(e));
+        m2.Expand(sibling->entries.back().point);
+      } else {
+        double e1 = m1.Enlargement(e.point);
+        double e2 = m2.Enlargement(e.point);
+        if (e1 < e2 || (e1 == e2 && node->fanout() <= sibling->fanout())) {
+          node->entries.push_back(std::move(e));
+          m1.Expand(node->entries.back().point);
+        } else {
+          sibling->entries.push_back(std::move(e));
+          m2.Expand(sibling->entries.back().point);
+        }
+      }
+      --remaining;
+    }
+  } else {
+    std::vector<std::unique_ptr<Node>> all = std::move(node->children);
+    node->children.clear();
+    auto mbr_of = [&](int i) { return all[static_cast<size_t>(i)]->mbr; };
+    auto [s1, s2] = PickSeeds(static_cast<int>(all.size()), mbr_of);
+
+    Mbr m1 = all[static_cast<size_t>(s1)]->mbr;
+    Mbr m2 = all[static_cast<size_t>(s2)]->mbr;
+    node->children.push_back(std::move(all[static_cast<size_t>(s1)]));
+    sibling->children.push_back(std::move(all[static_cast<size_t>(s2)]));
+    std::vector<std::unique_ptr<Node>> rest;
+    for (int i = 0; i < static_cast<int>(all.size()); ++i) {
+      if (i != s1 && i != s2) rest.push_back(std::move(all[static_cast<size_t>(i)]));
+    }
+    int remaining = static_cast<int>(rest.size());
+    for (auto& c : rest) {
+      if (node->fanout() + remaining <= min_entries_) {
+        m1.Expand(c->mbr);
+        node->children.push_back(std::move(c));
+      } else if (sibling->fanout() + remaining <= min_entries_) {
+        m2.Expand(c->mbr);
+        sibling->children.push_back(std::move(c));
+      } else {
+        Mbr g1 = m1;
+        g1.Expand(c->mbr);
+        Mbr g2 = m2;
+        g2.Expand(c->mbr);
+        double e1 = g1.Area() - m1.Area();
+        double e2 = g2.Area() - m2.Area();
+        if (e1 < e2 || (e1 == e2 && node->fanout() <= sibling->fanout())) {
+          m1 = g1;
+          node->children.push_back(std::move(c));
+        } else {
+          m2 = g2;
+          sibling->children.push_back(std::move(c));
+        }
+      }
+      --remaining;
+    }
+    for (auto& c : node->children) c->parent = node;
+    for (auto& c : sibling->children) c->parent = sibling.get();
+  }
+
+  node->RecomputeMbr(dim);
+  sibling->RecomputeMbr(dim);
+
+  if (right_parent == nullptr) {
+    // Splitting the root: grow the tree by one level.
+    auto new_root = std::make_unique<Node>(dim);
+    new_root->is_leaf = false;
+    std::unique_ptr<Node> old_root = std::move(root_);
+    old_root->parent = new_root.get();
+    sibling->parent = new_root.get();
+    new_root->children.push_back(std::move(old_root));
+    new_root->children.push_back(std::move(sibling));
+    new_root->RecomputeMbr(dim);
+    root_ = std::move(new_root);
+    return;
+  }
+
+  sibling->parent = right_parent;
+  right_parent->children.push_back(std::move(sibling));
+  right_parent->RecomputeMbr(dim);
+  if (right_parent->fanout() > max_entries_) {
+    SplitNode(right_parent);
+  } else {
+    AdjustUpward(right_parent);
+  }
+}
+
+void RTree::AdjustUpward(Node* node) {
+  for (Node* n = node->parent; n != nullptr; n = n->parent) {
+    n->RecomputeMbr(dim_);
+  }
+}
+
+bool RTree::Remove(const Vec& point, int id) {
+  // Find the leaf containing the exact entry.
+  Node* found_leaf = nullptr;
+  size_t found_idx = 0;
+  std::vector<Node*> stack = {root_.get()};
+  while (!stack.empty() && found_leaf == nullptr) {
+    Node* n = stack.back();
+    stack.pop_back();
+    if (!n->mbr.Contains(point)) continue;
+    if (n->is_leaf) {
+      for (size_t i = 0; i < n->entries.size(); ++i) {
+        if (n->entries[i].id == id && ApproxEqual(n->entries[i].point, point, 0.0)) {
+          found_leaf = n;
+          found_idx = i;
+          break;
+        }
+      }
+    } else {
+      for (const auto& c : n->children) stack.push_back(c.get());
+    }
+  }
+  if (found_leaf == nullptr) return false;
+
+  found_leaf->entries.erase(found_leaf->entries.begin() +
+                            static_cast<ptrdiff_t>(found_idx));
+  --size_;
+  found_leaf->RecomputeMbr(dim_);
+  CondenseTree(found_leaf);
+  return true;
+}
+
+void RTree::CondenseTree(Node* leaf) {
+  std::vector<std::unique_ptr<Node>> orphans;
+  Node* node = leaf;
+  while (node->parent != nullptr) {
+    Node* parent = node->parent;
+    if (node->fanout() < min_entries_) {
+      // Detach the underfull node; reinsert its contents later.
+      for (size_t i = 0; i < parent->children.size(); ++i) {
+        if (parent->children[i].get() == node) {
+          orphans.push_back(std::move(parent->children[i]));
+          parent->children.erase(parent->children.begin() +
+                                 static_cast<ptrdiff_t>(i));
+          break;
+        }
+      }
+    } else {
+      node->RecomputeMbr(dim_);
+    }
+    parent->RecomputeMbr(dim_);
+    node = parent;
+  }
+
+  // Shrink the root while it is an internal node with a single child.
+  while (!root_->is_leaf && root_->children.size() == 1) {
+    std::unique_ptr<Node> child = std::move(root_->children[0]);
+    child->parent = nullptr;
+    root_ = std::move(child);
+  }
+  if (!root_->is_leaf && root_->children.empty()) {
+    root_ = std::make_unique<Node>(dim_);
+  }
+
+  for (auto& orphan : orphans) ReinsertSubtree(orphan.get());
+}
+
+void RTree::ReinsertSubtree(Node* node) {
+  if (node->is_leaf) {
+    for (auto& e : node->entries) {
+      --size_;  // Insert() will re-count them.
+      Insert(e.point, e.id);
+    }
+  } else {
+    for (auto& c : node->children) ReinsertSubtree(c.get());
+  }
+}
+
+void RTree::RangeSearch(const Mbr& box, const Visitor& visit) const {
+  SearchIf([&box](const Mbr& m) { return m.Intersects(box); },
+           [&box](const Vec& p) { return box.Contains(p); }, visit);
+}
+
+void RTree::SearchIf(const BoxPredicate& box_pred,
+                     const PointPredicate& point_pred,
+                     const Visitor& visit) const {
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (n->fanout() == 0) continue;
+    if (!box_pred(n->mbr)) continue;
+    if (n->is_leaf) {
+      for (const auto& e : n->entries) {
+        if (point_pred(e.point)) visit(e.id, e.point);
+      }
+    } else {
+      for (const auto& c : n->children) stack.push_back(c.get());
+    }
+  }
+}
+
+std::vector<std::pair<int, double>> RTree::KNearest(const Vec& q,
+                                                    int k) const {
+  struct QueueEntry {
+    double dist2;
+    const Node* node;   // nullptr when this is a point entry
+    int id;
+    bool operator>(const QueueEntry& o) const { return dist2 > o.dist2; }
+  };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      pq;
+  pq.push({root_->mbr.IsEmpty() ? 0.0 : root_->mbr.MinDistanceSquared(q),
+           root_.get(), -1});
+  std::vector<std::pair<int, double>> out;
+  while (!pq.empty() && static_cast<int>(out.size()) < k) {
+    QueueEntry top = pq.top();
+    pq.pop();
+    if (top.node == nullptr) {
+      out.emplace_back(top.id, std::sqrt(top.dist2));
+      continue;
+    }
+    const Node* n = top.node;
+    if (n->is_leaf) {
+      for (const auto& e : n->entries) {
+        pq.push({DistanceSquared(e.point, q), nullptr, e.id});
+      }
+    } else {
+      for (const auto& c : n->children) {
+        pq.push({c->mbr.MinDistanceSquared(q), c.get(), -1});
+      }
+    }
+  }
+  return out;
+}
+
+int RTree::height() const {
+  int h = 1;
+  const Node* n = root_.get();
+  while (!n->is_leaf) {
+    ++h;
+    IQ_CHECK(!n->children.empty());
+    n = n->children[0].get();
+  }
+  return h;
+}
+
+size_t RTree::MemoryBytes() const {
+  // Estimate: every node costs sizeof(Node) + vector payloads.
+  size_t bytes = sizeof(RTree);
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    bytes += sizeof(Node);
+    bytes += n->mbr.lo().capacity() * sizeof(double) * 2;
+    if (n->is_leaf) {
+      for (const auto& e : n->entries) {
+        bytes += sizeof(LeafEntry) + e.point.capacity() * sizeof(double);
+      }
+    } else {
+      bytes += n->children.capacity() * sizeof(void*);
+      for (const auto& c : n->children) stack.push_back(c.get());
+    }
+  }
+  return bytes;
+}
+
+bool RTree::Validate() const {
+  size_t counted = 0;
+  bool ok = true;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (n->is_leaf) {
+      counted += n->entries.size();
+      for (const auto& e : n->entries) {
+        if (!n->mbr.Contains(e.point)) ok = false;
+      }
+    } else {
+      for (const auto& c : n->children) {
+        if (c->parent != n) ok = false;
+        for (size_t i = 0; i < c->mbr.lo().size(); ++i) {
+          if (c->mbr.lo()[i] < n->mbr.lo()[i] - 1e-12 ||
+              c->mbr.hi()[i] > n->mbr.hi()[i] + 1e-12) {
+            ok = false;
+          }
+        }
+        stack.push_back(c.get());
+      }
+    }
+  }
+  return ok && counted == size_;
+}
+
+RTree RTree::BulkLoad(int dim, const std::vector<Vec>& points,
+                      const std::vector<int>& ids, int max_entries) {
+  IQ_CHECK(points.size() == ids.size());
+  RTree tree(dim, max_entries);
+  if (points.empty()) return tree;
+
+  // Sort-Tile-Recursive: order points by recursive slab sorting, then pack.
+  std::vector<int> order(points.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+
+  const int cap = tree.max_entries_;
+  // Recursive tiling over dimensions.
+  std::function<void(int, int, int)> tile = [&](int begin, int end, int d) {
+    if (d >= dim || end - begin <= cap) {
+      return;
+    }
+    std::sort(order.begin() + begin, order.begin() + end, [&](int a, int b) {
+      return points[static_cast<size_t>(a)][static_cast<size_t>(d)] <
+             points[static_cast<size_t>(b)][static_cast<size_t>(d)];
+    });
+    // Number of slabs along this dimension.
+    int n = end - begin;
+    int leaves = (n + cap - 1) / cap;
+    int slabs = std::max(
+        1, static_cast<int>(std::ceil(
+               std::pow(static_cast<double>(leaves),
+                        1.0 / static_cast<double>(dim - d)))));
+    int per_slab = (n + slabs - 1) / slabs;
+    for (int s = 0; s < slabs; ++s) {
+      int b = begin + s * per_slab;
+      int e = std::min(end, b + per_slab);
+      if (b >= e) break;
+      tile(b, e, d + 1);
+    }
+  };
+  tile(0, static_cast<int>(points.size()), 0);
+
+  // Pack leaves.
+  std::vector<std::unique_ptr<Node>> level;
+  for (size_t i = 0; i < order.size();) {
+    auto leaf = std::make_unique<Node>(dim);
+    for (int c = 0; c < cap && i < order.size(); ++c, ++i) {
+      size_t idx = static_cast<size_t>(order[i]);
+      leaf->entries.push_back(LeafEntry{points[idx], ids[idx]});
+      leaf->mbr.Expand(points[idx]);
+    }
+    level.push_back(std::move(leaf));
+  }
+  tree.size_ = points.size();
+
+  // Pack upward until a single root remains.
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<Node>> next;
+    for (size_t i = 0; i < level.size();) {
+      auto parent = std::make_unique<Node>(dim);
+      parent->is_leaf = false;
+      for (int c = 0; c < cap && i < level.size(); ++c, ++i) {
+        level[i]->parent = parent.get();
+        parent->mbr.Expand(level[i]->mbr);
+        parent->children.push_back(std::move(level[i]));
+      }
+      next.push_back(std::move(parent));
+    }
+    level = std::move(next);
+  }
+  tree.root_ = std::move(level[0]);
+  tree.root_->parent = nullptr;
+  return tree;
+}
+
+}  // namespace iq

@@ -1,0 +1,92 @@
+#ifndef IQ_INDEX_RTREE_H_
+#define IQ_INDEX_RTREE_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "geom/mbr.h"
+#include "geom/vec.h"
+
+namespace iq {
+
+/// Dynamic R-tree over points (Guttman 1984, quadratic split) with an STR
+/// bulk loader. This is the index the paper places over query points (§4.1).
+///
+/// Supports rectangular range search, arbitrary-predicate search (used for
+/// affected-subspace / wedge retrieval with node-level pruning), and
+/// best-first k-nearest-neighbour search (used by the add-query update path,
+/// §4.3).
+class RTree {
+ public:
+  /// Visits (id, point). Return value of the visitor is ignored.
+  using Visitor = std::function<void(int id, const Vec& point)>;
+  /// Subtree pruning predicate: return false to skip the whole subtree.
+  using BoxPredicate = std::function<bool(const Mbr&)>;
+  /// Per-point filter.
+  using PointPredicate = std::function<bool(const Vec&)>;
+
+  explicit RTree(int dim, int max_entries = 16);
+  ~RTree();
+
+  RTree(RTree&&) noexcept;
+  RTree& operator=(RTree&&) noexcept;
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  /// Builds a packed tree with the Sort-Tile-Recursive algorithm.
+  /// Pre: points.size() == ids.size(); every point has dimension `dim`.
+  static RTree BulkLoad(int dim, const std::vector<Vec>& points,
+                        const std::vector<int>& ids, int max_entries = 16);
+
+  void Insert(const Vec& point, int id);
+
+  /// Removes one entry matching (point, id). Returns false if absent.
+  bool Remove(const Vec& point, int id);
+
+  /// Visits every point inside `box` (closed bounds).
+  void RangeSearch(const Mbr& box, const Visitor& visit) const;
+
+  /// Generic pruned traversal: descends into a subtree only when
+  /// `box_pred(subtree_mbr)` is true; reports points passing `point_pred`.
+  void SearchIf(const BoxPredicate& box_pred, const PointPredicate& point_pred,
+                const Visitor& visit) const;
+
+  /// The k nearest neighbours of `q` by Euclidean distance,
+  /// nearest first. Returns fewer when size() < k.
+  std::vector<std::pair<int, double>> KNearest(const Vec& q, int k) const;
+
+  size_t size() const { return size_; }
+  int dim() const { return dim_; }
+  int height() const;
+
+  /// Approximate heap footprint, for the index-size experiments.
+  size_t MemoryBytes() const;
+
+  /// Structural invariants (MBR containment, entry counts); for tests.
+  bool Validate() const;
+
+ private:
+  struct Node;
+  struct LeafEntry {
+    Vec point;
+    int id;
+  };
+
+  Node* ChooseLeaf(const Vec& point);
+  void SplitNode(Node* node);
+  void AdjustUpward(Node* node);
+  void CondenseTree(Node* leaf);
+  void ReinsertSubtree(Node* node);
+
+  int dim_;
+  int max_entries_;
+  int min_entries_;
+  size_t size_ = 0;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace iq
+
+#endif  // IQ_INDEX_RTREE_H_

@@ -1,0 +1,70 @@
+#include "opt/bounds.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace iq {
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+AdjustBox AdjustBox::Unbounded(int dim) {
+  AdjustBox box;
+  box.lower_.assign(static_cast<size_t>(dim), -kInf);
+  box.upper_.assign(static_cast<size_t>(dim), kInf);
+  return box;
+}
+
+AdjustBox AdjustBox::WithAdjustable(int dim,
+                                    const std::vector<bool>& adjustable) {
+  IQ_CHECK(static_cast<int>(adjustable.size()) == dim);
+  AdjustBox box = Unbounded(dim);
+  for (int j = 0; j < dim; ++j) {
+    if (!adjustable[static_cast<size_t>(j)]) box.Freeze(j);
+  }
+  return box;
+}
+
+AdjustBox AdjustBox::FromValueRange(const Vec& p, const Vec& value_lo,
+                                    const Vec& value_hi) {
+  IQ_CHECK(p.size() == value_lo.size() && p.size() == value_hi.size());
+  AdjustBox box = Unbounded(static_cast<int>(p.size()));
+  for (size_t j = 0; j < p.size(); ++j) {
+    box.lower_[j] = value_lo[j] - p[j];
+    box.upper_[j] = value_hi[j] - p[j];
+  }
+  return box;
+}
+
+void AdjustBox::SetRange(int j, double lo, double hi) {
+  IQ_CHECK(lo <= hi);
+  lower_[static_cast<size_t>(j)] = lo;
+  upper_[static_cast<size_t>(j)] = hi;
+}
+
+void AdjustBox::Freeze(int j) { SetRange(j, 0.0, 0.0); }
+
+bool AdjustBox::IsFrozen(int j) const {
+  return lower_[static_cast<size_t>(j)] == 0.0 &&
+         upper_[static_cast<size_t>(j)] == 0.0;
+}
+
+bool AdjustBox::Contains(const Vec& s, double tol) const {
+  IQ_DCHECK(s.size() == lower_.size());
+  for (size_t j = 0; j < s.size(); ++j) {
+    if (s[j] < lower_[j] - tol || s[j] > upper_[j] + tol) return false;
+  }
+  return true;
+}
+
+Vec AdjustBox::Clamp(const Vec& s) const {
+  Vec out(s.size());
+  for (size_t j = 0; j < s.size(); ++j) {
+    out[j] = std::clamp(s[j], lower_[j], upper_[j]);
+  }
+  return out;
+}
+
+}  // namespace iq

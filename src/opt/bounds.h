@@ -1,0 +1,50 @@
+#ifndef IQ_OPT_BOUNDS_H_
+#define IQ_OPT_BOUNDS_H_
+
+#include <vector>
+
+#include "geom/vec.h"
+
+namespace iq {
+
+/// Validity constraints on an improvement strategy (paper §4.2.1: "all
+/// attribute values of the improved object must not exceed the allowed
+/// range", and users may freeze attributes entirely, s_i = 0).
+///
+/// Bounds are expressed on the strategy vector s: lower[j] <= s_j <=
+/// upper[j]. A frozen attribute has lower = upper = 0.
+class AdjustBox {
+ public:
+  /// No restriction in any dimension.
+  static AdjustBox Unbounded(int dim);
+
+  /// Freezes the attributes where adjustable[j] is false.
+  static AdjustBox WithAdjustable(int dim, const std::vector<bool>& adjustable);
+
+  /// Bounds derived from allowed *value* ranges for the improved object:
+  /// s_j in [value_lo[j] - p[j], value_hi[j] - p[j]].
+  static AdjustBox FromValueRange(const Vec& p, const Vec& value_lo,
+                                  const Vec& value_hi);
+
+  int dim() const { return static_cast<int>(lower_.size()); }
+  const Vec& lower() const { return lower_; }
+  const Vec& upper() const { return upper_; }
+
+  /// Sets s_j's allowed interval. Pre: lo <= hi.
+  void SetRange(int j, double lo, double hi);
+  /// Forces s_j = 0.
+  void Freeze(int j);
+  bool IsFrozen(int j) const;
+
+  bool Contains(const Vec& s, double tol = 1e-9) const;
+  /// Component-wise clamp of s into the box.
+  Vec Clamp(const Vec& s) const;
+
+ private:
+  Vec lower_;
+  Vec upper_;
+};
+
+}  // namespace iq
+
+#endif  // IQ_OPT_BOUNDS_H_

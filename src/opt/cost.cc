@@ -1,0 +1,116 @@
+#include "opt/cost.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace iq {
+namespace {
+
+double Sign(double x) { return x > 0 ? 1.0 : (x < 0 ? -1.0 : 0.0); }
+
+Vec NumericGradient(const std::function<double(const Vec&)>& fn,
+                    const Vec& s) {
+  const double h = 1e-6;
+  Vec grad(s.size());
+  Vec probe = s;
+  for (size_t i = 0; i < s.size(); ++i) {
+    probe[i] = s[i] + h;
+    double up = fn(probe);
+    probe[i] = s[i] - h;
+    double down = fn(probe);
+    probe[i] = s[i];
+    grad[i] = (up - down) / (2 * h);
+  }
+  return grad;
+}
+
+}  // namespace
+
+CostFunction CostFunction::L1() { return CostFunction(Kind::kL1, {}, "L1"); }
+
+CostFunction CostFunction::L2() { return CostFunction(Kind::kL2, {}, "L2"); }
+
+CostFunction CostFunction::WeightedL1(Vec unit_costs) {
+  return CostFunction(Kind::kWeightedL1, std::move(unit_costs), "weightedL1");
+}
+
+CostFunction CostFunction::WeightedL2(Vec unit_costs) {
+  return CostFunction(Kind::kWeightedL2, std::move(unit_costs), "weightedL2");
+}
+
+CostFunction CostFunction::Quadratic(Vec unit_costs) {
+  return CostFunction(Kind::kQuadratic, std::move(unit_costs), "quadratic");
+}
+
+CostFunction CostFunction::Custom(std::function<double(const Vec&)> fn,
+                                  std::function<Vec(const Vec&)> grad,
+                                  std::string name) {
+  CostFunction c(Kind::kCustom, {}, std::move(name));
+  c.custom_fn_ = std::move(fn);
+  c.custom_grad_ = std::move(grad);
+  return c;
+}
+
+double CostFunction::Cost(const Vec& s) const {
+  switch (kind_) {
+    case Kind::kL1:
+      return NormL1(s);
+    case Kind::kL2:
+      return NormL2(s);
+    case Kind::kWeightedL1: {
+      IQ_DCHECK(unit_costs_.size() == s.size());
+      double c = 0.0;
+      for (size_t i = 0; i < s.size(); ++i) c += unit_costs_[i] * std::fabs(s[i]);
+      return c;
+    }
+    case Kind::kWeightedL2: {
+      IQ_DCHECK(unit_costs_.size() == s.size());
+      double c = 0.0;
+      for (size_t i = 0; i < s.size(); ++i) c += unit_costs_[i] * s[i] * s[i];
+      return std::sqrt(c);
+    }
+    case Kind::kQuadratic: {
+      IQ_DCHECK(unit_costs_.size() == s.size());
+      double c = 0.0;
+      for (size_t i = 0; i < s.size(); ++i) c += unit_costs_[i] * s[i] * s[i];
+      return c;
+    }
+    case Kind::kCustom:
+      return custom_fn_(s);
+  }
+  return 0.0;
+}
+
+Vec CostFunction::Gradient(const Vec& s) const {
+  Vec g(s.size(), 0.0);
+  switch (kind_) {
+    case Kind::kL1:
+      for (size_t i = 0; i < s.size(); ++i) g[i] = Sign(s[i]);
+      return g;
+    case Kind::kL2: {
+      double n = NormL2(s);
+      if (n < 1e-15) return g;
+      for (size_t i = 0; i < s.size(); ++i) g[i] = s[i] / n;
+      return g;
+    }
+    case Kind::kWeightedL1:
+      for (size_t i = 0; i < s.size(); ++i) g[i] = unit_costs_[i] * Sign(s[i]);
+      return g;
+    case Kind::kWeightedL2: {
+      double n = Cost(s);
+      if (n < 1e-15) return g;
+      for (size_t i = 0; i < s.size(); ++i) g[i] = unit_costs_[i] * s[i] / n;
+      return g;
+    }
+    case Kind::kQuadratic:
+      for (size_t i = 0; i < s.size(); ++i) g[i] = 2 * unit_costs_[i] * s[i];
+      return g;
+    case Kind::kCustom:
+      if (custom_grad_) return custom_grad_(s);
+      return NumericGradient(custom_fn_, s);
+  }
+  return g;
+}
+
+}  // namespace iq

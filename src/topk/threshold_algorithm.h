@@ -1,0 +1,44 @@
+#ifndef IQ_TOPK_THRESHOLD_ALGORITHM_H_
+#define IQ_TOPK_THRESHOLD_ALGORITHM_H_
+
+#include <vector>
+
+#include "geom/vec.h"
+#include "topk/topk.h"
+#include "util/status.h"
+
+namespace iq {
+
+/// Fagin's Threshold Algorithm over per-slot sorted lists — a classic
+/// instance-optimal top-k engine (related-work lineage of the paper's top-k
+/// substrate). Lower score = better; requires non-negative weights so that
+/// the per-round threshold (the best score any unseen object could still
+/// achieve) is valid.
+class ThresholdAlgorithm {
+ public:
+  /// Builds ascending sorted lists, one per coefficient slot. `coeffs` must
+  /// outlive the index.
+  explicit ThresholdAlgorithm(const std::vector<Vec>* coeffs);
+
+  /// Top-k under non-negative weights `w`; ascending by (score, id).
+  /// `exclude` (>= 0) skips one object; inactive rows (mask may be null)
+  /// are skipped. Error if any weight is negative.
+  Result<std::vector<ScoredObject>> TopK(const Vec& w, int k,
+                                         const std::vector<bool>* active =
+                                             nullptr,
+                                         int exclude = -1) const;
+
+  /// Sequential accesses performed by the last TopK call (stats for tests /
+  /// benches; TA's selling point is stopping early).
+  size_t last_accesses() const { return last_accesses_; }
+
+ private:
+  const std::vector<Vec>* coeffs_;
+  // sorted_[slot] = object ids ordered by ascending coefficient value.
+  std::vector<std::vector<int>> sorted_;
+  mutable size_t last_accesses_ = 0;
+};
+
+}  // namespace iq
+
+#endif  // IQ_TOPK_THRESHOLD_ALGORITHM_H_

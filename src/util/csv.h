@@ -1,0 +1,39 @@
+#ifndef IQ_UTIL_CSV_H_
+#define IQ_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace iq {
+
+/// A parsed CSV file: a header row plus data rows of equal width.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  int num_columns() const { return static_cast<int>(header.size()); }
+  int num_rows() const { return static_cast<int>(rows.size()); }
+
+  /// Index of the named column, or -1.
+  int ColumnIndex(const std::string& name) const;
+};
+
+/// Parses simple comma-separated text (no quoting/escaping — the library
+/// writes its own files and reads them back). Requires a header row and
+/// rectangular rows.
+Result<CsvTable> ParseCsv(const std::string& text);
+
+/// Reads and parses a CSV file from disk.
+Result<CsvTable> ReadCsvFile(const std::string& path);
+
+/// Serializes the table back to CSV text.
+std::string WriteCsv(const CsvTable& table);
+
+/// Writes the table to disk.
+Status WriteCsvFile(const CsvTable& table, const std::string& path);
+
+}  // namespace iq
+
+#endif  // IQ_UTIL_CSV_H_

@@ -1,0 +1,43 @@
+#include "util/logging.h"
+
+namespace iq {
+namespace internal_logging {
+namespace {
+
+LogLevel g_level = LogLevel::kInfo;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ >= g_level || level_ == LogLevel::kFatal) {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  }
+  if (level_ == LogLevel::kFatal) std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace iq

@@ -1,0 +1,58 @@
+#ifndef IQ_UTIL_LOGGING_H_
+#define IQ_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace iq {
+namespace internal_logging {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError, kFatal };
+
+/// Global minimum level; messages below it are dropped. Default: kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// Stream-style log message that emits on destruction; aborts for kFatal.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace iq
+
+#define IQ_LOG(level)                                               \
+  ::iq::internal_logging::LogMessage(                               \
+      ::iq::internal_logging::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Fatal-on-failure invariant check (always on, release included).
+#define IQ_CHECK(cond)                                        \
+  if (!(cond))                                                \
+  IQ_LOG(Fatal) << "Check failed: " #cond " "
+
+/// Debug-only invariant check.
+#ifdef NDEBUG
+#define IQ_DCHECK(cond) \
+  if (false) IQ_LOG(Fatal)
+#else
+#define IQ_DCHECK(cond) IQ_CHECK(cond)
+#endif
+
+#endif  // IQ_UTIL_LOGGING_H_

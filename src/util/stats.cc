@@ -1,0 +1,44 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iq {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  sum_ += x;
+  if (count_ == 1) {
+    mean_ = x;
+    min_ = x;
+    max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double PercentileTracker::Percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  std::sort(samples_.begin(), samples_.end());
+  if (p <= 0) return samples_.front();
+  if (p >= 100) return samples_.back();
+  double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+}  // namespace iq

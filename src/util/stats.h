@@ -1,0 +1,49 @@
+#ifndef IQ_UTIL_STATS_H_
+#define IQ_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace iq {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exact percentile over a retained sample set (used for reporting latency
+/// distributions in the bench harness; sizes there are small).
+class PercentileTracker {
+ public:
+  void Add(double x) { samples_.push_back(x); }
+
+  /// p in [0, 100]. Returns 0 when empty. Linear interpolation between ranks.
+  double Percentile(double p) const;
+
+  size_t count() const { return samples_.size(); }
+
+ private:
+  mutable std::vector<double> samples_;
+};
+
+}  // namespace iq
+
+#endif  // IQ_UTIL_STATS_H_

@@ -1,0 +1,95 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace iq {
+
+std::vector<std::string> StrSplit(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view StrTrim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string StrLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool StrStartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool StrEndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  s = StrTrim(s);
+  if (s.empty()) return Status::InvalidArgument("empty numeric field");
+  std::string buf(s);
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not a number: '" + buf + "'");
+  }
+  return v;
+}
+
+Result<int64_t> ParseInt(std::string_view s) {
+  s = StrTrim(s);
+  if (s.empty()) return Status::InvalidArgument("empty integer field");
+  std::string buf(s);
+  char* end = nullptr;
+  long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not an integer: '" + buf + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  int n = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+}  // namespace iq

@@ -1,0 +1,41 @@
+#ifndef IQ_VIZ_SUBDOMAIN_VIZ_H_
+#define IQ_VIZ_SUBDOMAIN_VIZ_H_
+
+#include <string>
+
+#include "core/subdomain_index.h"
+#include "geom/vec.h"
+#include "util/status.h"
+
+namespace iq {
+
+/// Rendering options for the 2-D subdomain visualizer.
+struct VizOptions {
+  double width = 800;
+  double height = 800;
+  /// Draw the intersection hyperplanes (lines in 2-D) of signature-member
+  /// object pairs, capped to this many pairs (closest-to-the-top members
+  /// first). 0 disables the lines.
+  int max_intersection_pairs = 300;
+  double point_radius = 3.0;
+  bool legend = true;
+};
+
+/// Renders the query-weight domain of a 2-slot workload (the paper's
+/// Figure 2 setting): every query point colored by its subdomain, with the
+/// intersection lines that form the subdomain boundaries.
+/// Error when the workload does not have exactly 2 augmented weight slots.
+Result<std::string> RenderSubdomainMap(const SubdomainIndex& index,
+                                       const VizOptions& options = {});
+
+/// Same view, plus an improvement strategy for `target`: draws the
+/// before/after intersection lines of the target against every signature-
+/// member competitor and highlights the affected queries (those whose hit
+/// status flips) — the affected subspaces of Eq. 2-5.
+Result<std::string> RenderAffectedSubspace(const SubdomainIndex& index,
+                                           int target, const Vec& strategy,
+                                           const VizOptions& options = {});
+
+}  // namespace iq
+
+#endif  // IQ_VIZ_SUBDOMAIN_VIZ_H_

@@ -1,0 +1,111 @@
+#include "viz/svg.h"
+
+#include "util/string_util.h"
+
+namespace iq {
+namespace {
+
+std::string EscapeXml(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SvgDocument::SvgDocument(double width, double height)
+    : width_(width), height_(height) {}
+
+void SvgDocument::AddRect(double x, double y, double w, double h,
+                          const std::string& fill, const std::string& stroke,
+                          double stroke_width, double opacity) {
+  elements_.push_back(StrFormat(
+      "<rect x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" height=\"%.2f\" "
+      "fill=\"%s\" stroke=\"%s\" stroke-width=\"%.2f\" opacity=\"%.3f\"/>",
+      x, y, w, h, fill.c_str(), stroke.c_str(), stroke_width, opacity));
+}
+
+void SvgDocument::AddLine(double x1, double y1, double x2, double y2,
+                          const std::string& stroke, double stroke_width,
+                          double opacity, bool dashed) {
+  elements_.push_back(StrFormat(
+      "<line x1=\"%.2f\" y1=\"%.2f\" x2=\"%.2f\" y2=\"%.2f\" stroke=\"%s\" "
+      "stroke-width=\"%.2f\" opacity=\"%.3f\"%s/>",
+      x1, y1, x2, y2, stroke.c_str(), stroke_width, opacity,
+      dashed ? " stroke-dasharray=\"6,4\"" : ""));
+}
+
+void SvgDocument::AddCircle(double cx, double cy, double r,
+                            const std::string& fill,
+                            const std::string& stroke, double stroke_width,
+                            double opacity) {
+  elements_.push_back(StrFormat(
+      "<circle cx=\"%.2f\" cy=\"%.2f\" r=\"%.2f\" fill=\"%s\" stroke=\"%s\" "
+      "stroke-width=\"%.2f\" opacity=\"%.3f\"/>",
+      cx, cy, r, fill.c_str(), stroke.c_str(), stroke_width, opacity));
+}
+
+void SvgDocument::AddPolygon(
+    const std::vector<std::pair<double, double>>& points,
+    const std::string& fill, double opacity) {
+  std::string pts;
+  for (const auto& [x, y] : points) {
+    if (!pts.empty()) pts += ' ';
+    pts += StrFormat("%.2f,%.2f", x, y);
+  }
+  elements_.push_back(
+      StrFormat("<polygon points=\"%s\" fill=\"%s\" opacity=\"%.3f\"/>",
+                pts.c_str(), fill.c_str(), opacity));
+}
+
+void SvgDocument::AddText(double x, double y, const std::string& text,
+                          double font_size, const std::string& fill) {
+  elements_.push_back(StrFormat(
+      "<text x=\"%.2f\" y=\"%.2f\" font-size=\"%.1f\" fill=\"%s\" "
+      "font-family=\"sans-serif\">%s</text>",
+      x, y, font_size, fill.c_str(), EscapeXml(text).c_str()));
+}
+
+std::string SvgDocument::ToString() const {
+  std::string out = StrFormat(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" "
+      "height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\">\n",
+      width_, height_, width_, height_);
+  for (const std::string& e : elements_) {
+    out += "  ";
+    out += e;
+    out += '\n';
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+std::string SvgDocument::CategoryColor(int i) {
+  static const char* kPalette[] = {
+      "#4c78a8", "#f58518", "#54a24b", "#e45756", "#72b7b2", "#eeca3b",
+      "#b279a2", "#ff9da6", "#9d755d", "#bab0ac", "#2f4b7c", "#a05195",
+      "#d45087", "#f95d6a", "#ff7c43", "#ffa600", "#003f5c", "#665191"};
+  int idx = i % static_cast<int>(sizeof(kPalette) / sizeof(kPalette[0]));
+  if (idx < 0) idx += static_cast<int>(sizeof(kPalette) / sizeof(kPalette[0]));
+  return kPalette[idx];
+}
+
+}  // namespace iq

@@ -1,0 +1,48 @@
+#ifndef IQ_VIZ_SVG_H_
+#define IQ_VIZ_SVG_H_
+
+#include <string>
+#include <vector>
+
+namespace iq {
+
+/// Minimal SVG document builder used by the subdomain visualizer.
+/// Coordinates are in user units; the caller handles any data-to-view
+/// mapping.
+class SvgDocument {
+ public:
+  SvgDocument(double width, double height);
+
+  void AddRect(double x, double y, double w, double h,
+               const std::string& fill, const std::string& stroke = "none",
+               double stroke_width = 0.0, double opacity = 1.0);
+  void AddLine(double x1, double y1, double x2, double y2,
+               const std::string& stroke, double stroke_width = 1.0,
+               double opacity = 1.0, bool dashed = false);
+  void AddCircle(double cx, double cy, double r, const std::string& fill,
+                 const std::string& stroke = "none",
+                 double stroke_width = 0.0, double opacity = 1.0);
+  void AddPolygon(const std::vector<std::pair<double, double>>& points,
+                  const std::string& fill, double opacity = 1.0);
+  void AddText(double x, double y, const std::string& text,
+               double font_size = 12.0, const std::string& fill = "#333");
+
+  /// Complete document text.
+  std::string ToString() const;
+
+  double width() const { return width_; }
+  double height() const { return height_; }
+
+  /// A qualitative color for category `i` (cycles through a fixed palette
+  /// with lightness variation, never white).
+  static std::string CategoryColor(int i);
+
+ private:
+  double width_;
+  double height_;
+  std::vector<std::string> elements_;
+};
+
+}  // namespace iq
+
+#endif  // IQ_VIZ_SVG_H_

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "index/bloom_filter.h"
+#include "util/random.h"
+
+namespace iq {
+namespace {
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilter filter(1000, 0.01);
+  Rng rng(1);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 1000; ++i) keys.push_back(rng.NextUint64());
+  for (uint64_t k : keys) filter.Add(k);
+  for (uint64_t k : keys) EXPECT_TRUE(filter.MayContain(k));
+}
+
+TEST(BloomTest, FalsePositiveRateNearTarget) {
+  BloomFilter filter(5000, 0.01);
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) filter.Add(rng.NextUint64());
+  // Fresh keys from a different stream.
+  Rng probe(999);
+  int fp = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (filter.MayContain(probe.NextUint64())) ++fp;
+  }
+  double rate = static_cast<double>(fp) / trials;
+  EXPECT_LT(rate, 0.03);  // target 1%, generous margin
+}
+
+TEST(BloomTest, EmptyFilterContainsNothing) {
+  BloomFilter filter(100, 0.01);
+  Rng rng(3);
+  int hits = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (filter.MayContain(rng.NextUint64())) ++hits;
+  }
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(BloomTest, PairKeyIsOrderInsensitive) {
+  EXPECT_EQ(BloomFilter::KeyFromPair(3, 9), BloomFilter::KeyFromPair(9, 3));
+  EXPECT_NE(BloomFilter::KeyFromPair(3, 9), BloomFilter::KeyFromPair(3, 10));
+}
+
+TEST(BloomTest, StringKeysDiffer) {
+  EXPECT_NE(BloomFilter::KeyFromString("abc"),
+            BloomFilter::KeyFromString("abd"));
+  EXPECT_EQ(BloomFilter::KeyFromString("abc"),
+            BloomFilter::KeyFromString("abc"));
+}
+
+TEST(BloomTest, SizingScalesWithKeysAndRate) {
+  BloomFilter small(100, 0.01);
+  BloomFilter big(10000, 0.01);
+  BloomFilter precise(100, 0.0001);
+  EXPECT_GT(big.num_bits(), small.num_bits());
+  EXPECT_GT(precise.num_bits(), small.num_bits());
+  EXPECT_GT(precise.num_hashes(), small.num_hashes());
+  EXPECT_GT(big.MemoryBytes(), small.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace iq

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/queries.h"
+#include "data/real_world.h"
+#include "data/synthetic.h"
+
+namespace iq {
+namespace {
+
+double PearsonCorrelation(const Dataset& d, int a, int b) {
+  double ma = 0, mb = 0;
+  int n = d.size();
+  for (int i = 0; i < n; ++i) {
+    ma += d.attrs(i)[static_cast<size_t>(a)];
+    mb += d.attrs(i)[static_cast<size_t>(b)];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0, va = 0, vb = 0;
+  for (int i = 0; i < n; ++i) {
+    double xa = d.attrs(i)[static_cast<size_t>(a)] - ma;
+    double xb = d.attrs(i)[static_cast<size_t>(b)] - mb;
+    cov += xa * xb;
+    va += xa * xa;
+    vb += xb * xb;
+  }
+  return cov / std::sqrt(va * vb);
+}
+
+TEST(SyntheticTest, RangesAndDeterminism) {
+  for (SyntheticKind kind :
+       {SyntheticKind::kIndependent, SyntheticKind::kCorrelated,
+        SyntheticKind::kAntiCorrelated}) {
+    Dataset d1 = MakeSynthetic(kind, 500, 4, 9);
+    Dataset d2 = MakeSynthetic(kind, 500, 4, 9);
+    EXPECT_EQ(d1.size(), 500);
+    EXPECT_EQ(d1.dim(), 4);
+    for (int i = 0; i < d1.size(); ++i) {
+      EXPECT_EQ(d1.attrs(i), d2.attrs(i));
+      for (double v : d1.attrs(i)) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+      }
+    }
+  }
+}
+
+TEST(SyntheticTest, CorrelationSigns) {
+  Dataset in = MakeIndependent(3000, 2, 1);
+  Dataset co = MakeCorrelated(3000, 2, 2);
+  Dataset ac = MakeAntiCorrelated(3000, 2, 3);
+  EXPECT_NEAR(PearsonCorrelation(in, 0, 1), 0.0, 0.08);
+  EXPECT_GT(PearsonCorrelation(co, 0, 1), 0.8);
+  EXPECT_LT(PearsonCorrelation(ac, 0, 1), -0.5);
+}
+
+TEST(SyntheticTest, KindNames) {
+  EXPECT_STREQ(SyntheticKindName(SyntheticKind::kIndependent), "IN");
+  EXPECT_STREQ(SyntheticKindName(SyntheticKind::kCorrelated), "CO");
+  EXPECT_STREQ(SyntheticKindName(SyntheticKind::kAntiCorrelated), "AC");
+}
+
+TEST(QueryGenTest, UniformRangesAndK) {
+  QueryGenOptions opts;
+  opts.k_min = 1;
+  opts.k_max = 50;
+  auto qs = MakeQueries(1000, 4, 5, opts);
+  ASSERT_EQ(qs.size(), 1000u);
+  int max_k = 0, min_k = 100;
+  for (const auto& q : qs) {
+    max_k = std::max(max_k, q.k);
+    min_k = std::min(min_k, q.k);
+    for (double w : q.weights) {
+      EXPECT_GE(w, 0.0);
+      EXPECT_LE(w, 1.0);
+    }
+  }
+  EXPECT_EQ(min_k, 1);
+  EXPECT_EQ(max_k, 50);  // paper: k in [1, 50]
+}
+
+TEST(QueryGenTest, ClusteredIsMoreConcentrated) {
+  QueryGenOptions un;
+  QueryGenOptions cl;
+  cl.distribution = QueryDistribution::kClustered;
+  cl.num_clusters = 3;
+  auto u = MakeQueries(2000, 3, 6, un);
+  auto c = MakeQueries(2000, 3, 6, cl);
+  // Clustered points concentrate around few centers, so the average
+  // nearest-neighbour distance in a sample is much smaller than uniform.
+  auto avg_nn_dist = [](const std::vector<TopKQuery>& qs) {
+    double total = 0;
+    const size_t sample = 200;
+    for (size_t i = 0; i < sample; ++i) {
+      double best = 1e18;
+      for (size_t j = 0; j < sample; ++j) {
+        if (i == j) continue;
+        best = std::min(best, Distance(qs[i].weights, qs[j].weights));
+      }
+      total += best;
+    }
+    return total / static_cast<double>(sample);
+  };
+  EXPECT_LT(avg_nn_dist(c), 0.7 * avg_nn_dist(u));
+}
+
+TEST(QueryGenTest, NormalizeSum) {
+  QueryGenOptions opts;
+  opts.normalize_sum = true;
+  auto qs = MakeQueries(100, 5, 7, opts);
+  for (const auto& q : qs) {
+    double sum = 0;
+    for (double w : q.weights) sum += w;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(QueryGenTest, DistributionNames) {
+  EXPECT_STREQ(QueryDistributionName(QueryDistribution::kUniform), "UN");
+  EXPECT_STREQ(QueryDistributionName(QueryDistribution::kClustered), "CL");
+}
+
+TEST(PolyUtilityTest, GeneratesLinearizableFunctions) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    auto util = MakePolynomialUtility(4, 3, 5, seed);
+    ASSERT_TRUE(util.ok()) << util.status().ToString();
+    EXPECT_EQ(util->num_weights, 3);
+    EXPECT_EQ(util->form.num_weights(), 3);
+    EXPECT_FALSE(util->form.has_bias());
+    EXPECT_FALSE(util->text.empty());
+  }
+  EXPECT_FALSE(MakePolynomialUtility(0, 3, 5, 1).ok());
+  EXPECT_FALSE(MakePolynomialUtility(4, 0, 5, 1).ok());
+}
+
+TEST(PolyUtilityTest, DegreeBounded) {
+  auto util = MakePolynomialUtility(3, 5, 5, 11);
+  ASSERT_TRUE(util.ok());
+  for (int j = 0; j < util->form.num_slots(); ++j) {
+    for (const Monomial& m : util->form.slot(j)) {
+      int degree = 0;
+      for (const auto& [attr, exp] : m.factors) degree += exp;
+      EXPECT_GE(degree, 1);
+      EXPECT_LE(degree, 5);  // paper: term degree in [1, 5]
+    }
+  }
+}
+
+TEST(RealWorldTest, VehicleShapeAndCorrelations) {
+  Dataset v = MakeVehicle(1, 5000);
+  EXPECT_EQ(v.size(), 5000);
+  EXPECT_EQ(v.dim(), 5);  // year, weight, hp, mpg, cost
+  for (int i = 0; i < v.size(); ++i) {
+    for (double x : v.attrs(i)) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LE(x, 1.0);
+    }
+  }
+  // weight (1) vs horsepower (2): positive; weight vs mpg (3): negative;
+  // mpg vs annual cost (4): negative.
+  EXPECT_GT(PearsonCorrelation(v, 1, 2), 0.3);
+  EXPECT_LT(PearsonCorrelation(v, 1, 3), -0.3);
+  EXPECT_LT(PearsonCorrelation(v, 3, 4), -0.6);
+}
+
+TEST(RealWorldTest, HouseShapeAndCorrelations) {
+  Dataset h = MakeHouse(2, 5000);
+  EXPECT_EQ(h.size(), 5000);
+  EXPECT_EQ(h.dim(), 4);
+  // value (0) vs income (1) and value vs mortgage (3): positive.
+  EXPECT_GT(PearsonCorrelation(h, 0, 1), 0.3);
+  EXPECT_GT(PearsonCorrelation(h, 0, 3), 0.3);
+}
+
+TEST(RealWorldTest, DefaultCardinalitiesMatchPaper) {
+  EXPECT_EQ(MakeVehicle(3, 100).size(), 100);  // small override works
+  RealWorldInfo v = VehicleInfo();
+  EXPECT_EQ(v.name, "VEHICLE");
+  EXPECT_EQ(v.attributes.size(), 5u);
+  RealWorldInfo h = HouseInfo();
+  EXPECT_EQ(h.name, "HOUSE");
+  EXPECT_EQ(h.attributes.size(), 4u);
+}
+
+}  // namespace
+}  // namespace iq

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dataset.h"
+#include "core/function_view.h"
+#include "core/query.h"
+#include "util/csv.h"
+
+namespace iq {
+namespace {
+
+TEST(DatasetTest, FromRowsValidates) {
+  EXPECT_TRUE(Dataset::FromRows(2, {{1, 2}, {3, 4}}).ok());
+  EXPECT_FALSE(Dataset::FromRows(0, {}).ok());
+  EXPECT_FALSE(Dataset::FromRows(2, {{1, 2, 3}}).ok());
+  EXPECT_FALSE(Dataset::FromRows(1, {{std::nan("")}}).ok());
+  EXPECT_FALSE(
+      Dataset::FromRows(1, {{std::numeric_limits<double>::infinity()}}).ok());
+}
+
+TEST(DatasetTest, AddRemoveReactivate) {
+  Dataset d(2);
+  int a = d.Add({1, 2});
+  int b = d.Add({3, 4});
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(d.num_active(), 2);
+
+  ASSERT_TRUE(d.Remove(a).ok());
+  EXPECT_EQ(d.num_active(), 1);
+  EXPECT_FALSE(d.is_active(a));
+  EXPECT_FALSE(d.Remove(a).ok());           // double remove
+  EXPECT_FALSE(d.Remove(99).ok());          // out of range
+  EXPECT_FALSE(d.SetAttrs(a, {9, 9}).ok()); // inactive
+  ASSERT_TRUE(d.SetAttrsIncludingInactive(a, {9, 9}).ok());
+  ASSERT_TRUE(d.Reactivate(a).ok());
+  EXPECT_FALSE(d.Reactivate(a).ok());       // already active
+  EXPECT_EQ(d.attrs(a), (Vec{9, 9}));
+  EXPECT_EQ(d.num_active(), 2);
+}
+
+TEST(DatasetTest, SetAttrsChecksDimension) {
+  Dataset d(2);
+  d.Add({1, 2});
+  EXPECT_FALSE(d.SetAttrs(0, {1}).ok());
+  EXPECT_TRUE(d.SetAttrs(0, {5, 6}).ok());
+}
+
+TEST(DatasetTest, NormalizeToUnit) {
+  Dataset d(2);
+  d.Add({10, -1});
+  d.Add({20, 1});
+  d.Add({30, 0});
+  d.NormalizeToUnit();
+  EXPECT_DOUBLE_EQ(d.attrs(0)[0], 0.0);
+  EXPECT_DOUBLE_EQ(d.attrs(2)[0], 1.0);
+  EXPECT_DOUBLE_EQ(d.attrs(1)[0], 0.5);
+  EXPECT_DOUBLE_EQ(d.attrs(0)[1], 0.0);
+  EXPECT_DOUBLE_EQ(d.attrs(1)[1], 1.0);
+}
+
+TEST(DatasetTest, NormalizeConstantColumn) {
+  Dataset d(1);
+  d.Add({5});
+  d.Add({5});
+  d.NormalizeToUnit();
+  EXPECT_DOUBLE_EQ(d.attrs(0)[0], 0.0);
+}
+
+TEST(DatasetTest, CsvExportSkipsInactive) {
+  Dataset d(2);
+  d.Add({1, 2});
+  d.Add({3, 4});
+  ASSERT_TRUE(d.Remove(0).ok());
+  CsvTable csv = d.ToCsv();
+  EXPECT_EQ(csv.num_rows(), 1);
+  EXPECT_EQ(csv.header[0], "id");
+  EXPECT_EQ(csv.rows[0][0], "1");  // original id preserved
+}
+
+TEST(DatasetTest, FromCsvErrors) {
+  CsvTable csv;
+  csv.header = {"a", "b"};
+  csv.rows = {{"1", "x"}};
+  EXPECT_FALSE(Dataset::FromCsv(csv, {"a", "b"}).ok());   // non-numeric
+  EXPECT_FALSE(Dataset::FromCsv(csv, {"a", "zz"}).ok());  // missing column
+  EXPECT_FALSE(Dataset::FromCsv(csv, {}).ok());           // no columns
+}
+
+TEST(QuerySetTest, AddValidates) {
+  QuerySet qs(2);
+  EXPECT_TRUE(qs.Add({1, {0.5, 0.5}}).ok());
+  EXPECT_FALSE(qs.Add({1, {0.5}}).ok());        // arity
+  EXPECT_FALSE(qs.Add({0, {0.5, 0.5}}).ok());   // k < 1
+  EXPECT_EQ(qs.size(), 1);
+}
+
+TEST(QuerySetTest, RemoveAndMaxK) {
+  QuerySet qs(1);
+  ASSERT_TRUE(qs.Add({5, {0.1}}).ok());
+  ASSERT_TRUE(qs.Add({9, {0.2}}).ok());
+  ASSERT_TRUE(qs.Add({3, {0.3}}).ok());
+  EXPECT_EQ(qs.max_k(), 9);
+  ASSERT_TRUE(qs.Remove(1).ok());
+  EXPECT_EQ(qs.max_k(), 5);  // max over active queries only
+  EXPECT_EQ(qs.num_active(), 2);
+  EXPECT_FALSE(qs.Remove(1).ok());
+  EXPECT_FALSE(qs.Remove(-1).ok());
+}
+
+TEST(FunctionViewTest, IdentityDetection) {
+  Dataset d(2);
+  d.Add({1, 2});
+  FunctionView identity(&d, LinearForm::Identity(2));
+  EXPECT_TRUE(identity.IsIdentityForm());
+  EXPECT_EQ(identity.coeffs(0), (Vec{1, 2}));
+
+  // A non-identity form (slot order swapped).
+  std::vector<AttrPoly> slots = {{Monomial{1.0, {{1, 1}}}},
+                                 {Monomial{1.0, {{0, 1}}}}};
+  FunctionView swapped(&d, LinearForm::FromSlots(std::move(slots), 2, false));
+  EXPECT_FALSE(swapped.IsIdentityForm());
+  EXPECT_EQ(swapped.coeffs(0), (Vec{2, 1}));
+}
+
+TEST(FunctionViewTest, RefreshAndAppend) {
+  Dataset d(2);
+  d.Add({1, 1});
+  FunctionView view(&d, LinearForm::Identity(2));
+  ASSERT_TRUE(d.SetAttrs(0, {7, 8}).ok());
+  EXPECT_EQ(view.coeffs(0), (Vec{1, 1}));  // stale until refreshed
+  view.RefreshRow(0);
+  EXPECT_EQ(view.coeffs(0), (Vec{7, 8}));
+
+  int id = d.Add({2, 3});
+  view.AppendRow(id);
+  EXPECT_EQ(view.coeffs(id), (Vec{2, 3}));
+  EXPECT_GT(view.MemoryBytes(), 0u);
+}
+
+TEST(FunctionViewTest, ScoreIsDotProduct) {
+  Dataset d(3);
+  d.Add({1, 2, 3});
+  FunctionView view(&d, LinearForm::Identity(3));
+  EXPECT_DOUBLE_EQ(view.Score(0, {1, 1, 1}), 6.0);
+  EXPECT_DOUBLE_EQ(view.Score(0, {0.5, 0, 2}), 6.5);
+}
+
+}  // namespace
+}  // namespace iq

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "db/sql.h"
+#include "db/table.h"
+
+namespace iq {
+namespace db {
+namespace {
+
+Table People() {
+  Table t("people", {{"id", ColumnType::kInt},
+                     {"name", ColumnType::kString},
+                     {"age", ColumnType::kDouble},
+                     {"city", ColumnType::kString}});
+  EXPECT_TRUE(t.Append({int64_t{1}, std::string("ann"), 34.0,
+                        std::string("oslo")}).ok());
+  EXPECT_TRUE(t.Append({int64_t{2}, std::string("bob"), 19.0,
+                        std::string("rome")}).ok());
+  EXPECT_TRUE(t.Append({int64_t{3}, std::string("cid"), 52.0,
+                        std::string("oslo")}).ok());
+  EXPECT_TRUE(t.Append({int64_t{4}, std::string("dee"), 41.0,
+                        std::string("lima")}).ok());
+  return t;
+}
+
+Catalog MakeCatalog() {
+  Catalog c;
+  EXPECT_TRUE(c.Register(People()).ok());
+  return c;
+}
+
+TEST(TableTest, TypedAppend) {
+  Table t = People();
+  EXPECT_EQ(t.num_rows(), 4);
+  EXPECT_EQ(t.num_columns(), 4);
+  EXPECT_EQ(t.ColumnIndex("age"), 2);
+  EXPECT_EQ(t.ColumnIndex("zzz"), -1);
+  // Width mismatch.
+  EXPECT_FALSE(t.Append({int64_t{9}}).ok());
+  // Type mismatch.
+  EXPECT_FALSE(t.Append({std::string("x"), std::string("y"), 1.0,
+                         std::string("z")}).ok());
+  // Int widens to double.
+  EXPECT_TRUE(t.Append({int64_t{5}, std::string("eve"), int64_t{28},
+                        std::string("kiev")}).ok());
+  EXPECT_DOUBLE_EQ(*ValueAsDouble(t.at(4, 2)), 28.0);
+}
+
+TEST(TableTest, FromCsvInfersTypes) {
+  auto csv = ParseCsv("id,score,label\n1,2.5,aa\n2,3,bb\n");
+  ASSERT_TRUE(csv.ok());
+  auto table = Table::FromCsv("t", *csv);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->columns()[0].type, ColumnType::kInt);
+  EXPECT_EQ(table->columns()[1].type, ColumnType::kDouble);
+  EXPECT_EQ(table->columns()[2].type, ColumnType::kString);
+  // Round trip through csv.
+  auto back = Table::FromCsv("t2", table->ToCsv());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 2);
+}
+
+TEST(TableTest, DisplayString) {
+  std::string s = People().ToDisplayString(2);
+  EXPECT_NE(s.find("ann"), std::string::npos);
+  EXPECT_NE(s.find("more rows"), std::string::npos);
+}
+
+TEST(CatalogTest, RegisterGetDrop) {
+  Catalog c = MakeCatalog();
+  EXPECT_TRUE(c.Get("people").ok());
+  EXPECT_FALSE(c.Get("nope").ok());
+  EXPECT_FALSE(c.Register(People()).ok());  // duplicate
+  EXPECT_EQ(c.TableNames().size(), 1u);
+  EXPECT_TRUE(c.Drop("people"));
+  EXPECT_FALSE(c.Drop("people"));
+}
+
+TEST(SqlTest, SelectStar) {
+  Catalog c = MakeCatalog();
+  auto r = Query(c, "SELECT * FROM people");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_rows(), 4);
+  EXPECT_EQ(r->num_columns(), 4);
+}
+
+TEST(SqlTest, ProjectionAndWhere) {
+  Catalog c = MakeCatalog();
+  auto r = Query(c, "SELECT name, age FROM people WHERE age >= 34");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 3);
+  EXPECT_EQ(r->num_columns(), 2);
+}
+
+TEST(SqlTest, StringComparisonAndLogic) {
+  Catalog c = MakeCatalog();
+  auto r = Query(c,
+                 "SELECT id FROM people WHERE city = 'oslo' AND age > 40");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 1);
+  EXPECT_EQ(std::get<int64_t>(r->at(0, 0)), 3);
+
+  auto r2 = Query(c, "SELECT id FROM people WHERE city = 'rome' OR age > 50");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->num_rows(), 2);
+
+  auto r3 = Query(c, "SELECT id FROM people WHERE NOT (city = 'oslo')");
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3->num_rows(), 2);
+
+  auto r4 = Query(c, "SELECT id FROM people WHERE city <> 'oslo'");
+  ASSERT_TRUE(r4.ok());
+  EXPECT_EQ(r4->num_rows(), 2);
+}
+
+TEST(SqlTest, OrderByAndLimit) {
+  Catalog c = MakeCatalog();
+  auto r = Query(c, "SELECT name FROM people ORDER BY age DESC LIMIT 2");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 2);
+  EXPECT_EQ(std::get<std::string>(r->at(0, 0)), "cid");
+  EXPECT_EQ(std::get<std::string>(r->at(1, 0)), "dee");
+
+  auto r2 = Query(c, "SELECT name FROM people ORDER BY city ASC LIMIT 1;");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(std::get<std::string>(r2->at(0, 0)), "dee");  // lima first
+}
+
+TEST(SqlTest, CaseInsensitiveKeywords) {
+  Catalog c = MakeCatalog();
+  auto r = Query(c, "select name from people where AGE < 20");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 1);
+}
+
+TEST(SqlTest, ParseErrors) {
+  EXPECT_FALSE(ParseSelect("SELEKT * FROM t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t LIMIT x").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t WHERE a ~ 3").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t WHERE a = 'x").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t extra").ok());
+}
+
+TEST(SqlTest, ExecutionErrors) {
+  Catalog c = MakeCatalog();
+  EXPECT_FALSE(Query(c, "SELECT * FROM missing").ok());
+  EXPECT_FALSE(Query(c, "SELECT nope FROM people").ok());
+  EXPECT_FALSE(Query(c, "SELECT id FROM people WHERE nope = 1").ok());
+  EXPECT_FALSE(Query(c, "SELECT id FROM people ORDER BY nope").ok());
+  EXPECT_FALSE(Query(c, "SELECT id FROM people WHERE name = 3").ok());
+}
+
+TEST(SqlTest, NumericLiteralKinds) {
+  Catalog c = MakeCatalog();
+  auto r = Query(c, "SELECT id FROM people WHERE age = 34.0");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 1);
+  auto r2 = Query(c, "SELECT id FROM people WHERE id = 2");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->num_rows(), 1);
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace iq

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "index/dominant_graph.h"
+#include "topk/topk.h"
+#include "util/random.h"
+
+namespace iq {
+namespace {
+
+std::vector<Vec> RandomObjects(int n, int dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec> out;
+  for (int i = 0; i < n; ++i) out.push_back(rng.UniformVector(dim, 0.0, 1.0));
+  return out;
+}
+
+TEST(DominatesTest, Basics) {
+  EXPECT_TRUE(Dominates({0.1, 0.2}, {0.3, 0.2}));
+  EXPECT_FALSE(Dominates({0.3, 0.2}, {0.1, 0.2}));
+  EXPECT_FALSE(Dominates({0.1, 0.2}, {0.1, 0.2}));  // equal: no strict dim
+  EXPECT_FALSE(Dominates({0.1, 0.9}, {0.9, 0.1}));  // incomparable
+}
+
+TEST(DominantGraphTest, LayersAreAntichains) {
+  auto objects = RandomObjects(300, 3, 5);
+  DominantGraph dg(objects);
+  for (int li = 0; li < dg.num_layers(); ++li) {
+    const auto& layer = dg.layer(li);
+    for (size_t a = 0; a < layer.size(); ++a) {
+      for (size_t b = a + 1; b < layer.size(); ++b) {
+        EXPECT_FALSE(Dominates(objects[static_cast<size_t>(layer[a])],
+                               objects[static_cast<size_t>(layer[b])]));
+        EXPECT_FALSE(Dominates(objects[static_cast<size_t>(layer[b])],
+                               objects[static_cast<size_t>(layer[a])]));
+      }
+    }
+  }
+}
+
+TEST(DominantGraphTest, EveryDeepObjectHasAParentInPreviousLayer) {
+  auto objects = RandomObjects(300, 3, 6);
+  DominantGraph dg(objects);
+  for (int li = 1; li < dg.num_layers(); ++li) {
+    for (int id : dg.layer(li)) {
+      bool dominated = false;
+      for (int parent : dg.layer(li - 1)) {
+        if (Dominates(objects[static_cast<size_t>(parent)],
+                      objects[static_cast<size_t>(id)])) {
+          dominated = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(dominated) << "layer " << li << " object " << id;
+    }
+  }
+}
+
+struct DgCase {
+  int n;
+  int dim;
+  uint64_t seed;
+};
+
+class DominantGraphSweep : public testing::TestWithParam<DgCase> {};
+
+TEST_P(DominantGraphSweep, TopKMatchesBruteForce) {
+  const auto& param = GetParam();
+  auto objects = RandomObjects(param.n, param.dim, param.seed);
+  DominantGraph dg(objects);
+  Rng rng(param.seed + 1);
+  for (int trial = 0; trial < 25; ++trial) {
+    // Strictly positive weights so score ties have measure zero.
+    Vec w = rng.UniformVector(param.dim, 0.05, 1.0);
+    int k = 1 + static_cast<int>(rng.UniformInt(0, 9));
+    auto got = dg.TopK(w, k);
+    auto expected = TopKScan(objects, nullptr, w, k);
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].first, expected[i].id) << "rank " << i;
+      EXPECT_NEAR(got[i].second, expected[i].score, 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DominantGraphSweep,
+    testing::Values(DgCase{50, 2, 1}, DgCase{200, 3, 2}, DgCase{500, 4, 3},
+                    DgCase{100, 2, 4}, DgCase{30, 5, 5}, DgCase{1, 3, 6}));
+
+TEST(DominantGraphTest, CorrelatedDataHasManyLayers) {
+  // On the diagonal nearly every pair is comparable: deep, narrow layers.
+  Rng rng(9);
+  std::vector<Vec> objects;
+  for (int i = 0; i < 200; ++i) {
+    double b = rng.UniformDouble();
+    objects.push_back({b, std::clamp(b + rng.Gaussian(0, 0.01), 0.0, 1.0)});
+  }
+  DominantGraph dg(objects);
+  EXPECT_GT(dg.num_layers(), 20);
+}
+
+TEST(DominantGraphTest, AntiCorrelatedDataHasFewLayers) {
+  Rng rng(10);
+  std::vector<Vec> objects;
+  for (int i = 0; i < 200; ++i) {
+    double x = rng.UniformDouble();
+    objects.push_back({x, 1.0 - x});
+  }
+  DominantGraph dg(objects);
+  EXPECT_LE(dg.num_layers(), 2);
+}
+
+TEST(DominantGraphTest, MemoryReported) {
+  auto objects = RandomObjects(100, 3, 11);
+  DominantGraph dg(objects);
+  EXPECT_GT(dg.MemoryBytes(), sizeof(DominantGraph));
+}
+
+}  // namespace
+}  // namespace iq

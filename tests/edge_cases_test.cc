@@ -1,0 +1,132 @@
+// Edge-case coverage: empty workloads, single objects, degenerate inputs.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/evaluator.h"
+#include "core/iq_algorithms.h"
+#include "data/synthetic.h"
+#include "tests/test_world.h"
+
+namespace iq {
+namespace {
+
+TEST(EdgeCaseTest, EmptyQuerySet) {
+  Dataset data = MakeIndependent(10, 2, 151);
+  QuerySet queries(2);
+  FunctionView view(&data, LinearForm::Identity(2));
+  auto index = SubdomainIndex::Build(&view, &queries);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_subdomains(), 0);
+  EXPECT_EQ(index->HitCount(0), 0);
+
+  auto ctx = IqContext::FromIndex(&*index, 0);
+  ASSERT_TRUE(ctx.ok());
+  EseEvaluator ese(&*index, 0);
+  auto r = MinCostIq(*ctx, &ese, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->reached_goal);
+  EXPECT_EQ(r->hits_after, 0);
+}
+
+TEST(EdgeCaseTest, SingleObjectAlwaysHitsEverything) {
+  Dataset data(2);
+  data.Add({0.5, 0.5});
+  QuerySet queries(2);
+  ASSERT_TRUE(queries.Add({1, {0.3, 0.7}}).ok());
+  ASSERT_TRUE(queries.Add({3, {0.9, 0.1}}).ok());
+  FunctionView view(&data, LinearForm::Identity(2));
+  auto index = SubdomainIndex::Build(&view, &queries);
+  ASSERT_TRUE(index.ok());
+  // No competitors: thresholds are +infinity, the object hits everything.
+  EXPECT_EQ(index->HitCount(0), 2);
+  EseEvaluator ese(&*index, 0);
+  EXPECT_EQ(ese.base_hits(), 2);
+}
+
+TEST(EdgeCaseTest, AllQueriesRemovedThenReAdded) {
+  TestWorld w = TestWorld::Linear(20, 8, 2, 152);
+  for (int q = 0; q < 8; ++q) {
+    ASSERT_TRUE(w.queries->Remove(q).ok());
+    ASSERT_TRUE(w.index->OnQueryRemoved(q).ok());
+  }
+  EXPECT_EQ(w.index->num_subdomains(), 0);
+  EXPECT_EQ(w.index->rtree().size(), 0u);
+
+  auto id = w.queries->Add({2, {0.4, 0.6}});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(w.index->OnQueryAdded(*id).ok());
+  EXPECT_EQ(w.index->num_subdomains(), 1);
+  EXPECT_GE(w.index->HitCount(0), 0);
+}
+
+TEST(EdgeCaseTest, KLargerThanObjectCount) {
+  Dataset data(2);
+  data.Add({0.1, 0.2});
+  data.Add({0.3, 0.4});
+  QuerySet queries(2);
+  ASSERT_TRUE(queries.Add({10, {0.5, 0.5}}).ok());  // k = 10 >> n = 2
+  FunctionView view(&data, LinearForm::Identity(2));
+  auto index = SubdomainIndex::Build(&view, &queries);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->HitCount(0), 1);
+  EXPECT_EQ(index->HitCount(1), 1);
+}
+
+TEST(EdgeCaseTest, IdenticalObjects) {
+  Dataset data(2);
+  for (int i = 0; i < 5; ++i) data.Add({0.5, 0.5});
+  QuerySet queries(2);
+  ASSERT_TRUE(queries.Add({2, {0.6, 0.4}}).ok());
+  FunctionView view(&data, LinearForm::Identity(2));
+  auto index = SubdomainIndex::Build(&view, &queries);
+  ASSERT_TRUE(index.ok());
+  // Ties broken by id: objects 0 and 1 occupy the top-2; the strict hit rule
+  // says nobody hits (each ties with the k-th best competitor).
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(index->HitCount(i), 0) << "object " << i;
+  }
+  // An improvement of any epsilon makes object 4 hit.
+  EseEvaluator ese(&*index, 4);
+  Vec improved = {0.5 - 1e-6, 0.5};
+  EXPECT_EQ(ese.HitsForCoeffs(view.CoefficientsFor(improved)), 1);
+}
+
+TEST(EdgeCaseTest, ZeroWeightQuery) {
+  // A query with all-zero weights scores everything 0: with the strict hit
+  // rule nobody beats the k-th competitor, so nobody hits.
+  Dataset data = MakeIndependent(10, 2, 153);
+  QuerySet queries(2);
+  ASSERT_TRUE(queries.Add({1, {0.0, 0.0}}).ok());
+  FunctionView view(&data, LinearForm::Identity(2));
+  auto index = SubdomainIndex::Build(&view, &queries);
+  ASSERT_TRUE(index.ok());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(index->HitCount(i), 0);
+}
+
+TEST(EdgeCaseTest, MinCostWithTauEqualToQueryCount) {
+  TestWorld w = TestWorld::Linear(30, 10, 2, 154);
+  auto ctx = IqContext::FromIndex(w.index.get(), 0);
+  EseEvaluator ese(w.index.get(), 0);
+  auto r = MinCostIq(*ctx, &ese, 10);  // hit every query
+  ASSERT_TRUE(r.ok());
+  if (r->reached_goal) EXPECT_EQ(r->hits_after, 10);
+}
+
+TEST(EdgeCaseTest, EngineWithOneQueryOneObjectPair) {
+  Dataset data(1);
+  data.Add({0.9});
+  data.Add({0.1});
+  auto engine = IqEngine::Create(std::move(data), LinearForm::Identity(1),
+                                 {{1, {1.0}}});
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine->HitCount(1), 1);
+  EXPECT_EQ(engine->HitCount(0), 0);
+  auto r = engine->MinCost(0, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->reached_goal);
+  EXPECT_LT(r->strategy[0], 0.0);  // must move below 0.1
+}
+
+}  // namespace
+}  // namespace iq

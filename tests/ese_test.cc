@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/evaluator.h"
+#include "tests/test_world.h"
+#include "util/random.h"
+
+namespace iq {
+namespace {
+
+struct EseCase {
+  int n;
+  int m;
+  int dim;
+  uint64_t seed;
+  bool polynomial;
+};
+
+class EseSweep : public testing::TestWithParam<EseCase> {};
+
+// The three evaluators (the paper's compared schemes) must agree exactly.
+TEST_P(EseSweep, EvaluatorsAgreeOnRandomStrategies) {
+  const auto& p = GetParam();
+  TestWorld w = p.polynomial
+                    ? TestWorld::Polynomial(p.n, p.m, p.dim, p.dim, p.seed)
+                    : TestWorld::Linear(p.n, p.m, p.dim, p.seed);
+  Rng rng(p.seed + 9);
+  for (int target : {0, p.n / 2}) {
+    EseEvaluator ese(w.index.get(), target);
+    BruteForceEvaluator brute(w.view.get(), w.queries.get(), target);
+    RtaStrategyEvaluator rta(w.view.get(), w.queries.get(), target);
+
+    EXPECT_EQ(ese.base_hits(), brute.base_hits());
+    EXPECT_EQ(ese.base_hits(), rta.base_hits());
+    EXPECT_EQ(ese.base_hits(), w.index->HitCount(target));
+
+    for (int trial = 0; trial < 8; ++trial) {
+      Vec s(static_cast<size_t>(p.dim));
+      for (auto& v : s) v = rng.UniformDouble(-0.4, 0.4);
+      Vec improved = Add(w.data->attrs(target), s);
+      Vec c = w.view->CoefficientsFor(improved);
+
+      int h_ese = ese.HitsForCoeffs(c);
+      EXPECT_EQ(h_ese, brute.HitsForCoeffs(c)) << "trial " << trial;
+      EXPECT_EQ(h_ese, rta.HitsForCoeffs(c)) << "trial " << trial;
+      EXPECT_EQ(h_ese, ese.HitsViaWedges(c)) << "trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Worlds, EseSweep,
+    testing::Values(EseCase{60, 50, 2, 1, false}, EseCase{120, 80, 3, 2, false},
+                    EseCase{80, 60, 4, 3, false}, EseCase{50, 40, 2, 4, true},
+                    EseCase{70, 50, 3, 5, true}, EseCase{40, 90, 3, 6, false},
+                    EseCase{200, 30, 3, 7, false}));
+
+// Fact 1: a query outside every affected subspace keeps its result.
+TEST(EseTest, AffectedQueriesCoverEveryHitFlip) {
+  TestWorld w = TestWorld::Linear(80, 70, 3, 11);
+  Rng rng(12);
+  const int target = 5;
+  EseEvaluator ese(w.index.get(), target);
+  const Vec& c_base = w.view->coeffs(target);
+  for (int trial = 0; trial < 10; ++trial) {
+    Vec s(3);
+    for (auto& v : s) v = rng.UniformDouble(-0.5, 0.5);
+    Vec c_new = w.view->CoefficientsFor(Add(w.data->attrs(target), s));
+    std::vector<int> affected = ese.AffectedQueries(c_base, c_new);
+    std::vector<bool> in_affected(70, false);
+    for (int q : affected) in_affected[static_cast<size_t>(q)] = true;
+    for (int q = 0; q < 70; ++q) {
+      double t = ese.thresholds()[static_cast<size_t>(q)];
+      bool before = HitByThreshold(Dot(c_base, w.index->aug_weights(q)), t);
+      bool after = HitByThreshold(Dot(c_new, w.index->aug_weights(q)), t);
+      if (before != after) {
+        EXPECT_TRUE(in_affected[static_cast<size_t>(q)]) << "query " << q;
+      }
+    }
+  }
+}
+
+TEST(EseTest, ZeroStrategyKeepsBaseHits) {
+  TestWorld w = TestWorld::Linear(60, 40, 3, 13);
+  EseEvaluator ese(w.index.get(), 3);
+  Vec c = w.view->coeffs(3);
+  EXPECT_EQ(ese.HitsForCoeffs(c), ese.base_hits());
+  EXPECT_EQ(ese.HitsViaWedges(c), ese.base_hits());
+  EXPECT_TRUE(ese.AffectedQueries(c, c).empty());
+}
+
+TEST(EseTest, DominatingImprovementHitsEverything) {
+  // Move the target far below everyone in every coordinate: with k >= 1 and
+  // non-negative weights it must win every query.
+  TestWorld w = TestWorld::Linear(50, 30, 3, 14);
+  const int target = 7;
+  EseEvaluator ese(w.index.get(), target);
+  Vec improved = {-10.0, -10.0, -10.0};
+  Vec c = w.view->CoefficientsFor(improved);
+  EXPECT_EQ(ese.HitsForCoeffs(c), 30);
+}
+
+TEST(EseTest, CallsAreCounted) {
+  TestWorld w = TestWorld::Linear(30, 20, 2, 15);
+  EseEvaluator ese(w.index.get(), 0);
+  Vec c = w.view->coeffs(0);
+  EXPECT_EQ(ese.calls(), 0u);
+  ese.HitsForCoeffs(c);
+  ese.HitsForCoeffs(c);
+  EXPECT_EQ(ese.calls(), 2u);
+}
+
+TEST(EseTest, RtaEvaluatorTracksFullEvaluations) {
+  TestWorld w = TestWorld::Linear(100, 60, 3, 16);
+  RtaStrategyEvaluator rta(w.view.get(), w.queries.get(), 0);
+  // A dominating candidate is in every top-k, so no query can be pruned by
+  // the competitor buffer: every query needs a full evaluation.
+  Vec c = {-5.0, -5.0, -5.0};
+  EXPECT_EQ(rta.HitsForCoeffs(c), 60);
+  EXPECT_EQ(rta.total_full_evaluations(), 60u);
+}
+
+}  // namespace
+}  // namespace iq

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+#include "core/explain.h"
+#include "core/iq_algorithms.h"
+#include "tests/test_world.h"
+
+namespace iq {
+namespace {
+
+TEST(ExplainTest, ReportMatchesEvaluator) {
+  TestWorld w = TestWorld::Linear(60, 50, 3, 141);
+  const int target = 4;
+  auto ctx = IqContext::FromIndex(w.index.get(), target);
+  EseEvaluator ese(w.index.get(), target);
+  auto r = MinCostIq(*ctx, &ese, 12);
+  ASSERT_TRUE(r.ok());
+
+  auto report = ExplainStrategy(*w.index, target, r->strategy);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->hits_before, r->hits_before);
+  EXPECT_EQ(report->hits_after, r->hits_after);
+  EXPECT_EQ(report->hits_after - report->hits_before,
+            static_cast<int>(report->gained.size()) -
+                static_cast<int>(report->lost.size()));
+}
+
+TEST(ExplainTest, EffectsAreInternallyConsistent) {
+  TestWorld w = TestWorld::Linear(50, 40, 3, 142);
+  Vec strategy = {-0.2, -0.1, -0.15};
+  auto report = ExplainStrategy(*w.index, 7, strategy);
+  ASSERT_TRUE(report.ok());
+  for (const QueryEffect& e : report->gained) {
+    EXPECT_EQ(e.direction, 1);
+    EXPECT_GE(e.margin, 0.0);
+    EXPECT_LT(e.score_after, e.threshold);
+    EXPECT_GE(e.score_before, e.threshold);
+  }
+  for (const QueryEffect& e : report->lost) {
+    EXPECT_EQ(e.direction, -1);
+    EXPECT_GE(e.margin, 0.0);
+    EXPECT_GE(e.score_after, e.threshold);
+    EXPECT_LT(e.score_before, e.threshold);
+  }
+  // Margins sorted descending.
+  for (size_t i = 1; i < report->gained.size(); ++i) {
+    EXPECT_GE(report->gained[i - 1].margin, report->gained[i].margin);
+  }
+}
+
+TEST(ExplainTest, MinimalStrategiesHaveThinMargins) {
+  // A min-cost strategy clears thresholds by roughly the solver margin —
+  // the "fragile hits" effect the market simulation demonstrates.
+  TestWorld w = TestWorld::Linear(80, 60, 3, 143);
+  const int target = 2;
+  auto ctx = IqContext::FromIndex(w.index.get(), target);
+  EseEvaluator ese(w.index.get(), target);
+  auto r = MinCostIq(*ctx, &ese, 8);
+  ASSERT_TRUE(r.ok());
+  if (!r->reached_goal) GTEST_SKIP();
+  auto report = ExplainStrategy(*w.index, target, r->strategy);
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->gained.empty());
+  // The thinnest gained margin is tiny relative to the score scale.
+  double thinnest = report->gained.back().margin;
+  EXPECT_LT(thinnest, 0.01);
+}
+
+TEST(ExplainTest, ZeroStrategyChangesNothing) {
+  TestWorld w = TestWorld::Linear(30, 20, 2, 144);
+  auto report = ExplainStrategy(*w.index, 0, Zeros(2));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->gained.empty());
+  EXPECT_TRUE(report->lost.empty());
+  EXPECT_EQ(report->hits_before, report->hits_after);
+}
+
+TEST(ExplainTest, ToStringRenders) {
+  TestWorld w = TestWorld::Linear(40, 30, 2, 145);
+  auto report = ExplainStrategy(*w.index, 1, Vec{-0.5, -0.5});
+  ASSERT_TRUE(report.ok());
+  std::string text = report->ToString(3);
+  EXPECT_NE(text.find("strategy for object #1"), std::string::npos);
+  if (!report->gained.empty()) {
+    EXPECT_NE(text.find("gained"), std::string::npos);
+  }
+}
+
+TEST(ExplainTest, ErrorPaths) {
+  TestWorld w = TestWorld::Linear(20, 10, 2, 146);
+  EXPECT_FALSE(ExplainStrategy(*w.index, -1, Zeros(2)).ok());
+  EXPECT_FALSE(ExplainStrategy(*w.index, 99, Zeros(2)).ok());
+  EXPECT_FALSE(ExplainStrategy(*w.index, 0, Zeros(3)).ok());
+}
+
+}  // namespace
+}  // namespace iq

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "expr/expr.h"
+
+namespace iq {
+namespace {
+
+double Eval(const std::string& text, const Vec& attrs, const Vec& weights) {
+  auto expr = ParseExpr(text);
+  EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+  return EvalExpr(**expr, attrs, weights);
+}
+
+TEST(ExprTest, ArithmeticPrecedence) {
+  EXPECT_DOUBLE_EQ(Eval("1 + 2 * 3", {}, {}), 7.0);
+  EXPECT_DOUBLE_EQ(Eval("(1 + 2) * 3", {}, {}), 9.0);
+  EXPECT_DOUBLE_EQ(Eval("2 ^ 3 ^ 2", {}, {}), 512.0);  // right-assoc
+  EXPECT_DOUBLE_EQ(Eval("-2 ^ 2", {}, {}), -4.0);      // -(2^2), conventional
+  EXPECT_DOUBLE_EQ(Eval("(-2) ^ 2", {}, {}), 4.0);
+  EXPECT_DOUBLE_EQ(Eval("10 / 4", {}, {}), 2.5);
+  EXPECT_DOUBLE_EQ(Eval("1 - 2 - 3", {}, {}), -4.0);
+}
+
+TEST(ExprTest, Variables) {
+  EXPECT_DOUBLE_EQ(Eval("x1 * w1 + x2 * w2", {2, 3}, {10, 100}), 320.0);
+  EXPECT_DOUBLE_EQ(Eval("x2", {5, 7}, {}), 7.0);
+}
+
+TEST(ExprTest, Functions) {
+  EXPECT_DOUBLE_EQ(Eval("sqrt(16)", {}, {}), 4.0);
+  EXPECT_DOUBLE_EQ(Eval("abs(-3)", {}, {}), 3.0);
+  EXPECT_DOUBLE_EQ(Eval("exp(0)", {}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(Eval("log(exp(2))", {}, {}), 2.0);
+  EXPECT_DOUBLE_EQ(Eval("pow(2, 10)", {}, {}), 1024.0);
+  EXPECT_DOUBLE_EQ(Eval("min(3, 5)", {}, {}), 3.0);
+  EXPECT_DOUBLE_EQ(Eval("max(3, 5)", {}, {}), 5.0);
+}
+
+TEST(ExprTest, PaperEquation19) {
+  // sqrt(w1 * price) + w2 * capacity / mpg over the Car row (15000, 30, 4):
+  // attrs x1=price x2=mpg x3=capacity.
+  double v = Eval("sqrt(w1 * x1) + w2 * (x3 / x2)", {15000, 30, 4}, {1, 2});
+  EXPECT_NEAR(v, std::sqrt(15000.0) + 2.0 * 4.0 / 30.0, 1e-12);
+}
+
+TEST(ExprTest, ParseErrors) {
+  EXPECT_FALSE(ParseExpr("1 +").ok());
+  EXPECT_FALSE(ParseExpr("foo(1)").ok());
+  EXPECT_FALSE(ParseExpr("(1 + 2").ok());
+  EXPECT_FALSE(ParseExpr("1 2").ok());
+  EXPECT_FALSE(ParseExpr("x0").ok());       // indices start at 1
+  EXPECT_FALSE(ParseExpr("bogus").ok());
+  EXPECT_FALSE(ParseExpr("sqrt(1, 2)").ok());  // arity
+  EXPECT_FALSE(ParseExpr("pow(2)").ok());
+  EXPECT_FALSE(ParseExpr("1 @ 2").ok());
+}
+
+TEST(ExprTest, RangeChecks) {
+  EXPECT_TRUE(ParseExpr("x2 + w3", 2, 3).ok());
+  EXPECT_FALSE(ParseExpr("x3", 2, 3).ok());
+  EXPECT_FALSE(ParseExpr("w4", 2, 3).ok());
+}
+
+TEST(ExprTest, MaxIndices) {
+  auto expr = ParseExpr("x1 * w2 + x4");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ(MaxAttrIndex(**expr), 4);
+  EXPECT_EQ(MaxWeightIndex(**expr), 2);
+}
+
+TEST(ExprTest, ToStringRoundTrips) {
+  const std::string text = "w1 * x1^2 + sqrt(x2) - 3 / x3";
+  auto expr = ParseExpr(text);
+  ASSERT_TRUE(expr.ok());
+  auto reparsed = ParseExpr(ExprToString(**expr));
+  ASSERT_TRUE(reparsed.ok());
+  Vec attrs = {2.0, 9.0, 4.0};
+  Vec weights = {1.5};
+  EXPECT_DOUBLE_EQ(EvalExpr(**expr, attrs, weights),
+                   EvalExpr(**reparsed, attrs, weights));
+}
+
+TEST(ExprTest, CloneIsDeep) {
+  auto expr = ParseExpr("x1 + 2 * w1");
+  ASSERT_TRUE(expr.ok());
+  auto clone = (*expr)->Clone();
+  EXPECT_DOUBLE_EQ(EvalExpr(*clone, {3}, {4}), 11.0);
+  EXPECT_EQ(ExprToString(**expr), ExprToString(*clone));
+}
+
+TEST(ExprTest, ScientificNumbers) {
+  EXPECT_DOUBLE_EQ(Eval("1.5e2 + 2.5E-1", {}, {}), 150.25);
+}
+
+}  // namespace
+}  // namespace iq

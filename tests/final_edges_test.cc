@@ -1,0 +1,100 @@
+// Last round of edge coverage: renderer determinism, degenerate solver
+// inputs, empty workloads for RTA, dominance ties.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "index/dominant_graph.h"
+#include "opt/hit_solver.h"
+#include "core/explain.h"
+#include "tests/test_world.h"
+#include "topk/rta.h"
+#include "viz/subdomain_viz.h"
+
+namespace iq {
+namespace {
+
+TEST(VizDeterminismTest, SameInputSameSvg) {
+  TestWorld a = TestWorld::Linear(25, 20, 2, 271);
+  TestWorld b = TestWorld::Linear(25, 20, 2, 271);
+  auto svg_a = RenderSubdomainMap(*a.index);
+  auto svg_b = RenderSubdomainMap(*b.index);
+  ASSERT_TRUE(svg_a.ok() && svg_b.ok());
+  EXPECT_EQ(*svg_a, *svg_b);
+}
+
+TEST(SolverEdgeTest, ZeroNormalIsInfeasibleUnlessSatisfied) {
+  Vec a = {0.0, 0.0};
+  // 0 . s <= -1 can never hold.
+  EXPECT_FALSE(MinCostForHalfspace(a, -1.0, CostFunction::L2(),
+                                   AdjustBox::Unbounded(2))
+                   .ok());
+  // 0 . s <= 0.5 holds trivially.
+  auto ok = MinCostForHalfspace(a, 0.5, CostFunction::L2(),
+                                AdjustBox::Unbounded(2));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->cost, 0.0);
+}
+
+TEST(SolverEdgeTest, TinyRequirementYieldsTinyStep) {
+  Vec a = {1.0, 1.0};
+  auto sol = MinCostForHalfspace(a, -1e-12, CostFunction::L2(),
+                                 AdjustBox::Unbounded(2));
+  ASSERT_TRUE(sol.ok());
+  EXPECT_LT(sol->cost, 1e-9);
+  EXPECT_LE(Dot(a, sol->s), -1e-12 + 1e-18);
+}
+
+TEST(SolverEdgeTest, L1WithZeroUnitCostCoordinate) {
+  // Coordinate 1 is free to move: everything should go there.
+  auto sol = MinCostForHalfspace({1.0, 1.0}, -5.0,
+                                 CostFunction::WeightedL1({1.0, 0.0}),
+                                 AdjustBox::Unbounded(2));
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->cost, 0.0);
+  EXPECT_NEAR(sol->s[1], -5.0, 1e-9);
+}
+
+TEST(RtaEdgeTest, EmptyQuerySet) {
+  std::vector<Vec> rows = {{0.1, 0.2}};
+  Rta rta(&rows, nullptr, -1);
+  std::vector<Vec> ws;
+  std::vector<int> ks;
+  EXPECT_EQ(rta.CountHits({0.5, 0.5}, ws, ks), 0);
+  EXPECT_TRUE(Rta::LocalityOrder(ws).empty());
+}
+
+TEST(DominantGraphEdgeTest, DuplicateObjectsShareALayer) {
+  std::vector<Vec> rows = {{0.5, 0.5}, {0.5, 0.5}, {0.2, 0.2}, {0.8, 0.8}};
+  DominantGraph dg(rows);
+  // Duplicates do not dominate each other (no strict dimension), so objects
+  // 0 and 1 sit in the same layer, below {0.2,0.2} and above {0.8,0.8}.
+  EXPECT_EQ(dg.num_layers(), 3);
+  auto top = dg.TopK({1.0, 1.0}, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, 2);
+  EXPECT_EQ(top[1].first, 0);  // tie with 1, broken by id
+  EXPECT_EQ(top[2].first, 1);
+}
+
+TEST(ExplainEdgeTest, WorseningStrategyReportsLosses) {
+  TestWorld w = TestWorld::Linear(40, 30, 2, 272);
+  // Find an object with hits, then make it strictly worse everywhere.
+  int target = -1;
+  for (int i = 0; i < 40; ++i) {
+    if (w.index->HitCount(i) > 0) {
+      target = i;
+      break;
+    }
+  }
+  ASSERT_GE(target, 0);
+  auto report = ExplainStrategy(*w.index, target, Vec{2.0, 2.0});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->gained.empty());
+  EXPECT_EQ(static_cast<int>(report->lost.size()), report->hits_before);
+  EXPECT_EQ(report->hits_after, 0);
+}
+
+}  // namespace
+}  // namespace iq

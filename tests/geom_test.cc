@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/hyperplane.h"
+#include "geom/mbr.h"
+#include "geom/plane_sweep.h"
+#include "geom/vec.h"
+#include "geom/wedge.h"
+#include "util/random.h"
+
+namespace iq {
+namespace {
+
+TEST(VecTest, BasicOps) {
+  Vec a = {1, 2, 3};
+  Vec b = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+  EXPECT_EQ(Add(a, b), (Vec{5, 7, 9}));
+  EXPECT_EQ(Sub(b, a), (Vec{3, 3, 3}));
+  EXPECT_EQ(Scale(a, 2.0), (Vec{2, 4, 6}));
+  AddInPlace(&a, b);
+  EXPECT_EQ(a, (Vec{5, 7, 9}));
+}
+
+TEST(VecTest, Norms) {
+  Vec v = {3, -4};
+  EXPECT_DOUBLE_EQ(NormL1(v), 7.0);
+  EXPECT_DOUBLE_EQ(NormL2(v), 5.0);
+  EXPECT_DOUBLE_EQ(NormL2Squared(v), 25.0);
+  EXPECT_DOUBLE_EQ(NormLinf(v), 4.0);
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, v), 5.0);
+}
+
+TEST(VecTest, ApproxEqual) {
+  EXPECT_TRUE(ApproxEqual({1.0, 2.0}, {1.0 + 1e-12, 2.0}));
+  EXPECT_FALSE(ApproxEqual({1.0}, {1.1}));
+  EXPECT_FALSE(ApproxEqual({1.0}, {1.0, 2.0}));
+}
+
+TEST(HyperplaneTest, IntersectionPlaneSeparatesFunctions) {
+  // f_i coefficients (2, 1), f_l coefficients (1, 3): above means
+  // f_i(q) <= f_l(q).
+  Hyperplane plane = IntersectionPlane({2, 1}, {1, 3});
+  Vec q1 = {0.1, 0.9};  // f_i = 1.1 > f_l = 2.8? no: f_l = 0.1+2.7=2.8 -> above
+  EXPECT_TRUE(plane.Above(q1));
+  Vec q2 = {0.9, 0.1};  // f_i = 1.9, f_l = 1.2 -> below
+  EXPECT_FALSE(plane.Above(q2));
+}
+
+TEST(HyperplaneTest, BoundaryCountsAsAbove) {
+  Hyperplane plane = IntersectionPlane({1, 0}, {0, 1});
+  Vec on = {0.5, 0.5};
+  EXPECT_TRUE(plane.Above(on));
+}
+
+TEST(MbrTest, ExpandContainIntersect) {
+  Mbr box = Mbr::Empty(2);
+  EXPECT_TRUE(box.IsEmpty());
+  box.Expand({0.2, 0.3});
+  box.Expand({0.6, 0.1});
+  EXPECT_FALSE(box.IsEmpty());
+  EXPECT_TRUE(box.Contains({0.4, 0.2}));
+  EXPECT_FALSE(box.Contains({0.4, 0.5}));
+  EXPECT_TRUE(box.Intersects(Mbr({0.5, 0.0}, {0.9, 0.4})));
+  EXPECT_FALSE(box.Intersects(Mbr({0.7, 0.0}, {0.9, 0.4})));
+}
+
+TEST(MbrTest, AreaMarginOverlapEnlargement) {
+  Mbr box({0, 0}, {2, 3});
+  EXPECT_DOUBLE_EQ(box.Area(), 6.0);
+  EXPECT_DOUBLE_EQ(box.Margin(), 5.0);
+  EXPECT_DOUBLE_EQ(box.OverlapArea(Mbr({1, 1}, {3, 4})), 2.0);
+  EXPECT_DOUBLE_EQ(box.OverlapArea(Mbr({5, 5}, {6, 6})), 0.0);
+  EXPECT_DOUBLE_EQ(box.Enlargement({4, 3}), 6.0);
+  EXPECT_DOUBLE_EQ(box.Enlargement({1, 1}), 0.0);
+}
+
+TEST(MbrTest, MinDistance) {
+  Mbr box({0, 0}, {1, 1});
+  EXPECT_DOUBLE_EQ(box.MinDistanceSquared({0.5, 0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(box.MinDistanceSquared({2, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(box.MinDistanceSquared({2, 2}), 2.0);
+}
+
+TEST(MbrTest, ClassifyAgainstPlane) {
+  Mbr box({0.1, 0.1}, {0.4, 0.4});
+  // Plane x + y = 1: the whole box is on the negative side.
+  Hyperplane plane{{1, 1}, 1.0};
+  EXPECT_EQ(box.Classify(plane), PlaneRelation::kAllNegative);
+  Hyperplane plane2{{1, 1}, 0.3};
+  EXPECT_EQ(box.Classify(plane2), PlaneRelation::kStraddles);
+  Hyperplane plane3{{1, 1}, 0.1};
+  EXPECT_EQ(box.Classify(plane3), PlaneRelation::kAllPositive);
+}
+
+TEST(WedgeTest, ContainsExactlyTheFlippedRegion) {
+  // Before: f_i = (1, 0), after improvement: (0.2, 0). Competitor (0.5, 0.5).
+  Vec ci = {1.0, 0.0}, cl = {0.5, 0.5}, ci2 = {0.2, 0.0};
+  Wedge wedge(IntersectionPlane(ci, cl), IntersectionPlane(ci2, cl));
+  Rng rng(3);
+  for (int trial = 0; trial < 500; ++trial) {
+    Vec q = rng.UniformVector(2, 0.0, 1.0);
+    bool before = Dot(ci, q) <= Dot(cl, q);
+    bool after = Dot(ci2, q) <= Dot(cl, q);
+    EXPECT_EQ(wedge.Contains(q), before != after);
+  }
+}
+
+TEST(WedgeTest, MayIntersectNeverFalseNegative) {
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    Vec ci = rng.UniformVector(3, 0.0, 1.0);
+    Vec cl = rng.UniformVector(3, 0.0, 1.0);
+    Vec ci2 = rng.UniformVector(3, 0.0, 1.0);
+    Wedge wedge(IntersectionPlane(ci, cl), IntersectionPlane(ci2, cl));
+    Mbr box = Mbr::Empty(3);
+    Vec corner = rng.UniformVector(3, 0.0, 1.0);
+    box.Expand(corner);
+    box.Expand(Add(corner, rng.UniformVector(3, 0.0, 0.2)));
+    if (!wedge.MayIntersect(box)) {
+      // Then no point sampled inside the box may be in the wedge.
+      for (int s = 0; s < 50; ++s) {
+        Vec q(3);
+        for (int j = 0; j < 3; ++j) {
+          q[static_cast<size_t>(j)] = rng.UniformDouble(
+              box.lo()[static_cast<size_t>(j)], box.hi()[static_cast<size_t>(j)]);
+        }
+        EXPECT_FALSE(wedge.Contains(q));
+      }
+    }
+  }
+}
+
+TEST(SegmentTest, ProperCrossing) {
+  Segment2D s{0, 0, 1, 1};
+  Segment2D t{0, 1, 1, 0};
+  auto p = IntersectSegments(s, t);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR((*p)[0], 0.5, 1e-12);
+  EXPECT_NEAR((*p)[1], 0.5, 1e-12);
+}
+
+TEST(SegmentTest, NoIntersection) {
+  EXPECT_FALSE(
+      IntersectSegments({0, 0, 1, 0}, {0, 1, 1, 1}).has_value());
+}
+
+TEST(SegmentTest, EndpointTouch) {
+  auto p = IntersectSegments({0, 0, 1, 1}, {1, 1, 2, 0});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR((*p)[0], 1.0, 1e-12);
+}
+
+class PlaneSweepSweep : public testing::TestWithParam<int> {};
+
+TEST_P(PlaneSweepSweep, MatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  std::vector<Segment2D> segments;
+  int n = 5 + GetParam() * 7;
+  for (int i = 0; i < n; ++i) {
+    segments.push_back({rng.UniformDouble(), rng.UniformDouble(),
+                        rng.UniformDouble(), rng.UniformDouble()});
+  }
+  auto sweep = FindIntersectionsSweep(segments);
+  auto brute = FindIntersectionsBruteForce(segments);
+  std::sort(brute.begin(), brute.end(),
+            [](const SegmentIntersection& a, const SegmentIntersection& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second < b.second;
+            });
+  ASSERT_EQ(sweep.size(), brute.size());
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    EXPECT_EQ(sweep[i].first, brute[i].first);
+    EXPECT_EQ(sweep[i].second, brute[i].second);
+    EXPECT_NEAR(sweep[i].x, brute[i].x, 1e-9);
+    EXPECT_NEAR(sweep[i].y, brute[i].y, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomArrangements, PlaneSweepSweep,
+                         testing::Range(0, 8));
+
+TEST(ClipLineTest, DiagonalThroughUnitBox) {
+  // Line x - y = 0 clipped to the unit box: the main diagonal.
+  auto seg = ClipLineToBox(1, -1, 0, 0, 0, 1, 1);
+  ASSERT_TRUE(seg.has_value());
+  EXPECT_NEAR(seg->ax, 0, 1e-12);
+  EXPECT_NEAR(seg->ay, 0, 1e-12);
+  EXPECT_NEAR(seg->bx, 1, 1e-12);
+  EXPECT_NEAR(seg->by, 1, 1e-12);
+}
+
+TEST(ClipLineTest, MissesBox) {
+  EXPECT_FALSE(ClipLineToBox(1, 1, 5.0, 0, 0, 1, 1).has_value());
+}
+
+TEST(ClipLineTest, VerticalLine) {
+  auto seg = ClipLineToBox(1, 0, 0.25, 0, 0, 1, 1);
+  ASSERT_TRUE(seg.has_value());
+  EXPECT_NEAR(seg->ax, 0.25, 1e-12);
+  EXPECT_NEAR(seg->bx, 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace iq

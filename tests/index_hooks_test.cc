@@ -1,0 +1,74 @@
+// Error-path coverage for the SubdomainIndex maintenance hooks (§4.3).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tests/test_world.h"
+
+namespace iq {
+namespace {
+
+TEST(IndexHooksTest, OnQueryAddedRejectsBadIds) {
+  TestWorld w = TestWorld::Linear(20, 10, 2, 211);
+  // Not an active query id.
+  EXPECT_FALSE(w.index->OnQueryAdded(99).ok());
+  EXPECT_FALSE(w.index->OnQueryAdded(-1).ok());
+  // Already indexed.
+  auto st = w.index->OnQueryAdded(3);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+  // Tombstoned query cannot be (re-)indexed.
+  ASSERT_TRUE(w.queries->Remove(4).ok());
+  ASSERT_TRUE(w.index->OnQueryRemoved(4).ok());
+  EXPECT_FALSE(w.index->OnQueryAdded(4).ok());
+}
+
+TEST(IndexHooksTest, OnObjectAddedRejectsBadIds) {
+  TestWorld w = TestWorld::Linear(20, 10, 2, 212);
+  EXPECT_FALSE(w.index->OnObjectAdded(99).ok());
+  ASSERT_TRUE(w.data->Remove(5).ok());
+  ASSERT_TRUE(w.index->OnObjectRemoved(5).ok());
+  // Inactive object cannot be announced as added.
+  EXPECT_FALSE(w.index->OnObjectAdded(5).ok());
+}
+
+TEST(IndexHooksTest, OnObjectRemovedOutOfRange) {
+  TestWorld w = TestWorld::Linear(20, 10, 2, 213);
+  EXPECT_FALSE(w.index->OnObjectRemoved(-1).ok());
+  EXPECT_FALSE(w.index->OnObjectRemoved(999).ok());
+}
+
+TEST(IndexHooksTest, RemovingNonMemberObjectIsCheapNoOp) {
+  TestWorld w = TestWorld::Linear(100, 20, 3, 214);
+  // Find an object no signature references.
+  std::vector<int> members = w.index->SignatureMembers();
+  std::vector<bool> is_member(100, false);
+  for (int id : members) is_member[static_cast<size_t>(id)] = true;
+  int outsider = -1;
+  for (int i = 0; i < 100; ++i) {
+    if (!is_member[static_cast<size_t>(i)]) {
+      outsider = i;
+      break;
+    }
+  }
+  ASSERT_GE(outsider, 0) << "all objects are signature members?";
+  int subdomains_before = w.index->num_subdomains();
+  ASSERT_TRUE(w.data->Remove(outsider).ok());
+  ASSERT_TRUE(w.index->OnObjectRemoved(outsider).ok());
+  // Nothing regrouped.
+  EXPECT_EQ(w.index->num_subdomains(), subdomains_before);
+  for (int q = 0; q < 20; ++q) {
+    const auto& sig = w.index->signature(w.index->subdomain_of(q));
+    EXPECT_EQ(std::count(sig.begin(), sig.end(), outsider), 0);
+  }
+}
+
+TEST(IndexHooksTest, MemoryGrowsWithQueries) {
+  TestWorld small = TestWorld::Linear(50, 10, 2, 215);
+  TestWorld large = TestWorld::Linear(50, 200, 2, 215);
+  EXPECT_GT(large.index->MemoryBytes(), small.index->MemoryBytes());
+}
+
+}  // namespace
+}  // namespace iq

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "data/queries.h"
+#include "data/real_world.h"
+#include "data/synthetic.h"
+#include "data/workload.h"
+#include "expr/expr.h"
+#include "expr/unify.h"
+#include "util/random.h"
+
+namespace iq {
+namespace {
+
+// End-to-end: a medium synthetic market, all schemes, result invariants.
+TEST(IntegrationTest, SyntheticMarketAllSchemes) {
+  Dataset data = MakeAntiCorrelated(800, 3, 91);
+  QueryGenOptions qopts;
+  qopts.k_max = 10;
+  auto engine =
+      IqEngine::Create(std::move(data), LinearForm::Identity(3),
+                       MakeQueries(300, 3, 92, qopts));
+  ASSERT_TRUE(engine.ok());
+
+  const int target = 17;
+  const int tau = 30;
+  IqResult efficient;
+  for (IqScheme scheme : {IqScheme::kEfficient, IqScheme::kRta,
+                          IqScheme::kGreedy, IqScheme::kRandom}) {
+    auto r = engine->MinCost(target, tau, {}, scheme);
+    ASSERT_TRUE(r.ok()) << IqSchemeName(scheme);
+    if (scheme == IqScheme::kEfficient) {
+      efficient = *r;
+      EXPECT_TRUE(r->reached_goal);
+    }
+    if (r->reached_goal) EXPECT_GE(r->hits_after, tau);
+  }
+
+  // Apply the strategy, rebuild from scratch, verify the hit count persists.
+  ASSERT_TRUE(engine->ApplyStrategy(target, efficient.strategy).ok());
+  EXPECT_EQ(engine->HitCount(target), efficient.hits_after);
+
+  Dataset snapshot(3);
+  for (int i = 0; i < engine->dataset().size(); ++i) {
+    snapshot.Add(engine->dataset().attrs(i));
+  }
+  std::vector<TopKQuery> qs;
+  for (int q = 0; q < engine->queries().size(); ++q) {
+    qs.push_back(engine->queries().query(q));
+  }
+  auto fresh = IqEngine::Create(std::move(snapshot), LinearForm::Identity(3),
+                                std::move(qs));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->HitCount(target), efficient.hits_after);
+}
+
+// End-to-end on a simulated real-world dataset with a polynomial utility.
+TEST(IntegrationTest, VehicleWithPolynomialUtility) {
+  Dataset vehicles = MakeVehicle(93, 1200);
+  auto util = MakePolynomialUtility(5, 4, 3, 94);
+  ASSERT_TRUE(util.ok());
+  QueryGenOptions qopts;
+  qopts.k_max = 20;
+  auto engine = IqEngine::Create(
+      std::move(vehicles), std::move(util->form),
+      MakeQueries(400, util->num_weights, 95, qopts));
+  ASSERT_TRUE(engine.ok());
+
+  int target = 100;
+  auto r = engine->MinCost(target, 40);
+  ASSERT_TRUE(r.ok());
+  if (r->reached_goal) {
+    EXPECT_GE(r->hits_after, 40);
+    ASSERT_TRUE(engine->ApplyStrategy(target, r->strategy).ok());
+    EXPECT_EQ(engine->HitCount(target), r->hits_after);
+  }
+}
+
+// Heterogeneous utilities (§5.3): two user populations with different
+// formulas, unified into one engine; per-member rankings must match
+// independent evaluation.
+TEST(IntegrationTest, HeterogeneousUtilitiesViaUnifiedFamily) {
+  auto parse_form = [](const std::string& text, int dim, int weights) {
+    auto expr = ParseExpr(text, dim, weights);
+    EXPECT_TRUE(expr.ok());
+    auto form = Linearize(**expr, dim, weights);
+    EXPECT_TRUE(form.ok());
+    return std::move(*form);
+  };
+  LinearForm u = parse_form("w1*x1 + w2*x2^2", 2, 2);       // population A
+  LinearForm v = parse_form("w1*(x1*x2) + x1^2", 2, 1);     // population B
+
+  UnifiedFamily family;
+  int a = family.AddMember(u);
+  int b = family.AddMember(v);
+
+  // The unified engine form: one slot per unified weight, no bias.
+  std::vector<AttrPoly> slots;
+  for (int memb : {a, b}) {
+    const LinearForm& f = family.member(memb);
+    for (int j = 0; j < f.num_slots(); ++j) slots.push_back(f.slot(j));
+  }
+  LinearForm unified = LinearForm::FromSlots(
+      std::move(slots), family.total_slots(), /*has_bias=*/false);
+
+  Dataset data = MakeIndependent(60, 2, 96);
+  Rng rng(97);
+  std::vector<TopKQuery> queries;
+  std::vector<std::pair<int, Vec>> raw;  // (member, original weights)
+  for (int i = 0; i < 40; ++i) {
+    int memb = i % 2;
+    Vec w = rng.UniformVector(memb == a ? 2 : 1, 0.1, 1.0);
+    auto embedded = family.EmbedWeights(memb, w);
+    ASSERT_TRUE(embedded.ok());
+    queries.push_back({3, *embedded});
+    raw.emplace_back(memb, w);
+  }
+  auto engine =
+      IqEngine::Create(std::move(data), std::move(unified), std::move(queries));
+  ASSERT_TRUE(engine.ok());
+
+  // Every query's top-3 under the unified engine equals the top-3 under its
+  // own member utility evaluated directly.
+  for (int q = 0; q < 40; ++q) {
+    auto got = engine->TopK(engine->queries().query(q).weights, 3);
+    ASSERT_TRUE(got.ok());
+    std::vector<std::pair<double, int>> direct;
+    for (int i = 0; i < engine->dataset().size(); ++i) {
+      direct.emplace_back(
+          family.MemberScore(raw[static_cast<size_t>(q)].first,
+                             engine->dataset().attrs(i),
+                             raw[static_cast<size_t>(q)].second),
+          i);
+    }
+    std::sort(direct.begin(), direct.end());
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ((*got)[static_cast<size_t>(i)].id,
+                direct[static_cast<size_t>(i)].second)
+          << "query " << q << " rank " << i;
+    }
+  }
+
+  // And improvement queries run on the heterogeneous workload.
+  auto r = engine->MinCost(5, 10);
+  ASSERT_TRUE(r.ok());
+}
+
+// Workload bundle sanity.
+TEST(IntegrationTest, WorkloadBundle) {
+  auto w = Workload::Make(MakeIndependent(100, 3, 98),
+                          LinearForm::Identity(3),
+                          MakeQueries(50, 3, 99, {}));
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->RawDataBytes(), 100u * 3u * sizeof(double));
+  EXPECT_EQ(w->index->queries().size(), 50);
+}
+
+}  // namespace
+}  // namespace iq

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "expr/expr.h"
+#include "expr/linearize.h"
+#include "util/random.h"
+
+namespace iq {
+namespace {
+
+LinearForm MustLinearize(const std::string& text, int dim, int weights) {
+  auto expr = ParseExpr(text, dim, weights);
+  EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+  auto form = Linearize(**expr, dim, weights);
+  EXPECT_TRUE(form.ok()) << form.status().ToString();
+  return std::move(*form);
+}
+
+TEST(MonomialTest, EvalAndGradient) {
+  Monomial m{2.0, {{0, 2}, {1, 1}}};  // 2 * x1^2 * x2
+  Vec attrs = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(m.Eval(attrs), 72.0);
+  Vec grad = Zeros(2);
+  m.AccumulateGradient(attrs, 1.0, &grad);
+  EXPECT_DOUBLE_EQ(grad[0], 48.0);  // d/dx1 = 4*x1*x2
+  EXPECT_DOUBLE_EQ(grad[1], 18.0);  // d/dx2 = 2*x1^2
+}
+
+TEST(LinearizeTest, IdentityFormScoresAsDot) {
+  LinearForm id = LinearForm::Identity(3);
+  EXPECT_EQ(id.num_slots(), 3);
+  EXPECT_FALSE(id.has_bias());
+  Vec p = {1, 2, 3};
+  Vec w = {0.5, 0.25, 0.125};
+  EXPECT_DOUBLE_EQ(id.Score(p, w), Dot(p, w));
+  EXPECT_EQ(id.Coefficients(p), p);
+}
+
+TEST(LinearizeTest, PaperEquation20) {
+  // u(p) = w1 p1^3 + w2 (p2 p3) + w3 p4^2 — the paper's example.
+  LinearForm form = MustLinearize("w1*x1^3 + w2*(x2*x3) + w3*x4^2", 4, 3);
+  EXPECT_EQ(form.num_weights(), 3);
+  EXPECT_EQ(form.num_slots(), 3);  // no bias needed
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    Vec p = rng.UniformVector(4, -2.0, 2.0);
+    Vec w = rng.UniformVector(3, 0.0, 1.0);
+    double expected = w[0] * std::pow(p[0], 3) + w[1] * p[1] * p[2] +
+                      w[2] * p[3] * p[3];
+    EXPECT_NEAR(form.Score(p, w), expected, 1e-9);
+    // Coefficients are the augmented attributes {p1^3, p2*p3, p4^2}.
+    Vec c = form.Coefficients(p);
+    EXPECT_NEAR(c[0], std::pow(p[0], 3), 1e-12);
+    EXPECT_NEAR(c[1], p[1] * p[2], 1e-12);
+    EXPECT_NEAR(c[2], p[3] * p[3], 1e-12);
+  }
+}
+
+TEST(LinearizeTest, BiasSlotForWeightFreeTerms) {
+  LinearForm form = MustLinearize("w1*x1 + x2^2", 2, 1);
+  EXPECT_TRUE(form.has_bias());
+  EXPECT_EQ(form.num_slots(), 2);
+  Vec p = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(form.Score(p, {2.0}), 2.0 * 3.0 + 16.0);
+  Vec aug_w = form.AugmentWeights({2.0});
+  ASSERT_EQ(aug_w.size(), 2u);
+  EXPECT_DOUBLE_EQ(aug_w[1], 1.0);  // bias weight pinned to 1
+  EXPECT_DOUBLE_EQ(Dot(form.Coefficients(p), aug_w), form.Score(p, {2.0}));
+}
+
+TEST(LinearizeTest, PaperEquation22SqrtDistance) {
+  // u(p) = sqrt((w1-p1)^2 + (w2-p2)^2): sqrt stripped, w-only terms dropped,
+  // ranking must be preserved.
+  auto expr = ParseExpr("sqrt((w1 - x1)^2 + (w2 - x2)^2)", 2, 2);
+  ASSERT_TRUE(expr.ok());
+  auto form = Linearize(**expr, 2, 2);
+  ASSERT_TRUE(form.ok()) << form.status().ToString();
+  EXPECT_TRUE(form->stripped_monotone_wrapper());
+  EXPECT_TRUE(form->dropped_rank_irrelevant_terms());
+  EXPECT_TRUE(form->has_bias());  // x1^2 + x2^2
+
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    Vec w = rng.UniformVector(2, 0.0, 1.0);
+    // Rank 20 random objects by true distance and by the linear form.
+    std::vector<Vec> objects;
+    for (int i = 0; i < 20; ++i) objects.push_back(rng.UniformVector(2, 0, 1));
+    std::vector<int> by_true(20), by_form(20);
+    std::iota(by_true.begin(), by_true.end(), 0);
+    by_form = by_true;
+    auto true_score = [&](int i) {
+      return std::hypot(w[0] - objects[static_cast<size_t>(i)][0],
+                        w[1] - objects[static_cast<size_t>(i)][1]);
+    };
+    auto form_score = [&](int i) {
+      return form->Score(objects[static_cast<size_t>(i)], w);
+    };
+    std::sort(by_true.begin(), by_true.end(),
+              [&](int a, int b) { return true_score(a) < true_score(b); });
+    std::sort(by_form.begin(), by_form.end(),
+              [&](int a, int b) { return form_score(a) < form_score(b); });
+    EXPECT_EQ(by_true, by_form);
+  }
+}
+
+TEST(LinearizeTest, CombinesLikeTerms) {
+  LinearForm form = MustLinearize("w1*x1 + w1*x1 + w1*x2 - w1*x2", 2, 1);
+  // Slot 0 must be exactly 2*x1.
+  Vec p = {5.0, 7.0};
+  EXPECT_DOUBLE_EQ(form.Coefficients(p)[0], 10.0);
+}
+
+TEST(LinearizeTest, DivisionByConstant) {
+  LinearForm form = MustLinearize("w1 * x1 / 4", 1, 1);
+  EXPECT_DOUBLE_EQ(form.Coefficients({8.0})[0], 2.0);
+}
+
+TEST(LinearizeTest, RejectsNonPolynomial) {
+  auto reject = [](const std::string& text, int dim, int weights) {
+    auto expr = ParseExpr(text, dim, weights);
+    ASSERT_TRUE(expr.ok());
+    EXPECT_FALSE(Linearize(**expr, dim, weights).ok()) << text;
+  };
+  reject("w1^2 * x1", 1, 1);        // weight degree 2 with attrs
+  reject("w1 * w2 * x1", 1, 2);     // two weights in one term
+  reject("w1 / x1", 1, 1);          // attr in denominator
+  reject("log(x1) * w1", 1, 1);     // non-polynomial function
+  reject("x1 ^ w1", 1, 1);          // variable exponent
+  reject("x1 ^ 0.5", 1, 1);         // fractional exponent
+}
+
+TEST(LinearizeTest, WeightOnlyTermsDroppedButRankPreserved) {
+  // w1^2 is constant per query: dropping it shifts scores uniformly.
+  LinearForm form = MustLinearize("w1*x1 + w1^2", 1, 1);
+  EXPECT_TRUE(form.dropped_rank_irrelevant_terms());
+  Vec w = {0.7};
+  double s1 = form.Score({1.0}, w);
+  double s2 = form.Score({2.0}, w);
+  // Original scores: 0.7+0.49 and 1.4+0.49: the ORDER matches.
+  EXPECT_LT(s1, s2);
+}
+
+TEST(LinearizeTest, GradientMatchesNumeric) {
+  LinearForm form = MustLinearize("w1*x1^3 + w2*(x1*x2) + x2^2", 2, 2);
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    Vec p = rng.UniformVector(2, -1.0, 1.0);
+    Vec w = rng.UniformVector(2, 0.0, 1.0);
+    Vec grad = form.ScoreGradient(p, w);
+    const double h = 1e-6;
+    for (int j = 0; j < 2; ++j) {
+      Vec up = p, down = p;
+      up[static_cast<size_t>(j)] += h;
+      down[static_cast<size_t>(j)] -= h;
+      double numeric = (form.Score(up, w) - form.Score(down, w)) / (2 * h);
+      EXPECT_NEAR(grad[static_cast<size_t>(j)], numeric, 1e-5);
+    }
+  }
+}
+
+TEST(LinearizeTest, SlotDescriptions) {
+  LinearForm form = MustLinearize("w1*x1^2 + w2*x2", 2, 2);
+  EXPECT_EQ(form.SlotDescription(0), "1*x1^2");
+  EXPECT_EQ(form.SlotDescription(1), "1*x2");
+}
+
+TEST(LinearizeTest, ExpansionBlowupGuard) {
+  // (x1 + x2 + x3 + x4)^12 explodes past the term cap.
+  auto expr = ParseExpr("w1 * (x1 + x2 + x3 + x4)^12", 4, 1);
+  ASSERT_TRUE(expr.ok());
+  auto form = Linearize(**expr, 4, 1);
+  EXPECT_FALSE(form.ok());
+  EXPECT_EQ(form.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace iq

@@ -1,0 +1,93 @@
+// Remaining corner coverage: boxed exhaustive search, duplicate targets in
+// combinatorial IQs, index tuning knobs, and result bookkeeping fields.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/combinatorial.h"
+#include "core/evaluator.h"
+#include "core/exhaustive.h"
+#include "tests/test_world.h"
+
+namespace iq {
+namespace {
+
+TEST(BoxedExhaustiveTest, OptimumRespectsBounds) {
+  TestWorld w = TestWorld::Linear(12, 8, 2, 261, /*k_max=*/3);
+  auto ctx = IqContext::FromIndex(w.index.get(), 0);
+  ASSERT_TRUE(ctx.ok());
+  ExhaustiveOptions options;
+  options.iq.box = AdjustBox::Unbounded(2);
+  options.iq.box->SetRange(0, -0.15, 0.0);
+  options.iq.box->SetRange(1, -0.35, 0.1);
+  auto r = ExhaustiveMinCost(*ctx, 2, options);
+  if (!r.ok()) GTEST_SKIP() << "infeasible within the box: "
+                            << r.status().ToString();
+  EXPECT_TRUE(options.iq.box->Contains(r->strategy, 1e-6));
+  // The boxed optimum can never be cheaper than the unboxed one.
+  auto unboxed = ExhaustiveMinCost(*ctx, 2);
+  ASSERT_TRUE(unboxed.ok());
+  EXPECT_GE(r->cost, unboxed->cost - 1e-9);
+}
+
+TEST(CombinatorialTest, DuplicateTargetsBehaveLikeOneBudgetedTwice) {
+  TestWorld w = TestWorld::Linear(40, 30, 2, 262);
+  // Degenerate but legal input: the same target listed twice. The greedy
+  // treats them as two independently improvable copies that share the union
+  // hit count; the run must terminate and stay consistent.
+  auto r = CombinatorialMinCostIq(*w.index, {3, 3}, 8, {IqOptions{}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->strategies.size(), 2u);
+  if (r->reached_goal) EXPECT_GE(r->hits_after, 8);
+}
+
+TEST(IndexOptionsTest, RtreeFanoutKnob) {
+  Dataset data = MakeIndependent(200, 2, 263);
+  QuerySet queries(2);
+  QueryGenOptions qopts;
+  for (TopKQuery& q : MakeQueries(100, 2, 264, qopts)) {
+    ASSERT_TRUE(queries.Add(std::move(q)).ok());
+  }
+  FunctionView view(&data, LinearForm::Identity(2));
+  SubdomainIndexOptions narrow;
+  narrow.rtree_max_entries = 4;
+  auto a = SubdomainIndex::Build(&view, &queries, narrow);
+  SubdomainIndexOptions wide;
+  wide.rtree_max_entries = 64;
+  auto b = SubdomainIndex::Build(&view, &queries, wide);
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Different fanout, identical semantics.
+  EXPECT_GT(a->rtree().height(), b->rtree().height());
+  for (int i = 0; i < 200; i += 17) {
+    EXPECT_EQ(a->HitCount(i), b->HitCount(i));
+  }
+}
+
+TEST(ResultBookkeepingTest, CallsAndSecondsPopulated) {
+  TestWorld w = TestWorld::Linear(60, 40, 3, 265);
+  auto ctx = IqContext::FromIndex(w.index.get(), 1);
+  EseEvaluator ese(w.index.get(), 1);
+  auto r = MinCostIq(*ctx, &ese, 8);
+  ASSERT_TRUE(r.ok());
+  if (r->iterations > 0) {
+    EXPECT_GT(r->evaluator_calls, 0u);
+  }
+  EXPECT_GE(r->seconds, 0.0);
+  EXPECT_LT(r->seconds, 60.0);
+  EXPECT_EQ(r->hits_before, ese.base_hits());
+}
+
+TEST(ResultBookkeepingTest, StrategyDimensionAlwaysMatchesData) {
+  for (int dim : {1, 2, 4}) {
+    TestWorld w = TestWorld::Linear(30, 20, dim, 266 + dim);
+    auto ctx = IqContext::FromIndex(w.index.get(), 0);
+    EseEvaluator ese(w.index.get(), 0);
+    auto r = MinCostIq(*ctx, &ese, 3);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(static_cast<int>(r->strategy.size()), dim);
+  }
+}
+
+}  // namespace
+}  // namespace iq

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "index/rtree.h"
+#include "util/random.h"
+
+namespace iq {
+namespace {
+
+std::vector<Vec> RandomPoints(int n, int dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec> pts;
+  pts.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) pts.push_back(rng.UniformVector(dim, 0.0, 1.0));
+  return pts;
+}
+
+std::set<int> BruteRange(const std::vector<Vec>& pts, const Mbr& box) {
+  std::set<int> out;
+  for (int i = 0; i < static_cast<int>(pts.size()); ++i) {
+    if (box.Contains(pts[static_cast<size_t>(i)])) out.insert(i);
+  }
+  return out;
+}
+
+std::set<int> TreeRange(const RTree& tree, const Mbr& box) {
+  std::set<int> out;
+  tree.RangeSearch(box, [&out](int id, const Vec&) { out.insert(id); });
+  return out;
+}
+
+struct RTreeCase {
+  int n;
+  int dim;
+  int max_entries;
+};
+
+class RTreeSweep : public testing::TestWithParam<RTreeCase> {};
+
+TEST_P(RTreeSweep, InsertThenRangeMatchesScan) {
+  const auto& param = GetParam();
+  auto pts = RandomPoints(param.n, param.dim, 42);
+  RTree tree(param.dim, param.max_entries);
+  for (int i = 0; i < param.n; ++i) tree.Insert(pts[static_cast<size_t>(i)], i);
+  EXPECT_EQ(tree.size(), static_cast<size_t>(param.n));
+  EXPECT_TRUE(tree.Validate());
+
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    Vec lo = rng.UniformVector(param.dim, 0.0, 0.8);
+    Vec hi = lo;
+    for (auto& v : hi) v += rng.UniformDouble(0.05, 0.4);
+    Mbr box(lo, hi);
+    EXPECT_EQ(TreeRange(tree, box), BruteRange(pts, box));
+  }
+}
+
+TEST_P(RTreeSweep, BulkLoadMatchesScan) {
+  const auto& param = GetParam();
+  auto pts = RandomPoints(param.n, param.dim, 43);
+  std::vector<int> ids(pts.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int>(i);
+  RTree tree = RTree::BulkLoad(param.dim, pts, ids, param.max_entries);
+  EXPECT_EQ(tree.size(), pts.size());
+  EXPECT_TRUE(tree.Validate());
+
+  Rng rng(8);
+  for (int trial = 0; trial < 20; ++trial) {
+    Vec lo = rng.UniformVector(param.dim, 0.0, 0.8);
+    Vec hi = lo;
+    for (auto& v : hi) v += rng.UniformDouble(0.05, 0.4);
+    Mbr box(lo, hi);
+    EXPECT_EQ(TreeRange(tree, box), BruteRange(pts, box));
+  }
+}
+
+TEST_P(RTreeSweep, KNearestMatchesScan) {
+  const auto& param = GetParam();
+  auto pts = RandomPoints(param.n, param.dim, 44);
+  std::vector<int> ids(pts.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int>(i);
+  RTree tree = RTree::BulkLoad(param.dim, pts, ids, param.max_entries);
+
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    Vec q = rng.UniformVector(param.dim, 0.0, 1.0);
+    int k = 1 + static_cast<int>(rng.UniformInt(0, 7));
+    auto got = tree.KNearest(q, k);
+    // Brute force k-nearest.
+    std::vector<std::pair<double, int>> dists;
+    for (int i = 0; i < param.n; ++i) {
+      dists.emplace_back(Distance(pts[static_cast<size_t>(i)], q), i);
+    }
+    std::sort(dists.begin(), dists.end());
+    ASSERT_EQ(got.size(), static_cast<size_t>(std::min(k, param.n)));
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i].second, dists[i].first, 1e-9) << "rank " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RTreeSweep,
+    testing::Values(RTreeCase{50, 2, 4}, RTreeCase{400, 2, 16},
+                    RTreeCase{400, 3, 8}, RTreeCase{1000, 4, 16},
+                    RTreeCase{200, 5, 32}, RTreeCase{1, 2, 16},
+                    RTreeCase{17, 3, 4}));
+
+TEST(RTreeTest, EmptyTreeQueries) {
+  RTree tree(2);
+  EXPECT_EQ(tree.size(), 0u);
+  int count = 0;
+  tree.RangeSearch(Mbr({0, 0}, {1, 1}), [&](int, const Vec&) { ++count; });
+  EXPECT_EQ(count, 0);
+  EXPECT_TRUE(tree.KNearest({0.5, 0.5}, 3).empty());
+  EXPECT_TRUE(tree.Validate());
+}
+
+TEST(RTreeTest, RemoveShrinksAndKeepsConsistency) {
+  auto pts = RandomPoints(300, 3, 5);
+  RTree tree(3, 8);
+  for (int i = 0; i < 300; ++i) tree.Insert(pts[static_cast<size_t>(i)], i);
+  Rng rng(6);
+  std::vector<int> order(300);
+  for (int i = 0; i < 300; ++i) order[static_cast<size_t>(i)] = i;
+  rng.Shuffle(&order);
+  std::set<int> remaining(order.begin(), order.end());
+  for (int step = 0; step < 250; ++step) {
+    int id = order[static_cast<size_t>(step)];
+    EXPECT_TRUE(tree.Remove(pts[static_cast<size_t>(id)], id));
+    remaining.erase(id);
+    if (step % 50 == 0) {
+      EXPECT_TRUE(tree.Validate());
+      Mbr all(Vec{0, 0, 0}, Vec{1, 1, 1});
+      EXPECT_EQ(TreeRange(tree, all), remaining);
+    }
+  }
+  EXPECT_EQ(tree.size(), 50u);
+}
+
+TEST(RTreeTest, RemoveMissingReturnsFalse) {
+  RTree tree(2);
+  tree.Insert({0.5, 0.5}, 1);
+  EXPECT_FALSE(tree.Remove({0.4, 0.4}, 1));
+  EXPECT_FALSE(tree.Remove({0.5, 0.5}, 2));
+  EXPECT_TRUE(tree.Remove({0.5, 0.5}, 1));
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(RTreeTest, DuplicatePointsSupported) {
+  RTree tree(2);
+  for (int i = 0; i < 40; ++i) tree.Insert({0.3, 0.3}, i);
+  std::set<int> got = TreeRange(tree, Mbr({0.3, 0.3}, {0.3, 0.3}));
+  EXPECT_EQ(got.size(), 40u);
+  EXPECT_TRUE(tree.Validate());
+}
+
+TEST(RTreeTest, SearchIfPrunesBySubtreePredicate) {
+  auto pts = RandomPoints(500, 2, 77);
+  std::vector<int> ids(pts.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int>(i);
+  RTree tree = RTree::BulkLoad(2, pts, ids);
+  // Halfspace x + y <= 1 via SearchIf.
+  Hyperplane plane{{1, 1}, 1.0};
+  std::set<int> got;
+  tree.SearchIf(
+      [&plane](const Mbr& box) {
+        return box.Classify(plane) != PlaneRelation::kAllPositive;
+      },
+      [&plane](const Vec& p) { return plane.Side(p) <= 0; },
+      [&got](int id, const Vec&) { got.insert(id); });
+  std::set<int> expected;
+  for (int i = 0; i < 500; ++i) {
+    if (pts[static_cast<size_t>(i)][0] + pts[static_cast<size_t>(i)][1] <= 1.0) {
+      expected.insert(i);
+    }
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST(RTreeTest, MemoryAndHeightGrow) {
+  RTree tree(2, 8);
+  size_t empty_bytes = tree.MemoryBytes();
+  auto pts = RandomPoints(2000, 2, 3);
+  for (int i = 0; i < 2000; ++i) tree.Insert(pts[static_cast<size_t>(i)], i);
+  EXPECT_GT(tree.MemoryBytes(), empty_bytes);
+  EXPECT_GE(tree.height(), 3);
+}
+
+}  // namespace
+}  // namespace iq

@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "opt/bounds.h"
+#include "opt/cost.h"
+#include "opt/dykstra.h"
+#include "opt/hit_solver.h"
+#include "util/random.h"
+
+namespace iq {
+namespace {
+
+TEST(CostTest, BuiltInValues) {
+  Vec s = {3.0, -4.0};
+  EXPECT_DOUBLE_EQ(CostFunction::L1().Cost(s), 7.0);
+  EXPECT_DOUBLE_EQ(CostFunction::L2().Cost(s), 5.0);
+  EXPECT_DOUBLE_EQ(CostFunction::WeightedL1({2.0, 0.5}).Cost(s), 8.0);
+  EXPECT_DOUBLE_EQ(CostFunction::WeightedL2({1.0, 1.0}).Cost(s), 5.0);
+  EXPECT_DOUBLE_EQ(CostFunction::Quadratic({1.0, 2.0}).Cost(s), 41.0);
+}
+
+TEST(CostTest, CustomWithNumericGradient) {
+  CostFunction c = CostFunction::Custom(
+      [](const Vec& s) { return s[0] * s[0] + 3 * s[1] * s[1]; });
+  Vec s = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(c.Cost(s), 13.0);
+  Vec g = c.Gradient(s);
+  EXPECT_NEAR(g[0], 2.0, 1e-4);
+  EXPECT_NEAR(g[1], 12.0, 1e-4);
+}
+
+TEST(CostTest, GradientsMatchNumeric) {
+  Rng rng(1);
+  std::vector<CostFunction> costs = {
+      CostFunction::L2(), CostFunction::WeightedL2({1.0, 2.0, 0.5}),
+      CostFunction::Quadratic({1.0, 2.0, 0.5})};
+  for (const auto& cost : costs) {
+    for (int trial = 0; trial < 10; ++trial) {
+      Vec s = rng.UniformVector(3, 0.1, 1.0);  // away from the kink at 0
+      Vec g = cost.Gradient(s);
+      const double h = 1e-7;
+      for (int j = 0; j < 3; ++j) {
+        Vec up = s, down = s;
+        up[static_cast<size_t>(j)] += h;
+        down[static_cast<size_t>(j)] -= h;
+        EXPECT_NEAR(g[static_cast<size_t>(j)],
+                    (cost.Cost(up) - cost.Cost(down)) / (2 * h), 1e-4);
+      }
+    }
+  }
+}
+
+TEST(BoundsTest, BasicOps) {
+  AdjustBox box = AdjustBox::Unbounded(3);
+  EXPECT_TRUE(box.Contains({1e9, -1e9, 0}));
+  box.SetRange(0, -1.0, 2.0);
+  box.Freeze(1);
+  EXPECT_TRUE(box.IsFrozen(1));
+  EXPECT_FALSE(box.IsFrozen(0));
+  EXPECT_EQ(box.Clamp({5.0, 5.0, 5.0}), (Vec{2.0, 0.0, 5.0}));
+  EXPECT_FALSE(box.Contains({0.0, 0.1, 0.0}));
+}
+
+TEST(BoundsTest, FromValueRange) {
+  AdjustBox box = AdjustBox::FromValueRange({10.0, 20.0}, {5.0, 20.0},
+                                            {15.0, 30.0});
+  EXPECT_EQ(box.lower(), (Vec{-5.0, 0.0}));
+  EXPECT_EQ(box.upper(), (Vec{5.0, 10.0}));
+}
+
+TEST(BoundsTest, WithAdjustable) {
+  AdjustBox box = AdjustBox::WithAdjustable(3, {true, false, true});
+  EXPECT_FALSE(box.IsFrozen(0));
+  EXPECT_TRUE(box.IsFrozen(1));
+}
+
+// ---- MinCostForHalfspace ----
+
+TEST(HalfspaceSolverTest, L2UnconstrainedIsProjection) {
+  // min ||s|| s.t. a.s <= r with r < 0: s* = a * r / ||a||^2.
+  Vec a = {3.0, 4.0};
+  double r = -5.0;
+  auto sol = MinCostForHalfspace(a, r, CostFunction::L2(),
+                                 AdjustBox::Unbounded(2));
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->s[0], 3.0 * -5.0 / 25.0, 1e-9);
+  EXPECT_NEAR(sol->s[1], 4.0 * -5.0 / 25.0, 1e-9);
+  EXPECT_NEAR(sol->cost, 1.0, 1e-9);
+  EXPECT_LE(Dot(a, sol->s), r + 1e-9);
+}
+
+TEST(HalfspaceSolverTest, SatisfiedConstraintCostsNothing) {
+  auto sol = MinCostForHalfspace({1.0, 1.0}, 0.5, CostFunction::L2(),
+                                 AdjustBox::Unbounded(2));
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->cost, 0.0);
+}
+
+TEST(HalfspaceSolverTest, L1PicksMostEfficientCoordinate) {
+  // a = (1, 4): all weight should go on coordinate 1.
+  auto sol = MinCostForHalfspace({1.0, 4.0}, -8.0, CostFunction::L1(),
+                                 AdjustBox::Unbounded(2));
+  ASSERT_TRUE(sol.ok());
+  EXPECT_DOUBLE_EQ(sol->s[0], 0.0);
+  EXPECT_NEAR(sol->s[1], -2.0, 1e-9);
+  EXPECT_NEAR(sol->cost, 2.0, 1e-9);
+}
+
+TEST(HalfspaceSolverTest, L1SpillsOverAtBoxLimit) {
+  AdjustBox box = AdjustBox::Unbounded(2);
+  box.SetRange(1, -1.0, 1.0);  // efficient coordinate capped
+  auto sol = MinCostForHalfspace({1.0, 4.0}, -8.0, CostFunction::L1(), box);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->s[1], -1.0, 1e-9);  // capped
+  EXPECT_NEAR(sol->s[0], -4.0, 1e-9);  // remainder via coordinate 0
+  EXPECT_LE(Dot(Vec{1.0, 4.0}, sol->s), -8.0 + 1e-9);
+}
+
+TEST(HalfspaceSolverTest, InfeasibleWithinBox) {
+  AdjustBox box = AdjustBox::Unbounded(2);
+  box.SetRange(0, -0.1, 0.1);
+  box.SetRange(1, -0.1, 0.1);
+  auto sol = MinCostForHalfspace({1.0, 1.0}, -10.0, CostFunction::L2(), box);
+  EXPECT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(HalfspaceSolverTest, FrozenCoordinatesUnused) {
+  AdjustBox box = AdjustBox::Unbounded(2);
+  box.Freeze(0);
+  auto sol = MinCostForHalfspace({1.0, 1.0}, -2.0, CostFunction::L2(), box);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_DOUBLE_EQ(sol->s[0], 0.0);
+  EXPECT_NEAR(sol->s[1], -2.0, 1e-9);
+}
+
+TEST(HalfspaceSolverTest, WeightedL2PrefersCheapCoordinates) {
+  // Coordinate 1 is 100x cheaper: nearly all movement goes there.
+  auto sol = MinCostForHalfspace({1.0, 1.0}, -1.0,
+                                 CostFunction::Quadratic({100.0, 1.0}),
+                                 AdjustBox::Unbounded(2));
+  ASSERT_TRUE(sol.ok());
+  EXPECT_GT(std::fabs(sol->s[1]), 50.0 * std::fabs(sol->s[0]));
+  EXPECT_LE(Dot(Vec{1.0, 1.0}, sol->s), -1.0 + 1e-9);
+}
+
+class HalfspaceOptimalitySweep : public testing::TestWithParam<int> {};
+
+// The closed-form quadratic solution must match Dykstra's projection on
+// random boxed instances (both solve the same convex program).
+TEST_P(HalfspaceOptimalitySweep, QuadraticMatchesDykstra) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7 + 1);
+  const int dim = 2 + GetParam() % 4;
+  Vec a = rng.UniformVector(dim, -1.0, 1.0);
+  double r = -rng.UniformDouble(0.1, 2.0);
+  AdjustBox box = AdjustBox::Unbounded(dim);
+  for (int j = 0; j < dim; ++j) {
+    if (rng.Bernoulli(0.5)) {
+      box.SetRange(j, -rng.UniformDouble(0.5, 3.0), rng.UniformDouble(0.5, 3.0));
+    }
+  }
+  auto closed = MinCostForHalfspace(a, r, CostFunction::L2(), box);
+  auto projected = DykstraProject({a}, {r}, box, Zeros(dim));
+  if (!closed.ok()) {
+    // Dykstra must agree the program is infeasible.
+    EXPECT_FALSE(projected.ok());
+    return;
+  }
+  ASSERT_TRUE(projected.ok());
+  EXPECT_LE(Dot(a, closed->s), r + 1e-7);
+  EXPECT_TRUE(box.Contains(closed->s, 1e-9));
+  EXPECT_NEAR(closed->cost, NormL2(*projected), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, HalfspaceOptimalitySweep,
+                         testing::Range(0, 12));
+
+TEST(HalfspaceSolverTest, CustomCostFallsBackToPenalty) {
+  CostFunction cost = CostFunction::Custom(
+      [](const Vec& s) { return NormL2Squared(s); },
+      [](const Vec& s) { return Scale(s, 2.0); }, "sqnorm");
+  auto sol = MinCostForHalfspace({1.0, 0.0}, -2.0, cost,
+                                 AdjustBox::Unbounded(2));
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->s[0], -2.0, 1e-3);
+  EXPECT_NEAR(sol->s[1], 0.0, 1e-3);
+}
+
+// ---- MinCostNonlinear ----
+
+TEST(PenaltySolverTest, QuadraticConstraint) {
+  // min ||s|| s.t. (1 + s0)^2 <= 0.25  =>  s0 <= -0.5 (nearest boundary).
+  auto sol = MinCostNonlinear(
+      [](const Vec& s) { return (1.0 + s[0]) * (1.0 + s[0]) - 0.25; },
+      nullptr, CostFunction::L2(), AdjustBox::Unbounded(1));
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->s[0], -0.5, 5e-3);
+}
+
+TEST(PenaltySolverTest, InfeasibleReported) {
+  AdjustBox box = AdjustBox::Unbounded(1);
+  box.SetRange(0, -0.1, 0.1);
+  auto sol = MinCostNonlinear(
+      [](const Vec& s) { return 1.0 - s[0]; },  // needs s0 >= 1
+      nullptr, CostFunction::L2(), box);
+  EXPECT_FALSE(sol.ok());
+}
+
+TEST(PenaltySolverTest, AlreadyFeasibleReturnsZero) {
+  auto sol = MinCostNonlinear([](const Vec& s) { return s[0] - 1.0; },
+                              nullptr, CostFunction::L2(),
+                              AdjustBox::Unbounded(1));
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->cost, 0.0);
+}
+
+// ---- Dykstra ----
+
+TEST(DykstraTest, ProjectionOntoSingleHalfspace) {
+  auto p = DykstraProject({{1.0, 0.0}}, {-1.0}, AdjustBox::Unbounded(2),
+                          {2.0, 3.0});
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR((*p)[0], -1.0, 1e-6);
+  EXPECT_NEAR((*p)[1], 3.0, 1e-6);
+}
+
+TEST(DykstraTest, IntersectionOfTwoHalfspaces) {
+  // s0 <= -1 and s1 <= -1 from origin: corner (-1, -1).
+  auto p = DykstraProject({{1.0, 0.0}, {0.0, 1.0}}, {-1.0, -1.0},
+                          AdjustBox::Unbounded(2), Zeros(2));
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR((*p)[0], -1.0, 1e-6);
+  EXPECT_NEAR((*p)[1], -1.0, 1e-6);
+}
+
+TEST(DykstraTest, RespectsBox) {
+  AdjustBox box = AdjustBox::Unbounded(2);
+  box.SetRange(0, -0.5, 0.5);
+  auto p = DykstraProject({{1.0, 1.0}}, {-1.0}, box, Zeros(2));
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(box.Contains(*p, 1e-6));
+  EXPECT_LE((*p)[0] + (*p)[1], -1.0 + 1e-6);
+}
+
+TEST(DykstraTest, DetectsInfeasibility) {
+  AdjustBox box = AdjustBox::Unbounded(1);
+  box.SetRange(0, -0.5, 0.5);
+  auto p = DykstraProject({{1.0}}, {-2.0}, box, Zeros(1));
+  EXPECT_FALSE(p.ok());
+}
+
+TEST(DykstraTest, OptimalityAgainstRandomFeasiblePoints) {
+  Rng rng(21);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<Vec> A;
+    Vec b;
+    for (int i = 0; i < 4; ++i) {
+      A.push_back(rng.UniformVector(3, -1.0, 1.0));
+      b.push_back(-rng.UniformDouble(0.1, 1.0));
+    }
+    auto p = DykstraProject(A, b, AdjustBox::Unbounded(3), Zeros(3));
+    if (!p.ok()) continue;
+    double opt = NormL2(*p);
+    // No random feasible point may beat the projection.
+    for (int s = 0; s < 2000; ++s) {
+      Vec cand = rng.UniformVector(3, -3.0, 3.0);
+      bool feasible = true;
+      for (size_t i = 0; i < A.size(); ++i) {
+        if (Dot(A[i], cand) > b[i]) {
+          feasible = false;
+          break;
+        }
+      }
+      if (feasible) EXPECT_GE(NormL2(cand), opt - 1e-4);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iq

@@ -1,0 +1,70 @@
+#ifndef IQ_TESTS_TEST_WORLD_H_
+#define IQ_TESTS_TEST_WORLD_H_
+
+#include <memory>
+
+#include "core/function_view.h"
+#include "core/query.h"
+#include "core/subdomain_index.h"
+#include "data/queries.h"
+#include "data/synthetic.h"
+#include "util/logging.h"
+
+namespace iq {
+
+/// A self-owning (dataset, queries, view, index) bundle for tests.
+struct TestWorld {
+  std::unique_ptr<Dataset> data;
+  std::unique_ptr<QuerySet> queries;
+  std::unique_ptr<FunctionView> view;
+  std::unique_ptr<SubdomainIndex> index;
+
+  static TestWorld Linear(int n, int m, int dim, uint64_t seed,
+                          int k_max = 5) {
+    TestWorld w;
+    w.data = std::make_unique<Dataset>(MakeIndependent(n, dim, seed));
+    w.queries = std::make_unique<QuerySet>(dim);
+    QueryGenOptions qopts;
+    qopts.k_max = k_max;
+    for (TopKQuery& q : MakeQueries(m, dim, seed + 1, qopts)) {
+      IQ_CHECK(w.queries->Add(std::move(q)).ok());
+    }
+    w.view = std::make_unique<FunctionView>(w.data.get(),
+                                            LinearForm::Identity(dim));
+    auto index = SubdomainIndex::Build(w.view.get(), w.queries.get());
+    IQ_CHECK(index.ok());
+    w.index = std::make_unique<SubdomainIndex>(std::move(*index));
+    return w;
+  }
+
+  static TestWorld Polynomial(int n, int m, int dim, int num_terms,
+                              uint64_t seed, int k_max = 5) {
+    TestWorld w;
+    w.data = std::make_unique<Dataset>(MakeIndependent(n, dim, seed));
+    auto util = MakePolynomialUtility(dim, num_terms, 3, seed + 2);
+    IQ_CHECK(util.ok());
+    w.queries = std::make_unique<QuerySet>(util->num_weights);
+    QueryGenOptions qopts;
+    qopts.k_max = k_max;
+    for (TopKQuery& q :
+         MakeQueries(m, util->num_weights, seed + 1, qopts)) {
+      IQ_CHECK(w.queries->Add(std::move(q)).ok());
+    }
+    w.view = std::make_unique<FunctionView>(w.data.get(),
+                                            std::move(util->form));
+    auto index = SubdomainIndex::Build(w.view.get(), w.queries.get());
+    IQ_CHECK(index.ok());
+    w.index = std::make_unique<SubdomainIndex>(std::move(*index));
+    return w;
+  }
+
+  void RebuildIndex() {
+    auto index = SubdomainIndex::Build(view.get(), queries.get());
+    IQ_CHECK(index.ok());
+    this->index = std::make_unique<SubdomainIndex>(std::move(*index));
+  }
+};
+
+}  // namespace iq
+
+#endif  // IQ_TESTS_TEST_WORLD_H_

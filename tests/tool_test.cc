@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "db/improvement_tool.h"
+#include "util/random.h"
+
+namespace iq {
+namespace db {
+namespace {
+
+Table Products() {
+  Table t("products", {{"sku", ColumnType::kString},
+                       {"price", ColumnType::kDouble},
+                       {"weight", ColumnType::kDouble}});
+  EXPECT_TRUE(t.Append({std::string("a1"), 10.0, 2.0}).ok());
+  EXPECT_TRUE(t.Append({std::string("a2"), 8.0, 3.0}).ok());
+  EXPECT_TRUE(t.Append({std::string("a3"), 12.0, 1.0}).ok());
+  EXPECT_TRUE(t.Append({std::string("a4"), 6.0, 4.0}).ok());
+  return t;
+}
+
+Table Prefs(int count, uint64_t seed) {
+  Table t("prefs", {{"w1", ColumnType::kDouble},
+                    {"w2", ColumnType::kDouble},
+                    {"k", ColumnType::kInt}});
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    EXPECT_TRUE(t.Append({rng.UniformDouble(0.1, 1.0),
+                          rng.UniformDouble(0.1, 1.0),
+                          static_cast<int64_t>(rng.UniformInt(1, 2))}).ok());
+  }
+  return t;
+}
+
+ImprovementTool ReadyTool() {
+  ImprovementTool tool;
+  EXPECT_TRUE(tool.catalog().Register(Products()).ok());
+  EXPECT_TRUE(tool.catalog().Register(Prefs(40, 3)).ok());
+  EXPECT_TRUE(tool.LoadObjects("products", {"price", "weight"}, "sku").ok());
+  EXPECT_TRUE(tool.LoadQueries("prefs", {"w1", "w2"}, "k").ok());
+  EXPECT_TRUE(tool.BuildEngine().ok());
+  return tool;
+}
+
+TEST(ToolTest, EndToEndMinCost) {
+  ImprovementTool tool = ReadyTool();
+  auto targets = tool.SelectTargets("SELECT sku FROM products WHERE price > 9");
+  ASSERT_TRUE(targets.ok());
+  EXPECT_EQ(targets->size(), 2u);  // a1, a3
+  auto report = tool.MinCost(*targets, 10);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->num_rows(), 2);
+  EXPECT_EQ(report->ColumnIndex("s_price"), 6);
+  // Hits columns are consistent with reaching or not reaching tau.
+  for (int r = 0; r < report->num_rows(); ++r) {
+    int64_t reached = std::get<int64_t>(report->at(r, 4));
+    int64_t after = std::get<int64_t>(report->at(r, 3));
+    if (reached == 1) EXPECT_GE(after, 10);
+  }
+}
+
+TEST(ToolTest, MaxHitAndCombined) {
+  ImprovementTool tool = ReadyTool();
+  auto targets = tool.SelectTargets("SELECT sku FROM products LIMIT 2");
+  ASSERT_TRUE(targets.ok());
+  auto report = tool.MaxHit(*targets, 1.0);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->num_rows(), 2);
+
+  auto combined = tool.CombinedMinCost(*targets, 12);
+  ASSERT_TRUE(combined.ok());
+  EXPECT_EQ(combined->num_rows(), 3);  // 2 targets + TOTAL
+
+  auto combined_mh = tool.CombinedMaxHit(*targets, 0.8);
+  ASSERT_TRUE(combined_mh.ok());
+}
+
+TEST(ToolTest, NonLinearUtilityExpression) {
+  ImprovementTool tool;
+  ASSERT_TRUE(tool.catalog().Register(Products()).ok());
+  ASSERT_TRUE(tool.catalog().Register(Prefs(30, 4)).ok());
+  ASSERT_TRUE(tool.LoadObjects("products", {"price", "weight"}, "sku").ok());
+  ASSERT_TRUE(tool.LoadQueries("prefs", {"w1", "w2"}, "k").ok());
+  ASSERT_TRUE(tool.SetUtilityExpression("w1*x1^2 + w2*(x1*x2)").ok());
+  ASSERT_TRUE(tool.BuildEngine().ok());
+  auto targets = tool.SelectTargets("SELECT sku FROM products WHERE sku = 'a1'");
+  ASSERT_TRUE(targets.ok());
+  auto report = tool.MinCost(*targets, 5);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+}
+
+TEST(ToolTest, ErrorPaths) {
+  ImprovementTool tool;
+  ASSERT_TRUE(tool.catalog().Register(Products()).ok());
+  ASSERT_TRUE(tool.catalog().Register(Prefs(10, 5)).ok());
+
+  // Order-of-operations errors.
+  EXPECT_FALSE(tool.BuildEngine().ok());
+  EXPECT_FALSE(tool.SelectTargets("SELECT sku FROM products").ok());
+  EXPECT_FALSE(tool.MinCost({0}, 5).ok());
+
+  // Bad column references.
+  EXPECT_FALSE(tool.LoadObjects("products", {"nope"}, "sku").ok());
+  EXPECT_FALSE(tool.LoadObjects("products", {"sku"}, "").ok());  // non-numeric
+  EXPECT_FALSE(tool.LoadObjects("missing", {"price"}, "").ok());
+  EXPECT_FALSE(tool.LoadObjects("products", {}, "").ok());
+  EXPECT_FALSE(tool.LoadQueries("prefs", {"w1"}, "nope").ok());
+
+  ASSERT_TRUE(tool.LoadObjects("products", {"price", "weight"}, "sku").ok());
+  ASSERT_TRUE(tool.LoadQueries("prefs", {"w1", "w2"}, "k").ok());
+
+  // Utility with the wrong weight arity fails at build time.
+  ASSERT_TRUE(tool.SetUtilityExpression("w1*x1 + w3*x2").ok());
+  EXPECT_FALSE(tool.BuildEngine().ok());
+  ASSERT_TRUE(tool.SetUtilityExpression("").ok());
+  ASSERT_TRUE(tool.BuildEngine().ok());
+
+  // Unknown target id.
+  auto bad = tool.SelectTargets("SELECT price FROM products LIMIT 1");
+  EXPECT_FALSE(bad.ok());  // prices are not registered object ids
+}
+
+TEST(ToolTest, DuplicateIdsRejected) {
+  Table t("dups", {{"id", ColumnType::kString}, {"v", ColumnType::kDouble}});
+  ASSERT_TRUE(t.Append({std::string("x"), 1.0}).ok());
+  ASSERT_TRUE(t.Append({std::string("x"), 2.0}).ok());
+  ImprovementTool tool;
+  ASSERT_TRUE(tool.catalog().Register(std::move(t)).ok());
+  ASSERT_TRUE(tool.catalog().Register(Prefs(5, 6)).ok());
+  ASSERT_TRUE(tool.LoadObjects("dups", {"v"}, "id").ok());
+  // Query weights arity must match dim=1: reuse w1 only.
+  Table q("q1", {{"w1", ColumnType::kDouble}, {"k", ColumnType::kInt}});
+  ASSERT_TRUE(q.Append({0.5, int64_t{1}}).ok());
+  ASSERT_TRUE(tool.catalog().Register(std::move(q)).ok());
+  ASSERT_TRUE(tool.LoadQueries("q1", {"w1"}, "k").ok());
+  EXPECT_FALSE(tool.BuildEngine().ok());
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace iq

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "expr/expr.h"
+#include "expr/unify.h"
+#include "util/random.h"
+
+namespace iq {
+namespace {
+
+LinearForm FormOf(const std::string& text, int dim, int weights) {
+  auto expr = ParseExpr(text, dim, weights);
+  EXPECT_TRUE(expr.ok());
+  auto form = Linearize(**expr, dim, weights);
+  EXPECT_TRUE(form.ok()) << form.status().ToString();
+  return std::move(*form);
+}
+
+TEST(UnifyTest, SlotLayout) {
+  UnifiedFamily family;
+  int u = family.AddMember(FormOf("w1*x1 + w2*x2", 2, 2));    // 2 slots
+  int v = family.AddMember(FormOf("w1*x1^2 + x2^2", 2, 1));   // 1 + bias
+  EXPECT_EQ(u, 0);
+  EXPECT_EQ(v, 1);
+  EXPECT_EQ(family.total_slots(), 4);
+  EXPECT_EQ(family.SlotOffset(0), 0);
+  EXPECT_EQ(family.SlotOffset(1), 2);
+}
+
+TEST(UnifyTest, EmbeddedWeightsZeroOtherMembers) {
+  UnifiedFamily family;
+  family.AddMember(FormOf("w1*x1 + w2*x2", 2, 2));
+  family.AddMember(FormOf("w1*x1^2 + x2^2", 2, 1));
+  auto w = family.EmbedWeights(0, {0.3, 0.4});
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(*w, (Vec{0.3, 0.4, 0.0, 0.0}));
+  auto w2 = family.EmbedWeights(1, {0.5});
+  ASSERT_TRUE(w2.ok());
+  // Member 1's bias indicator becomes 1 in its own block only.
+  EXPECT_EQ(*w2, (Vec{0.0, 0.0, 0.5, 1.0}));
+}
+
+TEST(UnifyTest, UnifiedScoreEqualsMemberScore) {
+  // The paper's §5.3 construction: G = u + v with disjoint weight slots.
+  UnifiedFamily family;
+  family.AddMember(FormOf("w1*x1 + w2*x2^2", 2, 2));
+  family.AddMember(FormOf("w1*(x1*x2) + x1^2", 2, 1));
+  Rng rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    Vec p = rng.UniformVector(2, -1.0, 2.0);
+    Vec c = family.Coefficients(p);
+    ASSERT_EQ(static_cast<int>(c.size()), family.total_slots());
+
+    Vec w0 = rng.UniformVector(2, 0.0, 1.0);
+    auto e0 = family.EmbedWeights(0, w0);
+    ASSERT_TRUE(e0.ok());
+    EXPECT_NEAR(Dot(*e0, c), family.MemberScore(0, p, w0), 1e-12);
+    EXPECT_NEAR(Dot(*e0, c), w0[0] * p[0] + w0[1] * p[1] * p[1], 1e-12);
+
+    Vec w1 = rng.UniformVector(1, 0.0, 1.0);
+    auto e1 = family.EmbedWeights(1, w1);
+    ASSERT_TRUE(e1.ok());
+    EXPECT_NEAR(Dot(*e1, c), w1[0] * p[0] * p[1] + p[0] * p[0], 1e-12);
+  }
+}
+
+TEST(UnifyTest, GradientMatchesNumeric) {
+  UnifiedFamily family;
+  family.AddMember(FormOf("w1*x1^2 + w2*x2", 2, 2));
+  family.AddMember(FormOf("w1*(x1*x2)", 2, 1));
+  Rng rng(5);
+  Vec p = {0.4, 0.8};
+  Vec uw = {0.3, 0.1, 0.7};  // mixed activation of both members
+  uw.push_back(0.0);
+  uw.resize(static_cast<size_t>(family.total_slots()), 0.5);
+  Vec grad = family.ScoreGradient(p, uw);
+  auto score = [&](const Vec& x) { return Dot(uw, family.Coefficients(x)); };
+  const double h = 1e-6;
+  for (int j = 0; j < 2; ++j) {
+    Vec up = p, down = p;
+    up[static_cast<size_t>(j)] += h;
+    down[static_cast<size_t>(j)] -= h;
+    EXPECT_NEAR(grad[static_cast<size_t>(j)], (score(up) - score(down)) / (2 * h),
+                1e-5);
+  }
+}
+
+TEST(UnifyTest, ErrorPaths) {
+  UnifiedFamily family;
+  family.AddMember(FormOf("w1*x1", 1, 1));
+  EXPECT_FALSE(family.EmbedWeights(5, {0.1}).ok());
+  EXPECT_FALSE(family.EmbedWeights(-1, {0.1}).ok());
+  EXPECT_FALSE(family.EmbedWeights(0, {0.1, 0.2}).ok());  // wrong arity
+}
+
+}  // namespace
+}  // namespace iq

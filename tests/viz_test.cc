@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+#include "core/iq_algorithms.h"
+#include "tests/test_world.h"
+#include "viz/subdomain_viz.h"
+#include "viz/svg.h"
+
+namespace iq {
+namespace {
+
+size_t CountOccurrences(const std::string& s, const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = s.find(needle); pos != std::string::npos;
+       pos = s.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(SvgTest, DocumentStructure) {
+  SvgDocument svg(100, 50);
+  svg.AddRect(0, 0, 100, 50, "#fff");
+  svg.AddLine(0, 0, 10, 10, "#000");
+  svg.AddCircle(5, 5, 2, "red");
+  svg.AddPolygon({{0, 0}, {10, 0}, {5, 5}}, "blue", 0.5);
+  svg.AddText(1, 1, "hi <&> \"there\"");
+  std::string out = svg.ToString();
+  EXPECT_EQ(out.rfind("<svg", 0), 0u);
+  EXPECT_NE(out.find("</svg>"), std::string::npos);
+  EXPECT_EQ(CountOccurrences(out, "<rect"), 1u);
+  EXPECT_EQ(CountOccurrences(out, "<line"), 1u);
+  EXPECT_EQ(CountOccurrences(out, "<circle"), 1u);
+  EXPECT_EQ(CountOccurrences(out, "<polygon"), 1u);
+  // XML escaping.
+  EXPECT_NE(out.find("hi &lt;&amp;&gt; &quot;there&quot;"),
+            std::string::npos);
+  EXPECT_EQ(out.find("hi <&>"), std::string::npos);
+}
+
+TEST(SvgTest, CategoryColorsCycleAndStayValid) {
+  for (int i = -3; i < 40; ++i) {
+    std::string c = SvgDocument::CategoryColor(i);
+    ASSERT_EQ(c.size(), 7u);
+    EXPECT_EQ(c[0], '#');
+  }
+  EXPECT_EQ(SvgDocument::CategoryColor(0), SvgDocument::CategoryColor(18));
+}
+
+TEST(SubdomainVizTest, MapContainsOneCirclePerQuery) {
+  TestWorld w = TestWorld::Linear(30, 25, 2, 101);
+  auto svg = RenderSubdomainMap(*w.index);
+  ASSERT_TRUE(svg.ok()) << svg.status().ToString();
+  EXPECT_EQ(CountOccurrences(*svg, "<circle"), 25u);
+  EXPECT_NE(svg->find("subdomains"), std::string::npos);
+}
+
+TEST(SubdomainVizTest, AffectedViewHighlightsFlips) {
+  TestWorld w = TestWorld::Linear(30, 25, 2, 102);
+  const int target = 4;
+  // A strongly improving strategy must flip at least one query.
+  Vec strategy = {-2.0, -2.0};
+  auto svg = RenderAffectedSubspace(*w.index, target, strategy);
+  ASSERT_TRUE(svg.ok()) << svg.status().ToString();
+  // Unaffected grey circles plus extra highlight circles.
+  EXPECT_GT(CountOccurrences(*svg, "<circle"), 25u);
+  EXPECT_NE(svg->find("affected queries"), std::string::npos);
+}
+
+TEST(SubdomainVizTest, MinimalStrategyShowsMovedBoundaries) {
+  TestWorld w = TestWorld::Linear(30, 60, 2, 106);
+  int target = 0;
+  for (int i = 0; i < 30; ++i) {
+    if (w.index->HitCount(i) == 0) {
+      target = i;
+      break;
+    }
+  }
+  auto ctx = IqContext::FromIndex(w.index.get(), target);
+  ASSERT_TRUE(ctx.ok());
+  EseEvaluator ese(w.index.get(), target);
+  auto r = MinCostIq(*ctx, &ese, 5);
+  ASSERT_TRUE(r.ok());
+  if (!r->reached_goal) GTEST_SKIP() << "goal unreachable in this world";
+  auto svg = RenderAffectedSubspace(*w.index, target, r->strategy);
+  ASSERT_TRUE(svg.ok());
+  // A minimal strategy moves boundaries just past some query points, so the
+  // post-improvement (dashed) lines cross the visible domain.
+  EXPECT_NE(svg->find("stroke-dasharray"), std::string::npos);
+}
+
+TEST(SubdomainVizTest, RejectsNonTwoSlotWorkloads) {
+  TestWorld w3 = TestWorld::Linear(20, 10, 3, 103);
+  EXPECT_FALSE(RenderSubdomainMap(*w3.index).ok());
+  EXPECT_FALSE(RenderAffectedSubspace(*w3.index, 0, Zeros(3)).ok());
+}
+
+TEST(SubdomainVizTest, RejectsBadTargetOrStrategy) {
+  TestWorld w = TestWorld::Linear(20, 10, 2, 104);
+  EXPECT_FALSE(RenderAffectedSubspace(*w.index, -1, Zeros(2)).ok());
+  EXPECT_FALSE(RenderAffectedSubspace(*w.index, 99, Zeros(2)).ok());
+  EXPECT_FALSE(RenderAffectedSubspace(*w.index, 0, Zeros(3)).ok());
+}
+
+TEST(SubdomainVizTest, LinesCanBeDisabled) {
+  TestWorld w = TestWorld::Linear(30, 25, 2, 105);
+  VizOptions options;
+  options.max_intersection_pairs = 0;
+  options.legend = false;
+  auto svg = RenderSubdomainMap(*w.index, options);
+  ASSERT_TRUE(svg.ok());
+  // Only the frame rectangle lines remain (no <line> elements at all).
+  EXPECT_EQ(CountOccurrences(*svg, "<line"), 0u);
+  EXPECT_EQ(CountOccurrences(*svg, "<text"), 0u);
+}
+
+}  // namespace
+}  // namespace iq

@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "data/workload.h"
+
+namespace iq {
+namespace {
+
+TEST(WorkloadTest, MakeValidatesQueryArity) {
+  auto w = Workload::Make(MakeIndependent(10, 3, 161),
+                          LinearForm::Identity(3), {{1, {0.5, 0.5}}});
+  EXPECT_FALSE(w.ok());  // 2 weights vs 3 expected
+}
+
+TEST(WorkloadTest, MakeValidatesK) {
+  auto w = Workload::Make(MakeIndependent(10, 2, 162),
+                          LinearForm::Identity(2), {{0, {0.5, 0.5}}});
+  EXPECT_FALSE(w.ok());
+}
+
+TEST(WorkloadTest, KappaOptionFlowsThrough) {
+  SubdomainIndexOptions options;
+  options.kappa = 7;
+  auto w = Workload::Make(MakeIndependent(30, 2, 163),
+                          LinearForm::Identity(2),
+                          {{1, {0.5, 0.5}}, {2, {0.2, 0.8}}}, options);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->index->kappa(), 7);
+  for (int q = 0; q < 2; ++q) {
+    EXPECT_EQ(w->index->signature(w->index->subdomain_of(q)).size(), 7u);
+  }
+}
+
+TEST(WorkloadTest, PointersAreStableAfterMove) {
+  auto w = Workload::Make(MakeIndependent(20, 2, 164),
+                          LinearForm::Identity(2), {{1, {0.3, 0.7}}});
+  ASSERT_TRUE(w.ok());
+  const Dataset* data_ptr = w->data.get();
+  Workload moved = std::move(*w);
+  // The index still references the same dataset object.
+  EXPECT_EQ(&moved.view->dataset(), data_ptr);
+  EXPECT_EQ(moved.index->HitCount(0) >= 0, true);
+}
+
+}  // namespace
+}  // namespace iq
