@@ -3,7 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
-#include "util/logging.h"
+#include "util/check.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 

@@ -11,7 +11,7 @@
 #include "data/real_world.h"
 #include "data/synthetic.h"
 #include "data/workload.h"
-#include "util/logging.h"
+#include "util/check.h"
 #include "util/random.h"
 #include "util/stats.h"
 

@@ -5,7 +5,7 @@
 #include <cstdio>
 
 #include "bench/common/harness.h"
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace iq {
 namespace bench {

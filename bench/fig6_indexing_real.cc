@@ -7,7 +7,7 @@
 #include <cstdio>
 
 #include "bench/common/harness.h"
-#include "util/logging.h"
+#include "util/check.h"
 #include "index/dominant_graph.h"
 #include "index/rtree.h"
 #include "util/timer.h"

@@ -5,7 +5,7 @@
 #include <cstdio>
 
 #include "db/improvement_tool.h"
-#include "util/logging.h"
+#include "util/check.h"
 #include "util/random.h"
 #include "util/string_util.h"
 

@@ -1,6 +1,9 @@
 #include "core/engine.h"
 
-#include "util/logging.h"
+#include <algorithm>
+
+#include "core/self_check.h"
+#include "util/check.h"
 
 namespace iq {
 
@@ -23,25 +26,63 @@ const char* IqSchemeName(IqScheme scheme) {
 Result<IqEngine> IqEngine::Create(Dataset dataset, LinearForm form,
                                   std::vector<TopKQuery> queries,
                                   EngineOptions options) {
-  IqEngine engine;
-  engine.dataset_ = std::make_unique<Dataset>(std::move(dataset));
-  engine.queries_ = std::make_unique<QuerySet>(form.num_weights());
+  auto dataset_ptr = std::make_unique<Dataset>(std::move(dataset));
+  auto queries_ptr = std::make_unique<QuerySet>(form.num_weights());
   for (TopKQuery& q : queries) {
-    auto added = engine.queries_->Add(std::move(q));
+    auto added = queries_ptr->Add(std::move(q));
     if (!added.ok()) return added.status();
   }
-  engine.view_ =
-      std::make_unique<FunctionView>(engine.dataset_.get(), std::move(form));
+  auto view_ptr =
+      std::make_unique<FunctionView>(dataset_ptr.get(), std::move(form));
   IQ_ASSIGN_OR_RETURN(
       SubdomainIndex index,
-      SubdomainIndex::Build(engine.view_.get(), engine.queries_.get(),
+      SubdomainIndex::Build(view_ptr.get(), queries_ptr.get(),
                             options.index));
-  engine.index_ = std::make_unique<SubdomainIndex>(std::move(index));
-  return engine;
+  return IqEngine(std::move(dataset_ptr), std::move(queries_ptr),
+                  std::move(view_ptr),
+                  std::make_unique<SubdomainIndex>(std::move(index)));
+}
+
+IqEngine::IqEngine(IqEngine&& other) noexcept
+    : dataset_(std::move(other.dataset_)),
+      queries_(std::move(other.queries_)),
+      view_(std::move(other.view_)),
+      index_(std::move(other.index_)),
+      apply_ticket_(other.apply_ticket_) {}
+
+IqEngine& IqEngine::operator=(IqEngine&& other) noexcept {
+  if (this != &other) {
+    dataset_ = std::move(other.dataset_);
+    queries_ = std::move(other.queries_);
+    view_ = std::move(other.view_);
+    index_ = std::move(other.index_);
+    apply_ticket_ = other.apply_ticket_;
+  }
+  return *this;
+}
+
+int IqEngine::HitCount(int object) const {
+  MutexLock lock(&mu_);
+  return index_->HitCount(object);
+}
+
+std::vector<int> IqEngine::HitSet(int object) const {
+  MutexLock lock(&mu_);
+  return HitSetLocked(object);
+}
+
+std::vector<int> IqEngine::ReverseTopK(int object) const {
+  MutexLock lock(&mu_);
+  return HitSetLocked(object);
+}
+
+std::vector<int> IqEngine::HitSetLocked(int object) const {
+  return index_->HitSet(object);
 }
 
 Result<std::vector<ScoredObject>> IqEngine::TopK(const Vec& weights,
                                                  int k) const {
+  MutexLock lock(&mu_);
   if (static_cast<int>(weights.size()) != view_->form().num_weights()) {
     return Status::InvalidArgument("weight vector length mismatch");
   }
@@ -54,6 +95,11 @@ Result<std::vector<ScoredObject>> IqEngine::TopK(const Vec& weights,
 }
 
 Result<int> IqEngine::RankUnderQuery(int object, int q) const {
+  MutexLock lock(&mu_);
+  return RankUnderQueryLocked(object, q);
+}
+
+Result<int> IqEngine::RankUnderQueryLocked(int object, int q) const {
   if (object < 0 || object >= dataset_->size() ||
       !dataset_->is_active(object)) {
     return Status::InvalidArgument("object is not active");
@@ -74,11 +120,17 @@ Result<int> IqEngine::RankUnderQuery(int object, int q) const {
 
 Result<std::vector<std::pair<int, int>>> IqEngine::ReverseKRanks(
     int object, int k) const {
+  MutexLock lock(&mu_);
+  return ReverseKRanksLocked(object, k);
+}
+
+Result<std::vector<std::pair<int, int>>> IqEngine::ReverseKRanksLocked(
+    int object, int k) const {
   if (k < 1) return Status::InvalidArgument("k must be >= 1");
   std::vector<std::pair<int, int>> ranked;  // (rank, query) for sorting
   for (int q = 0; q < queries_->size(); ++q) {
     if (!queries_->is_active(q)) continue;
-    IQ_ASSIGN_OR_RETURN(int rank, RankUnderQuery(object, q));
+    IQ_ASSIGN_OR_RETURN(int rank, RankUnderQueryLocked(object, q));
     ranked.emplace_back(rank, q);
   }
   std::sort(ranked.begin(), ranked.end());
@@ -92,15 +144,17 @@ Result<std::vector<std::pair<int, int>>> IqEngine::ReverseKRanks(
 }
 
 Result<int> IqEngine::BestWorkloadRank(int object) const {
+  MutexLock lock(&mu_);
   if (queries_->num_active() == 0) {
     return Status::FailedPrecondition("no active queries");
   }
-  IQ_ASSIGN_OR_RETURN(auto best, ReverseKRanks(object, 1));
+  IQ_ASSIGN_OR_RETURN(auto best, ReverseKRanksLocked(object, 1));
   return best[0].second;
 }
 
 Result<IqResult> IqEngine::MinCost(int target, int tau,
                                    const IqOptions& options, IqScheme scheme) {
+  MutexLock lock(&mu_);
   IQ_ASSIGN_OR_RETURN(IqContext ctx, IqContext::FromIndex(index_.get(), target));
   switch (scheme) {
     case IqScheme::kEfficient: {
@@ -130,6 +184,7 @@ Result<IqResult> IqEngine::MinCost(int target, int tau,
 
 Result<IqResult> IqEngine::MaxHit(int target, double beta,
                                   const IqOptions& options, IqScheme scheme) {
+  MutexLock lock(&mu_);
   IQ_ASSIGN_OR_RETURN(IqContext ctx, IqContext::FromIndex(index_.get(), target));
   switch (scheme) {
     case IqScheme::kEfficient: {
@@ -160,27 +215,32 @@ Result<IqResult> IqEngine::MaxHit(int target, double beta,
 Result<MultiIqResult> IqEngine::MultiMinCost(
     const std::vector<int>& targets, int tau,
     const std::vector<IqOptions>& options) {
+  MutexLock lock(&mu_);
   return CombinatorialMinCostIq(*index_, targets, tau, options);
 }
 
 Result<MultiIqResult> IqEngine::MultiMaxHit(
     const std::vector<int>& targets, double beta,
     const std::vector<IqOptions>& options) {
+  MutexLock lock(&mu_);
   return CombinatorialMaxHitIq(*index_, targets, beta, options);
 }
 
 Result<int> IqEngine::AddQuery(TopKQuery q) {
+  MutexLock lock(&mu_);
   IQ_ASSIGN_OR_RETURN(int id, queries_->Add(std::move(q)));
   IQ_RETURN_IF_ERROR(index_->OnQueryAdded(id));
   return id;
 }
 
 Status IqEngine::RemoveQuery(int q) {
+  MutexLock lock(&mu_);
   IQ_RETURN_IF_ERROR(queries_->Remove(q));
   return index_->OnQueryRemoved(q);
 }
 
 Result<int> IqEngine::AddObject(Vec attrs) {
+  MutexLock lock(&mu_);
   if (static_cast<int>(attrs.size()) != dataset_->dim()) {
     return Status::InvalidArgument("attribute dimension mismatch");
   }
@@ -191,11 +251,13 @@ Result<int> IqEngine::AddObject(Vec attrs) {
 }
 
 Status IqEngine::RemoveObject(int id) {
+  MutexLock lock(&mu_);
   IQ_RETURN_IF_ERROR(dataset_->Remove(id));
   return index_->OnObjectRemoved(id);
 }
 
 Status IqEngine::ApplyStrategy(int target, const Vec& strategy) {
+  MutexLock lock(&mu_);
   if (target < 0 || target >= dataset_->size() ||
       !dataset_->is_active(target)) {
     return Status::InvalidArgument("target is not an active object");
@@ -211,7 +273,18 @@ Status IqEngine::ApplyStrategy(int target, const Vec& strategy) {
   IQ_RETURN_IF_ERROR(dataset_->SetAttrsIncludingInactive(target, improved));
   IQ_RETURN_IF_ERROR(dataset_->Reactivate(target));
   view_->RefreshRow(target);
-  return index_->OnObjectAdded(target);
+  IQ_RETURN_IF_ERROR(index_->OnObjectAdded(target));
+  // Debug-mode ESE cross-check: a stale cached ranking must abort here
+  // rather than silently produce wrong H(p+s) counts downstream.
+  const uint64_t ticket = apply_ticket_++;
+  IQ_DCHECK_OK(CrossCheckSampledSubdomain(*index_, ticket));
+  IQ_DCHECK_OK(CrossCheckEse(*index_, target));
+  return Status::Ok();
+}
+
+Status IqEngine::CheckInvariants() const {
+  MutexLock lock(&mu_);
+  return index_->CheckInvariants();
 }
 
 }  // namespace iq

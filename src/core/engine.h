@@ -1,13 +1,16 @@
 #ifndef IQ_CORE_ENGINE_H_
 #define IQ_CORE_ENGINE_H_
 
+#include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/combinatorial.h"
 #include "core/exhaustive.h"
 #include "core/iq_algorithms.h"
 #include "topk/topk.h"
+#include "util/annotations.h"
 
 namespace iq {
 
@@ -31,6 +34,14 @@ struct EngineOptions {
 /// workload, the objects-as-functions view and the subdomain index, and
 /// exposes improvement queries plus live data maintenance. This is the
 /// public API the examples and the DBMS integration build on.
+///
+/// Thread safety: every member function serializes on an internal mutex, so
+/// interleaving dataset updates (§4.3) with query evaluation from multiple
+/// threads is safe, and the locking discipline is compiler-verified under
+/// clang -Wthread-safety. The unguarded structural accessors (dataset(),
+/// queries(), view(), index()) return references into guarded state and are
+/// only safe while no other thread mutates the engine; the planned
+/// parallel-evaluation PR will introduce shared/exclusive locking here.
 class IqEngine {
  public:
   /// All queries share one utility `form` (use LinearForm::Identity(dim) for
@@ -40,68 +51,112 @@ class IqEngine {
                                  std::vector<TopKQuery> queries,
                                  EngineOptions options = {});
 
-  const Dataset& dataset() const { return *dataset_; }
-  const QuerySet& queries() const { return *queries_; }
-  const FunctionView& view() const { return *view_; }
-  const SubdomainIndex& index() const { return *index_; }
+  IqEngine(IqEngine&& other) noexcept IQ_NO_THREAD_SAFETY_ANALYSIS;
+  IqEngine& operator=(IqEngine&& other) noexcept
+      IQ_NO_THREAD_SAFETY_ANALYSIS;
+  IqEngine(const IqEngine&) = delete;
+  IqEngine& operator=(const IqEngine&) = delete;
+
+  // Unsynchronized structural access; see the class comment.
+  const Dataset& dataset() const IQ_NO_THREAD_SAFETY_ANALYSIS {
+    return *dataset_;
+  }
+  const QuerySet& queries() const IQ_NO_THREAD_SAFETY_ANALYSIS {
+    return *queries_;
+  }
+  const FunctionView& view() const IQ_NO_THREAD_SAFETY_ANALYSIS {
+    return *view_;
+  }
+  const SubdomainIndex& index() const IQ_NO_THREAD_SAFETY_ANALYSIS {
+    return *index_;
+  }
 
   /// Number of queries currently hit by an object (reverse top-k count).
-  int HitCount(int object) const { return index_->HitCount(object); }
-  std::vector<int> HitSet(int object) const {
-    return index_->HitSet(object);
-  }
+  int HitCount(int object) const IQ_EXCLUDES(mu_);
+  std::vector<int> HitSet(int object) const IQ_EXCLUDES(mu_);
 
   /// Evaluates one ad-hoc top-k query (weights in the utility's original
   /// weight space).
-  Result<std::vector<ScoredObject>> TopK(const Vec& weights, int k) const;
+  Result<std::vector<ScoredObject>> TopK(const Vec& weights, int k) const
+      IQ_EXCLUDES(mu_);
 
   // ---- Related rank-aware operators (paper §2) ----
 
   /// Reverse top-k (Vlachou et al.): the queries whose top-k contains the
   /// object — identical to HitSet, provided under the literature name.
-  std::vector<int> ReverseTopK(int object) const { return HitSet(object); }
+  std::vector<int> ReverseTopK(int object) const IQ_EXCLUDES(mu_);
 
   /// The object's rank under query q: 1 + number of active competitors
   /// scoring strictly better (ties resolved by id, matching TopKScan).
-  Result<int> RankUnderQuery(int object, int q) const;
+  Result<int> RankUnderQuery(int object, int q) const IQ_EXCLUDES(mu_);
 
   /// Reverse k-ranks (Zhang et al.): the k queries where the object ranks
   /// best, as (query id, rank) pairs ordered by ascending rank.
   Result<std::vector<std::pair<int, int>>> ReverseKRanks(int object,
-                                                         int k) const;
+                                                         int k) const
+      IQ_EXCLUDES(mu_);
 
   /// The best rank the object achieves across the current workload (a
   /// workload-restricted analogue of the maximum rank query of Mouratidis
   /// et al., which optimizes over all possible utility functions).
-  Result<int> BestWorkloadRank(int object) const;
+  Result<int> BestWorkloadRank(int object) const IQ_EXCLUDES(mu_);
 
   // ---- Improvement queries ----
   Result<IqResult> MinCost(int target, int tau, const IqOptions& options = {},
-                           IqScheme scheme = IqScheme::kEfficient);
+                           IqScheme scheme = IqScheme::kEfficient)
+      IQ_EXCLUDES(mu_);
   Result<IqResult> MaxHit(int target, double beta,
                           const IqOptions& options = {},
-                          IqScheme scheme = IqScheme::kEfficient);
+                          IqScheme scheme = IqScheme::kEfficient)
+      IQ_EXCLUDES(mu_);
   Result<MultiIqResult> MultiMinCost(const std::vector<int>& targets, int tau,
-                                     const std::vector<IqOptions>& options);
+                                     const std::vector<IqOptions>& options)
+      IQ_EXCLUDES(mu_);
   Result<MultiIqResult> MultiMaxHit(const std::vector<int>& targets,
                                     double beta,
-                                    const std::vector<IqOptions>& options);
+                                    const std::vector<IqOptions>& options)
+      IQ_EXCLUDES(mu_);
 
   // ---- Live maintenance (§4.3) ----
-  Result<int> AddQuery(TopKQuery q);
-  Status RemoveQuery(int q);
-  Result<int> AddObject(Vec attrs);
-  Status RemoveObject(int id);
-  /// Permanently applies an improvement strategy to an object.
-  Status ApplyStrategy(int target, const Vec& strategy);
+  Result<int> AddQuery(TopKQuery q) IQ_EXCLUDES(mu_);
+  Status RemoveQuery(int q) IQ_EXCLUDES(mu_);
+  Result<int> AddObject(Vec attrs) IQ_EXCLUDES(mu_);
+  Status RemoveObject(int id) IQ_EXCLUDES(mu_);
+  /// Permanently applies an improvement strategy to an object. In Debug
+  /// builds, every call cross-checks the ESE cached state against naive
+  /// re-evaluation and re-ranks one sampled subdomain (round robin); a
+  /// stale cache aborts via IQ_DCHECK instead of returning wrong counts.
+  Status ApplyStrategy(int target, const Vec& strategy) IQ_EXCLUDES(mu_);
+
+  // ---- Correctness tooling ----
+
+  /// Deep validation of the engine's cached state (the subdomain index and
+  /// its R-tree); see SubdomainIndex::CheckInvariants.
+  Status CheckInvariants() const IQ_EXCLUDES(mu_);
 
  private:
-  IqEngine() = default;
+  IqEngine(std::unique_ptr<Dataset> dataset, std::unique_ptr<QuerySet> queries,
+           std::unique_ptr<FunctionView> view,
+           std::unique_ptr<SubdomainIndex> index)
+      : dataset_(std::move(dataset)),
+        queries_(std::move(queries)),
+        view_(std::move(view)),
+        index_(std::move(index)) {}
 
-  std::unique_ptr<Dataset> dataset_;
-  std::unique_ptr<QuerySet> queries_;
-  std::unique_ptr<FunctionView> view_;
-  std::unique_ptr<SubdomainIndex> index_;
+  std::vector<int> HitSetLocked(int object) const IQ_REQUIRES(mu_);
+  Result<int> RankUnderQueryLocked(int object, int q) const IQ_REQUIRES(mu_);
+  Result<std::vector<std::pair<int, int>>> ReverseKRanksLocked(int object,
+                                                               int k) const
+      IQ_REQUIRES(mu_);
+
+  /// Serializes dataset/workload updates against query evaluation (§4.3).
+  mutable Mutex mu_;
+  std::unique_ptr<Dataset> dataset_ IQ_GUARDED_BY(mu_);
+  std::unique_ptr<QuerySet> queries_ IQ_GUARDED_BY(mu_);
+  std::unique_ptr<FunctionView> view_ IQ_GUARDED_BY(mu_);
+  std::unique_ptr<SubdomainIndex> index_ IQ_GUARDED_BY(mu_);
+  /// Round-robin ticket for the Debug-mode sampled-subdomain cross-check.
+  uint64_t apply_ticket_ IQ_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace iq

@@ -1,6 +1,6 @@
 #include "core/function_view.h"
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace iq {
 namespace {

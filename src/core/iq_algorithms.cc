@@ -5,7 +5,7 @@
 #include <limits>
 
 #include "topk/topk.h"
-#include "util/logging.h"
+#include "util/check.h"
 #include "util/random.h"
 #include "util/timer.h"
 

@@ -1,0 +1,91 @@
+#include "core/self_check.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "topk/topk.h"
+
+namespace iq {
+namespace {
+
+std::vector<bool> ActiveMask(const Dataset& data) {
+  std::vector<bool> mask(static_cast<size_t>(data.size()));
+  for (int i = 0; i < data.size(); ++i) {
+    mask[static_cast<size_t>(i)] = data.is_active(i);
+  }
+  return mask;
+}
+
+}  // namespace
+
+Status CrossCheckEse(const SubdomainIndex& index, int target) {
+  const FunctionView& view = index.view();
+  const QuerySet& queries = index.queries();
+  std::vector<bool> mask = ActiveMask(view.dataset());
+  for (int q = 0; q < queries.size(); ++q) {
+    if (!queries.is_active(q)) continue;
+    const Vec& w = index.aug_weights(q);
+    double cached_t = index.KthScoreExcluding(q, target);
+    double naive_t =
+        KthBestScore(view.rows(), &mask, w, queries.query(q).k, target);
+    // Both thresholds pick the k-th smallest of the same dot products, so
+    // they must agree bit-for-bit, not just approximately.
+    if (cached_t != naive_t && !(std::isinf(cached_t) && std::isinf(naive_t))) {
+      return Status::Internal(
+          "ESE cross-check failed for target " + std::to_string(target) +
+          " at query " + std::to_string(q) + ": cached hit threshold " +
+          std::to_string(cached_t) + " vs naive re-evaluation " +
+          std::to_string(naive_t));
+    }
+    double score = view.Score(target, w);
+    bool cached_hit = index.Hits(target, q);
+    bool naive_hit = HitByThreshold(score, naive_t);
+    if (cached_hit != naive_hit) {
+      return Status::Internal(
+          "ESE cross-check failed for target " + std::to_string(target) +
+          " at query " + std::to_string(q) + ": cached hit decision " +
+          (cached_hit ? "hit" : "miss") + " vs naive " +
+          (naive_hit ? "hit" : "miss"));
+    }
+  }
+  return Status::Ok();
+}
+
+Status CrossCheckSampledSubdomain(const SubdomainIndex& index,
+                                  uint64_t ticket) {
+  const QuerySet& queries = index.queries();
+  std::vector<int> occupied;
+  for (int q = 0; q < queries.size(); ++q) {
+    if (!queries.is_active(q)) continue;
+    occupied.push_back(index.subdomain_of(q));
+  }
+  std::sort(occupied.begin(), occupied.end());
+  occupied.erase(std::unique(occupied.begin(), occupied.end()),
+                 occupied.end());
+  if (occupied.empty()) return Status::Ok();
+
+  int sd = occupied[static_cast<size_t>(ticket % occupied.size())];
+  const std::vector<int>& cached = index.signature(sd);
+  int rep = index.subdomain_queries(sd).front();
+
+  const FunctionView& view = index.view();
+  std::vector<bool> mask = ActiveMask(view.dataset());
+  std::vector<ScoredObject> top =
+      TopKScan(view.rows(), &mask, index.aug_weights(rep), index.kappa());
+  std::vector<int> fresh;
+  fresh.reserve(top.size());
+  for (const ScoredObject& so : top) fresh.push_back(so.id);
+
+  if (fresh != cached) {
+    return Status::Internal(
+        "sampled subdomain " + std::to_string(sd) +
+        ": cached total order disagrees with a direct re-ranking at its "
+        "representative query " +
+        std::to_string(rep));
+  }
+  return Status::Ok();
+}
+
+}  // namespace iq

@@ -1,0 +1,30 @@
+#ifndef IQ_CORE_SELF_CHECK_H_
+#define IQ_CORE_SELF_CHECK_H_
+
+#include <cstdint>
+
+#include "core/subdomain_index.h"
+#include "util/status.h"
+
+namespace iq {
+
+// Runtime cross-checks of the ESE fast path against naive re-evaluation
+// (DESIGN.md "Correctness tooling"). The engine runs these after every
+// ApplyStrategy in Debug builds; tests call them directly in any build.
+
+/// Cross-checks ESE for `target`: every cached per-query hit decision
+/// (threshold t_q from the cached subdomain ranking) must agree with a
+/// naive full-scan re-evaluation of the k-th competitor score. Reports the
+/// first disagreeing query. O(m·n).
+Status CrossCheckEse(const SubdomainIndex& index, int target);
+
+/// Re-ranks one sampled subdomain (the `ticket`-th occupied cell, round
+/// robin) against a direct f_p(q) recomputation at its representative
+/// query. Cheap enough to run after every update in Debug builds. Ok when
+/// the index has no occupied subdomain.
+Status CrossCheckSampledSubdomain(const SubdomainIndex& index,
+                                  uint64_t ticket);
+
+}  // namespace iq
+
+#endif  // IQ_CORE_SELF_CHECK_H_

@@ -4,9 +4,11 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <string>
+#include <utility>
 
 #include "topk/topk.h"
-#include "util/logging.h"
+#include "util/check.h"
 #include "util/timer.h"
 
 namespace iq {
@@ -348,6 +350,154 @@ Status SubdomainIndex::OnObjectChanged(int id) {
   // In-place attribute change = remove + add, on the signature level.
   IQ_RETURN_IF_ERROR(OnObjectRemoved(id));
   return OnObjectAdded(id);
+}
+
+namespace {
+
+std::string IntListString(const std::vector<int>& v) {
+  std::string s = "[";
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += std::to_string(v[static_cast<size_t>(i)]);
+  }
+  s += "]";
+  return s;
+}
+
+}  // namespace
+
+Status SubdomainIndex::CheckInvariants() const {
+  const int m = queries_->size();
+  if (static_cast<int>(sd_of_.size()) != m ||
+      static_cast<int>(aug_w_.size()) != m) {
+    return Status::Internal("per-query tables are not sized to the QuerySet");
+  }
+
+  // 1. Query → subdomain assignment, checked in both directions.
+  for (int q = 0; q < m; ++q) {
+    int sd = sd_of_[static_cast<size_t>(q)];
+    if (!queries_->is_active(q)) {
+      if (sd >= 0) {
+        return Status::Internal("inactive query " + std::to_string(q) +
+                                " is still assigned to subdomain " +
+                                std::to_string(sd));
+      }
+      continue;
+    }
+    if (sd < 0 || sd >= static_cast<int>(subdomains_.size()) ||
+        !subdomains_[static_cast<size_t>(sd)].occupied) {
+      return Status::Internal("active query " + std::to_string(q) +
+                              " is not assigned to an occupied subdomain");
+    }
+    const std::vector<int>& members =
+        subdomains_[static_cast<size_t>(sd)].query_ids;
+    if (std::find(members.begin(), members.end(), q) == members.end()) {
+      return Status::Internal("query " + std::to_string(q) +
+                              " claims subdomain " + std::to_string(sd) +
+                              " but is missing from its member list");
+    }
+  }
+
+  // 2. Occupancy and membership counters re-count.
+  int occupied = 0;
+  std::vector<int> member_recount(sig_member_count_.size(), 0);
+  for (int sd = 0; sd < static_cast<int>(subdomains_.size()); ++sd) {
+    const Subdomain& s = subdomains_[static_cast<size_t>(sd)];
+    if (!s.occupied) continue;
+    ++occupied;
+    if (s.query_ids.empty()) {
+      return Status::Internal("occupied subdomain " + std::to_string(sd) +
+                              " has no member queries (should have been "
+                              "released)");
+    }
+    for (int q : s.query_ids) {
+      if (q < 0 || q >= m || sd_of_[static_cast<size_t>(q)] != sd) {
+        return Status::Internal("subdomain " + std::to_string(sd) +
+                                " lists query " + std::to_string(q) +
+                                " that is not assigned back to it");
+      }
+    }
+    for (int obj : s.signature) {
+      if (obj < 0 || obj >= static_cast<int>(member_recount.size())) {
+        return Status::Internal("subdomain " + std::to_string(sd) +
+                                " signature holds out-of-range object " +
+                                std::to_string(obj));
+      }
+      ++member_recount[static_cast<size_t>(obj)];
+    }
+  }
+  if (occupied != num_occupied_) {
+    return Status::Internal(
+        "occupied-subdomain counter disagrees with a re-count: counter " +
+        std::to_string(num_occupied_) + ", re-count " +
+        std::to_string(occupied));
+  }
+  if (static_cast<int>(signature_to_sd_.size()) != num_occupied_) {
+    return Status::Internal("signature hash table holds " +
+                            std::to_string(signature_to_sd_.size()) +
+                            " entries for " + std::to_string(num_occupied_) +
+                            " occupied subdomains");
+  }
+  for (size_t obj = 0; obj < member_recount.size(); ++obj) {
+    if (member_recount[obj] != sig_member_count_[obj]) {
+      return Status::Internal(
+          "signature-membership counter for object " + std::to_string(obj) +
+          " disagrees with a re-count: counter " +
+          std::to_string(sig_member_count_[obj]) + ", re-count " +
+          std::to_string(member_recount[obj]));
+    }
+  }
+
+  // 3. Cached total orders agree with direct f_p(q) re-ranking: a full
+  // recompute at each cell's representative query, plus the cheaper
+  // signature-match scan at every other member query.
+  for (int sd = 0; sd < static_cast<int>(subdomains_.size()); ++sd) {
+    const Subdomain& s = subdomains_[static_cast<size_t>(sd)];
+    if (!s.occupied) continue;
+    int rep = s.query_ids.front();
+    std::vector<int> fresh = ComputeSignature(aug_w_[static_cast<size_t>(rep)]);
+    if (fresh != s.signature) {
+      size_t pos = 0;
+      while (pos < fresh.size() && pos < s.signature.size() &&
+             fresh[pos] == s.signature[pos]) {
+        ++pos;
+      }
+      return Status::Internal(
+          "subdomain " + std::to_string(sd) +
+          ": cached signature disagrees with direct re-ranking at "
+          "representative query " +
+          std::to_string(rep) + " (first divergence at position " +
+          std::to_string(pos) + "): cached " + IntListString(s.signature) +
+          ", re-ranked " + IntListString(fresh));
+    }
+    for (int q : s.query_ids) {
+      if (q == rep) continue;
+      if (!SignatureMatches(aug_w_[static_cast<size_t>(q)], s.signature)) {
+        return Status::Internal("query " + std::to_string(q) +
+                                " no longer ranks according to the cached "
+                                "signature of its subdomain " +
+                                std::to_string(sd));
+      }
+    }
+  }
+
+  // 4. The R-tree mirrors the active queries exactly.
+  if (rtree_ == nullptr) return Status::Internal("R-tree is missing");
+  IQ_RETURN_IF_ERROR(rtree_->CheckInvariants());
+  if (static_cast<int>(rtree_->size()) != queries_->num_active()) {
+    return Status::Internal("R-tree holds " + std::to_string(rtree_->size()) +
+                            " query points for " +
+                            std::to_string(queries_->num_active()) +
+                            " active queries");
+  }
+  return Status::Ok();
+}
+
+void SubdomainIndex::TestOnlyCorruptSignature(int sd) {
+  Subdomain& s = subdomains_[static_cast<size_t>(sd)];
+  IQ_CHECK(s.occupied && s.signature.size() >= 2)
+      << "corruption hook needs an occupied subdomain with >= 2 members";
+  std::swap(s.signature[0], s.signature[1]);
 }
 
 size_t SubdomainIndex::MemoryBytes() const {

@@ -102,6 +102,23 @@ class SubdomainIndex {
   /// Object `id`'s attributes changed in place (FunctionView row refreshed).
   Status OnObjectChanged(int id);
 
+  // ---- correctness tooling ----
+
+  /// Deep validation of the cached subdomain structure against direct
+  /// re-ranking (the cross-check-against-naive discipline; see DESIGN.md
+  /// "Correctness tooling"): the query ↔ subdomain assignment is consistent
+  /// in both directions, occupancy/membership counters re-count, every
+  /// cell's cached total order agrees with a fresh f_p(q) re-ranking at the
+  /// cell's representative query (and signature-matches every other member
+  /// query), and the R-tree passes its own CheckInvariants. Returns the
+  /// first defect found, precisely located; Ok when sound. O(S·n·κ).
+  Status CheckInvariants() const;
+
+  /// Test-only: corrupts subdomain `sd`'s cached signature by swapping its
+  /// first two members, so CheckInvariants() must flag the cell. Never call
+  /// outside tests.
+  void TestOnlyCorruptSignature(int sd);
+
   // ---- stats ----
   double build_seconds() const { return build_seconds_; }
   size_t MemoryBytes() const;

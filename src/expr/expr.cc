@@ -131,7 +131,7 @@ class Parser {
     if (Peek().kind != TokKind::kEnd) {
       return Status::InvalidArgument("trailing tokens after expression");
     }
-    return std::move(e);
+    return e;
   }
 
  private:
@@ -149,7 +149,7 @@ class Parser {
       lhs = MakeBinary(add ? ExprNode::Kind::kAdd : ExprNode::Kind::kSub,
                        std::move(lhs), std::move(rhs));
     }
-    return std::move(lhs);
+    return lhs;
   }
 
   Result<ExprPtr> ParseProduct() {
@@ -160,7 +160,7 @@ class Parser {
       lhs = MakeBinary(mul ? ExprNode::Kind::kMul : ExprNode::Kind::kDiv,
                        std::move(lhs), std::move(rhs));
     }
-    return std::move(lhs);
+    return lhs;
   }
 
   Result<ExprPtr> ParseUnary() {
@@ -170,7 +170,7 @@ class Parser {
       auto n = std::make_unique<ExprNode>();
       n->kind = ExprNode::Kind::kNeg;
       n->children.push_back(std::move(inner));
-      return std::move(n);
+      return n;
     }
     if (PeekOp("+")) Next();
     return ParsePower();
@@ -185,7 +185,7 @@ class Parser {
       return MakeBinary(ExprNode::Kind::kPow, std::move(base),
                         std::move(exp));
     }
-    return std::move(base);
+    return base;
   }
 
   Result<ExprPtr> ParseAtom() {
@@ -199,7 +199,7 @@ class Parser {
           return Status::InvalidArgument("expected ')'");
         }
         Next();
-        return std::move(e);
+        return e;
       }
       case TokKind::kIdent:
         return ParseIdent(t.text);
@@ -238,7 +238,7 @@ class Parser {
         return Status::InvalidArgument(
             StrFormat("function '%s' got %d arguments", name.c_str(), arity));
       }
-      return std::move(n);
+      return n;
     }
     // Variable: x<k> or w<k>.
     if (name.size() >= 2 && (name[0] == 'x' || name[0] == 'w')) {
@@ -332,6 +332,19 @@ int MaxWeightIndex(const ExprNode& node) {
   return m;
 }
 
+namespace {
+
+std::string BinaryToString(const ExprNode& node, const char* op) {
+  std::string out = "(";
+  out += ExprToString(*node.children[0]);
+  out += op;
+  out += ExprToString(*node.children[1]);
+  out += ')';
+  return out;
+}
+
+}  // namespace
+
 std::string ExprToString(const ExprNode& node) {
   using Kind = ExprNode::Kind;
   switch (node.kind) {
@@ -342,29 +355,29 @@ std::string ExprToString(const ExprNode& node) {
     case Kind::kWeight:
       return StrFormat("w%d", node.var_index + 1);
     case Kind::kAdd:
-      return "(" + ExprToString(*node.children[0]) + " + " +
-             ExprToString(*node.children[1]) + ")";
+      return BinaryToString(node, " + ");
     case Kind::kSub:
-      return "(" + ExprToString(*node.children[0]) + " - " +
-             ExprToString(*node.children[1]) + ")";
+      return BinaryToString(node, " - ");
     case Kind::kMul:
-      return "(" + ExprToString(*node.children[0]) + " * " +
-             ExprToString(*node.children[1]) + ")";
+      return BinaryToString(node, " * ");
     case Kind::kDiv:
-      return "(" + ExprToString(*node.children[0]) + " / " +
-             ExprToString(*node.children[1]) + ")";
+      return BinaryToString(node, " / ");
     case Kind::kPow:
-      return "(" + ExprToString(*node.children[0]) + " ^ " +
-             ExprToString(*node.children[1]) + ")";
-    case Kind::kNeg:
-      return "(-" + ExprToString(*node.children[0]) + ")";
+      return BinaryToString(node, " ^ ");
+    case Kind::kNeg: {
+      std::string out = "(-";
+      out += ExprToString(*node.children[0]);
+      out += ')';
+      return out;
+    }
     case Kind::kCall: {
       std::string out = node.func + "(";
       for (size_t i = 0; i < node.children.size(); ++i) {
         if (i) out += ", ";
         out += ExprToString(*node.children[i]);
       }
-      return out + ")";
+      out += ')';
+      return out;
     }
   }
   return "?";

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <map>
 
-#include "util/logging.h"
+#include "util/check.h"
 #include "util/string_util.h"
 
 namespace iq {

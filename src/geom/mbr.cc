@@ -4,7 +4,7 @@
 #include <cmath>
 #include <limits>
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace iq {
 

@@ -4,8 +4,10 @@
 #include <cmath>
 #include <limits>
 #include <queue>
+#include <sstream>
+#include <string>
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace iq {
 
@@ -390,32 +392,135 @@ size_t RTree::MemoryBytes() const {
   return bytes;
 }
 
-bool RTree::Validate() const {
+namespace {
+
+// "root/2/0"-style node locator for defect messages.
+std::string NodePath(const std::vector<int>& path) {
+  std::string s = "root";
+  for (int i : path) {
+    s += '/';
+    s += std::to_string(i);
+  }
+  return s;
+}
+
+bool SameBox(const Mbr& a, const Mbr& b) {
+  return (a.IsEmpty() && b.IsEmpty()) || (a.lo() == b.lo() && a.hi() == b.hi());
+}
+
+std::string BoxString(const Mbr& m) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < m.lo().size(); ++i) {
+    if (i > 0) os << ", ";
+    os << m.lo()[i] << ".." << m.hi()[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace
+
+Status RTree::CheckInvariants() const {
   size_t counted = 0;
-  bool ok = true;
-  std::vector<const Node*> stack = {root_.get()};
-  while (!stack.empty()) {
-    const Node* n = stack.back();
-    stack.pop_back();
+  int leaf_depth = -1;
+  std::vector<int> path;
+
+  // DFS; stops at the first defect and names it.
+  std::function<Status(const Node*, int)> visit = [&](const Node* n,
+                                                      int depth) -> Status {
+    if (n->fanout() > max_entries_) {
+      return Status::Internal("node " + NodePath(path) + " holds " +
+                              std::to_string(n->fanout()) +
+                              " entries, above the fanout limit " +
+                              std::to_string(max_entries_));
+    }
+    Mbr tight = Mbr::Empty(dim_);
     if (n->is_leaf) {
+      if (leaf_depth < 0) leaf_depth = depth;
+      if (depth != leaf_depth) {
+        return Status::Internal(
+            "leaf " + NodePath(path) + " sits at depth " +
+            std::to_string(depth) + " but the first leaf is at depth " +
+            std::to_string(leaf_depth) + " (non-uniform leaf depth)");
+      }
       counted += n->entries.size();
-      for (const auto& e : n->entries) {
-        if (!n->mbr.Contains(e.point)) ok = false;
+      for (size_t i = 0; i < n->entries.size(); ++i) {
+        const LeafEntry& e = n->entries[i];
+        if (static_cast<int>(e.point.size()) != dim_) {
+          return Status::Internal("entry " + std::to_string(e.id) +
+                                  " in leaf " + NodePath(path) +
+                                  " has wrong dimensionality");
+        }
+        if (!n->mbr.Contains(e.point)) {
+          return Status::Internal(
+              "MBR containment violated: entry " + std::to_string(e.id) +
+              " (slot " + std::to_string(i) + ") of leaf " + NodePath(path) +
+              " lies outside the node MBR " + BoxString(n->mbr));
+        }
+        tight.Expand(e.point);
       }
     } else {
-      for (const auto& c : n->children) {
-        if (c->parent != n) ok = false;
-        for (size_t i = 0; i < c->mbr.lo().size(); ++i) {
-          if (c->mbr.lo()[i] < n->mbr.lo()[i] - 1e-12 ||
-              c->mbr.hi()[i] > n->mbr.hi()[i] + 1e-12) {
-            ok = false;
-          }
+      if (n->children.empty()) {
+        return Status::Internal("internal node " + NodePath(path) +
+                                " has no children");
+      }
+      for (size_t i = 0; i < n->children.size(); ++i) {
+        const Node* c = n->children[i].get();
+        if (c->parent != n) {
+          return Status::Internal("broken parent pointer at child " +
+                                  std::to_string(i) + " of node " +
+                                  NodePath(path));
         }
-        stack.push_back(c.get());
+        tight.Expand(c->mbr);
+        path.push_back(static_cast<int>(i));
+        Status st = visit(c, depth + 1);
+        path.pop_back();
+        if (!st.ok()) return st;
       }
     }
+    if (!SameBox(n->mbr, tight)) {
+      return Status::Internal("MBR of node " + NodePath(path) +
+                              " is not the tight cover of its contents: "
+                              "stored " +
+                              BoxString(n->mbr) + ", recomputed " +
+                              BoxString(tight));
+    }
+    return Status::Ok();
+  };
+
+  if (root_ == nullptr) return Status::Internal("R-tree has no root node");
+  if (root_->parent != nullptr) {
+    return Status::Internal("root node has a non-null parent pointer");
   }
-  return ok && counted == size_;
+  IQ_RETURN_IF_ERROR(visit(root_.get(), 0));
+  if (counted != size_) {
+    return Status::Internal("entry count mismatch: tree holds " +
+                            std::to_string(counted) +
+                            " entries but size() reports " +
+                            std::to_string(size_));
+  }
+  return Status::Ok();
+}
+
+void RTree::TestOnlyCorruptLeafMbr() {
+  std::vector<Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    if (n->is_leaf) {
+      if (!n->entries.empty()) {
+        n->mbr = Mbr::Empty(dim_);
+        return;
+      }
+    } else {
+      for (const auto& c : n->children) stack.push_back(c.get());
+    }
+  }
+}
+
+void RTree::TestOnlyBiasSize(int delta) {
+  size_ = static_cast<size_t>(static_cast<long long>(size_) + delta);
 }
 
 RTree RTree::BulkLoad(int dim, const std::vector<Vec>& points,

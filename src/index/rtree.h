@@ -8,6 +8,7 @@
 
 #include "geom/mbr.h"
 #include "geom/vec.h"
+#include "util/status.h"
 
 namespace iq {
 
@@ -64,8 +65,25 @@ class RTree {
   /// Approximate heap footprint, for the index-size experiments.
   size_t MemoryBytes() const;
 
-  /// Structural invariants (MBR containment, entry counts); for tests.
-  bool Validate() const;
+  /// Deep structural validation: every node's MBR is the tight cover of its
+  /// contents, fanout stays within bounds, parent pointers are consistent,
+  /// all leaves sit at the same depth, and the recorded entry count matches
+  /// the tree. Returns the first defect found, precisely located (node path
+  /// from the root); Ok when the tree is sound.
+  Status CheckInvariants() const;
+
+  /// Structural invariants as a boolean; prefer CheckInvariants() in new
+  /// code — it names the defect.
+  bool Validate() const { return CheckInvariants().ok(); }
+
+  // ---- Test-only corruption hooks (tests/validation_test.cc) ----
+
+  /// Collapses the first non-empty leaf's MBR to the empty box, so its
+  /// entries fall outside it. Never call outside tests.
+  void TestOnlyCorruptLeafMbr();
+  /// Biases the recorded entry count without touching any entry. Never call
+  /// outside tests.
+  void TestOnlyBiasSize(int delta);
 
  private:
   struct Node;

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <limits>
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace iq {
 namespace {

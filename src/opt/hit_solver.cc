@@ -5,7 +5,7 @@
 #include <limits>
 #include <numeric>
 
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace iq {
 namespace {

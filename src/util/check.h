@@ -1,0 +1,122 @@
+#ifndef IQ_UTIL_CHECK_H_
+#define IQ_UTIL_CHECK_H_
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+// Invariant-check macros, layered on internal_logging::LogMessage.
+//
+// Two tiers:
+//   IQ_CHECK*   — always on, Release included. Use for cheap preconditions
+//                 whose violation means memory is already suspect.
+//   IQ_DCHECK*  — compiled out under NDEBUG (operands are still parsed but
+//                 never evaluated). Use for expensive structural checks.
+//
+// All forms are streaming: `IQ_CHECK_EQ(a, b) << "while doing X";`
+// Binary forms evaluate each operand once and print both values on failure.
+// Every form is safe inside an unbraced `if`/`else` (no dangling else).
+
+namespace iq {
+namespace internal_logging {
+
+/// Swallows a LogMessage stream so IQ_CHECK can be a void expression.
+/// operator& binds looser than << and tighter than ?:, exactly what the
+/// ternary in IQ_CHECK needs.
+struct Voidify {
+  void operator&(const LogMessage&) const {}
+};
+
+/// Null when `cmp(a, b)` holds; otherwise the failure text (operand values
+/// included). The non-null unique_ptr keeps the `while` in IQ_CHECK_OP_
+/// truthy exactly once — the Fatal log aborts before a second iteration.
+template <typename A, typename B, typename Cmp>
+std::unique_ptr<std::string> CheckOpFailure(const A& a, const B& b, Cmp cmp,
+                                            const char* expr) {
+  if (cmp(a, b)) return nullptr;
+  std::ostringstream os;
+  os << "Check failed: " << expr << " (" << a << " vs " << b << ")";
+  return std::make_unique<std::string>(os.str());
+}
+
+/// Unifies Status and Result<T> for IQ_CHECK_OK.
+inline const Status& ToStatus(const Status& s) { return s; }
+template <typename T>
+const Status& ToStatus(const Result<T>& r) {
+  return r.status();
+}
+
+inline std::unique_ptr<std::string> CheckOkFailure(const Status& s,
+                                                   const char* expr) {
+  if (s.ok()) return nullptr;
+  return std::make_unique<std::string>(std::string("Check failed: ") + expr +
+                                       " is OK (" + s.ToString() + ")");
+}
+
+}  // namespace internal_logging
+}  // namespace iq
+
+/// Fatal-on-failure invariant check (always on, release included).
+#define IQ_CHECK(cond)                        \
+  (cond) ? (void)0                            \
+         : ::iq::internal_logging::Voidify()& \
+               IQ_LOG(Fatal) << "Check failed: " #cond " "
+
+// Binary comparison checks. The `while` runs at most once: a non-null
+// failure message feeds a Fatal log, which aborts.
+#define IQ_CHECK_OP_(op, a, b)                                          \
+  while (auto iq_check_msg_ = ::iq::internal_logging::CheckOpFailure(   \
+             (a), (b),                                                  \
+             [](const auto& iq_x, const auto& iq_y) {                   \
+               return iq_x op iq_y;                                     \
+             },                                                         \
+             #a " " #op " " #b))                                        \
+  IQ_LOG(Fatal) << *iq_check_msg_ << " "
+
+#define IQ_CHECK_EQ(a, b) IQ_CHECK_OP_(==, a, b)
+#define IQ_CHECK_NE(a, b) IQ_CHECK_OP_(!=, a, b)
+#define IQ_CHECK_LT(a, b) IQ_CHECK_OP_(<, a, b)
+#define IQ_CHECK_LE(a, b) IQ_CHECK_OP_(<=, a, b)
+#define IQ_CHECK_GT(a, b) IQ_CHECK_OP_(>, a, b)
+#define IQ_CHECK_GE(a, b) IQ_CHECK_OP_(>=, a, b)
+
+/// Fatal unless a Status (or Result<T>) is OK; prints the status.
+#define IQ_CHECK_OK(expr)                                              \
+  while (auto iq_check_msg_ = ::iq::internal_logging::CheckOkFailure(  \
+             ::iq::internal_logging::ToStatus((expr)), #expr))         \
+  IQ_LOG(Fatal) << *iq_check_msg_ << " "
+
+// Debug tier: identical in Debug builds, dead code under NDEBUG (the
+// `while (false)` keeps operands type-checked without evaluating them).
+#ifdef NDEBUG
+#define IQ_DCHECK(cond) \
+  while (false) IQ_CHECK(cond)
+#define IQ_DCHECK_EQ(a, b) \
+  while (false) IQ_CHECK_EQ(a, b)
+#define IQ_DCHECK_NE(a, b) \
+  while (false) IQ_CHECK_NE(a, b)
+#define IQ_DCHECK_LT(a, b) \
+  while (false) IQ_CHECK_LT(a, b)
+#define IQ_DCHECK_LE(a, b) \
+  while (false) IQ_CHECK_LE(a, b)
+#define IQ_DCHECK_GT(a, b) \
+  while (false) IQ_CHECK_GT(a, b)
+#define IQ_DCHECK_GE(a, b) \
+  while (false) IQ_CHECK_GE(a, b)
+#define IQ_DCHECK_OK(expr) \
+  while (false) IQ_CHECK_OK(expr)
+#else
+#define IQ_DCHECK(cond) IQ_CHECK(cond)
+#define IQ_DCHECK_EQ(a, b) IQ_CHECK_EQ(a, b)
+#define IQ_DCHECK_NE(a, b) IQ_CHECK_NE(a, b)
+#define IQ_DCHECK_LT(a, b) IQ_CHECK_LT(a, b)
+#define IQ_DCHECK_LE(a, b) IQ_CHECK_LE(a, b)
+#define IQ_DCHECK_GT(a, b) IQ_CHECK_GT(a, b)
+#define IQ_DCHECK_GE(a, b) IQ_CHECK_GE(a, b)
+#define IQ_DCHECK_OK(expr) IQ_CHECK_OK(expr)
+#endif
+
+#endif  // IQ_UTIL_CHECK_H_

@@ -1,10 +1,14 @@
 #include "util/logging.h"
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
 namespace iq {
 namespace internal_logging {
 namespace {
 
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,8 +28,10 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-LogLevel GetLogLevel() { return g_level; }
-void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
@@ -33,8 +39,13 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (level_ >= g_level || level_ == LogLevel::kFatal) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  if (level_ >= GetLogLevel() || level_ == LogLevel::kFatal) {
+    // One fwrite per record: lines from concurrent threads cannot
+    // interleave mid-record (stderr is unbuffered, and fwrite on a single
+    // FILE* is atomic per POSIX).
+    std::string record = stream_.str();
+    record.push_back('\n');
+    std::fwrite(record.data(), 1, record.size(), stderr);
   }
   if (level_ == LogLevel::kFatal) std::abort();
 }

@@ -1,8 +1,6 @@
 #ifndef IQ_UTIL_LOGGING_H_
 #define IQ_UTIL_LOGGING_H_
 
-#include <cstdio>
-#include <cstdlib>
 #include <sstream>
 #include <string>
 
@@ -12,10 +10,13 @@ namespace internal_logging {
 enum class LogLevel { kDebug = 0, kInfo, kWarning, kError, kFatal };
 
 /// Global minimum level; messages below it are dropped. Default: kInfo.
+/// Backed by an atomic — safe to read/set concurrently (TSan-clean).
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
 /// Stream-style log message that emits on destruction; aborts for kFatal.
+/// Each record is written with a single fwrite so concurrent log lines
+/// never interleave mid-record.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
@@ -42,17 +43,6 @@ class LogMessage {
   ::iq::internal_logging::LogMessage(                               \
       ::iq::internal_logging::LogLevel::k##level, __FILE__, __LINE__)
 
-/// Fatal-on-failure invariant check (always on, release included).
-#define IQ_CHECK(cond)                                        \
-  if (!(cond))                                                \
-  IQ_LOG(Fatal) << "Check failed: " #cond " "
-
-/// Debug-only invariant check.
-#ifdef NDEBUG
-#define IQ_DCHECK(cond) \
-  if (false) IQ_LOG(Fatal)
-#else
-#define IQ_DCHECK(cond) IQ_CHECK(cond)
-#endif
+// The IQ_CHECK/IQ_DCHECK assertion layer lives in util/check.h.
 
 #endif  // IQ_UTIL_LOGGING_H_

@@ -16,7 +16,9 @@ TEST_P(PolyCombinatorial, MinCostReachesUnionGoal) {
   std::vector<int> targets = {1, 6};
   auto r = CombinatorialMinCostIq(*w.index, targets, 12, {IqOptions{}});
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  if (r->reached_goal) EXPECT_GE(r->hits_after, 12);
+  if (r->reached_goal) {
+    EXPECT_GE(r->hits_after, 12);
+  }
   // Union-hit verification with per-target contexts.
   std::vector<IqContext> ctxs;
   std::vector<Vec> coeffs;

@@ -39,7 +39,9 @@ TEST(CombinatorialTest, MinCostReachesUnionGoal) {
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(r->targets, targets);
   ASSERT_EQ(r->strategies.size(), 3u);
-  if (r->reached_goal) EXPECT_GE(r->hits_after, 20);
+  if (r->reached_goal) {
+    EXPECT_GE(r->hits_after, 20);
+  }
   EXPECT_EQ(UnionHits(w, targets, r->strategies), r->hits_after);
   double sum = 0;
   for (double c : r->costs) sum += c;
@@ -62,7 +64,9 @@ TEST(CombinatorialTest, QueriesHitByTwoTargetsCountOnce) {
   auto r = CombinatorialMinCostIq(*index, {0, 1}, 5, {IqOptions{}});
   ASSERT_TRUE(r.ok());
   EXPECT_LE(r->hits_after, 5);
-  if (r->reached_goal) EXPECT_EQ(r->hits_after, 5);
+  if (r->reached_goal) {
+    EXPECT_EQ(r->hits_after, 5);
+  }
 }
 
 TEST(CombinatorialTest, MaxHitRespectsSharedBudget) {

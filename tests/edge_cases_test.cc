@@ -110,7 +110,9 @@ TEST(EdgeCaseTest, MinCostWithTauEqualToQueryCount) {
   EseEvaluator ese(w.index.get(), 0);
   auto r = MinCostIq(*ctx, &ese, 10);  // hit every query
   ASSERT_TRUE(r.ok());
-  if (r->reached_goal) EXPECT_EQ(r->hits_after, 10);
+  if (r->reached_goal) {
+    EXPECT_EQ(r->hits_after, 10);
+  }
 }
 
 TEST(EdgeCaseTest, EngineWithOneQueryOneObjectPair) {

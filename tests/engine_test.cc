@@ -66,7 +66,9 @@ TEST(EngineTest, ExhaustiveSchemeOnTinyEngine) {
   if (r->reached_goal) {
     auto h = engine->MinCost(0, 2, {}, IqScheme::kEfficient);
     ASSERT_TRUE(h.ok());
-    if (h->reached_goal) EXPECT_LE(r->cost, h->cost + 1e-9);
+    if (h->reached_goal) {
+      EXPECT_LE(r->cost, h->cost + 1e-9);
+    }
   }
 }
 

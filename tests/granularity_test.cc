@@ -36,7 +36,9 @@ TEST_P(GranularitySweep, MinCostStrategyLandsOnGrid) {
   EXPECT_EQ(brute.HitsForCoeffs(w.view->CoefficientsFor(
                 Add(w.data->attrs(target), r->strategy))),
             r->hits_after);
-  if (r->reached_goal) EXPECT_GE(r->hits_after, 10);
+  if (r->reached_goal) {
+    EXPECT_GE(r->hits_after, 10);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GranularitySweep,

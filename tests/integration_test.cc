@@ -33,7 +33,9 @@ TEST(IntegrationTest, SyntheticMarketAllSchemes) {
       efficient = *r;
       EXPECT_TRUE(r->reached_goal);
     }
-    if (r->reached_goal) EXPECT_GE(r->hits_after, tau);
+    if (r->reached_goal) {
+      EXPECT_GE(r->hits_after, tau);
+    }
   }
 
   // Apply the strategy, rebuild from scratch, verify the hit count persists.

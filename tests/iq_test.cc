@@ -129,7 +129,9 @@ TEST(MinCostIqTest, WorksWithL1AndWeightedCosts) {
     auto r = MinCostIq(*ctx, &ese, 10, options);
     ASSERT_TRUE(r.ok());
     EXPECT_EQ(VerifyHits(w, target, r->strategy), r->hits_after);
-    if (r->reached_goal) EXPECT_GE(r->hits_after, 10);
+    if (r->reached_goal) {
+      EXPECT_GE(r->hits_after, 10);
+    }
   }
 }
 
@@ -224,7 +226,9 @@ TEST(RandomBaselineTest, MinCostReportsHonestHits) {
   auto r = RandomMinCost(*ctx, &ese, 5, options);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(VerifyHits(w, 1, r->strategy), r->hits_after);
-  if (r->reached_goal) EXPECT_GE(r->hits_after, 5);
+  if (r->reached_goal) {
+    EXPECT_GE(r->hits_after, 5);
+  }
 }
 
 TEST(RandomBaselineTest, MaxHitStaysWithinBudget) {

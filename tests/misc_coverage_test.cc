@@ -39,7 +39,9 @@ TEST(CombinatorialTest, DuplicateTargetsBehaveLikeOneBudgetedTwice) {
   auto r = CombinatorialMinCostIq(*w.index, {3, 3}, 8, {IqOptions{}});
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->strategies.size(), 2u);
-  if (r->reached_goal) EXPECT_GE(r->hits_after, 8);
+  if (r->reached_goal) {
+    EXPECT_GE(r->hits_after, 8);
+  }
 }
 
 TEST(IndexOptionsTest, RtreeFanoutKnob) {

@@ -176,7 +176,9 @@ TEST_P(FreezeProperty, FrozenAttributesNeverMove) {
   auto r = MinCostIq(*ctx, &ese, 8, options);
   ASSERT_TRUE(r.ok());
   for (size_t j = 0; j < 4; ++j) {
-    if (!adjustable[j]) EXPECT_EQ(r->strategy[j], 0.0) << "attr " << j;
+    if (!adjustable[j]) {
+      EXPECT_EQ(r->strategy[j], 0.0) << "attr " << j;
+    }
   }
 }
 

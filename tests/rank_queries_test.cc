@@ -54,7 +54,9 @@ TEST(RankQueriesTest, ReverseKRanksSortedAndConsistent) {
     auto direct = engine->RankUnderQuery(object, (*top)[i].first);
     ASSERT_TRUE(direct.ok());
     EXPECT_EQ(*direct, (*top)[i].second);
-    if (i > 0) EXPECT_GE((*top)[i].second, (*top)[i - 1].second);
+    if (i > 0) {
+      EXPECT_GE((*top)[i].second, (*top)[i - 1].second);
+    }
   }
   // No unlisted query has a strictly better rank than the worst listed one.
   int worst_listed = top->back().second;

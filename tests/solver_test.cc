@@ -273,7 +273,9 @@ TEST(DykstraTest, OptimalityAgainstRandomFeasiblePoints) {
           break;
         }
       }
-      if (feasible) EXPECT_GE(NormL2(cand), opt - 1e-4);
+      if (feasible) {
+        EXPECT_GE(NormL2(cand), opt - 1e-4);
+      }
     }
   }
 }

@@ -8,7 +8,7 @@
 #include "core/subdomain_index.h"
 #include "data/queries.h"
 #include "data/synthetic.h"
-#include "util/logging.h"
+#include "util/check.h"
 
 namespace iq {
 

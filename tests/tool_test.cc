@@ -54,7 +54,9 @@ TEST(ToolTest, EndToEndMinCost) {
   for (int r = 0; r < report->num_rows(); ++r) {
     int64_t reached = std::get<int64_t>(report->at(r, 4));
     int64_t after = std::get<int64_t>(report->at(r, 3));
-    if (reached == 1) EXPECT_GE(after, 10);
+    if (reached == 1) {
+      EXPECT_GE(after, 10);
+    }
   }
 }
 

@@ -1,0 +1,201 @@
+// Tests for the correctness-tooling subsystem: the deep structural
+// validators (RTree::CheckInvariants, SubdomainIndex::CheckInvariants), the
+// ESE cross-checks, and the IQ_CHECK macro family. Corruption is injected
+// in-place through the TestOnly* hooks and the validators must report the
+// exact defect.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/self_check.h"
+#include "data/queries.h"
+#include "data/synthetic.h"
+#include "index/rtree.h"
+#include "tests/test_world.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace iq {
+namespace {
+
+RTree MakeTree(int n, int dim, uint64_t seed) {
+  Rng rng(seed);
+  RTree tree(dim, /*max_entries=*/8);
+  for (int i = 0; i < n; ++i) {
+    Vec p(static_cast<size_t>(dim));
+    for (double& x : p) x = rng.UniformDouble();
+    tree.Insert(p, i);
+  }
+  return tree;
+}
+
+TEST(RTreeInvariantsTest, HealthyTreePasses) {
+  RTree tree = MakeTree(200, 2, 1);
+  Status st = tree.CheckInvariants();
+  EXPECT_TRUE(st.ok()) << st.ToString();
+
+  // Still sound after churn (deletes exercise CondenseTree + reinsertion).
+  Rng rng(2);
+  std::vector<std::pair<Vec, int>> entries;
+  tree.RangeSearch(Mbr(Vec(2, 0.0), Vec(2, 1.0)),
+                   [&](int id, const Vec& p) { entries.emplace_back(p, id); });
+  for (int i = 0; i < 80; ++i) {
+    size_t pick = rng.NextUint64(entries.size());
+    ASSERT_TRUE(tree.Remove(entries[pick].first, entries[pick].second));
+    entries.erase(entries.begin() + static_cast<ptrdiff_t>(pick));
+  }
+  st = tree.CheckInvariants();
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(RTreeInvariantsTest, CorruptedLeafMbrIsCaughtAndNamed) {
+  RTree tree = MakeTree(100, 3, 3);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  tree.TestOnlyCorruptLeafMbr();
+  Status st = tree.CheckInvariants();
+  ASSERT_FALSE(st.ok());
+  // The defect must be named precisely: an MBR containment violation at a
+  // located leaf, not a generic "invalid tree".
+  EXPECT_NE(st.message().find("MBR containment violated"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("leaf root/"), std::string::npos)
+      << st.ToString();
+  EXPECT_FALSE(tree.Validate());
+}
+
+TEST(RTreeInvariantsTest, EntryCountMismatchIsCaught) {
+  RTree tree = MakeTree(50, 2, 4);
+  tree.TestOnlyBiasSize(1);
+  Status st = tree.CheckInvariants();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("entry count mismatch"), std::string::npos)
+      << st.ToString();
+  tree.TestOnlyBiasSize(-1);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RTreeInvariantsTest, BulkLoadedTreePasses) {
+  Rng rng(5);
+  std::vector<Vec> points;
+  std::vector<int> ids;
+  for (int i = 0; i < 300; ++i) {
+    points.push_back({rng.UniformDouble(), rng.UniformDouble(),
+                      rng.UniformDouble()});
+    ids.push_back(i);
+  }
+  RTree tree = RTree::BulkLoad(3, points, ids);
+  Status st = tree.CheckInvariants();
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(SubdomainInvariantsTest, HealthyIndexPasses) {
+  TestWorld w = TestWorld::Linear(30, 40, 3, 11);
+  Status st = w.index->CheckInvariants();
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(SubdomainInvariantsTest, CorruptedSignatureIsCaughtAndLocated) {
+  TestWorld w = TestWorld::Linear(30, 40, 3, 12);
+  int sd = w.index->subdomain_of(0);
+  ASSERT_GE(sd, 0);
+  ASSERT_GE(w.index->signature(sd).size(), 2u);
+  w.index->TestOnlyCorruptSignature(sd);
+  Status st = w.index->CheckInvariants();
+  ASSERT_FALSE(st.ok());
+  // Exact defect: the corrupted cell is named and blamed on re-ranking
+  // disagreement, starting at the swapped position 0.
+  EXPECT_NE(st.message().find("subdomain " + std::to_string(sd)),
+            std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("disagrees with direct re-ranking"),
+            std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("position 0"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(SubdomainInvariantsTest, CorruptionAlsoFailsTheSampledCrossCheck) {
+  TestWorld w = TestWorld::Linear(25, 30, 3, 13);
+  for (uint64_t t = 0; t < 64; ++t) {
+    ASSERT_TRUE(CrossCheckSampledSubdomain(*w.index, t).ok());
+  }
+  int sd = w.index->subdomain_of(0);
+  w.index->TestOnlyCorruptSignature(sd);
+  bool caught = false;
+  // Round robin must reach the corrupted cell within one full cycle.
+  for (uint64_t t = 0; t < 64 && !caught; ++t) {
+    caught = !CrossCheckSampledSubdomain(*w.index, t).ok();
+  }
+  EXPECT_TRUE(caught);
+}
+
+TEST(EseCrossCheckTest, FreshIndexAgreesWithNaiveForEveryTarget) {
+  TestWorld w = TestWorld::Linear(20, 25, 3, 14);
+  for (int target = 0; target < 20; ++target) {
+    Status st = CrossCheckEse(*w.index, target);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+}
+
+// Property test: the ESE cross-check and the deep validators hold over 1k
+// random ApplyStrategy steps (the §4.3 remove+add signature patching path).
+TEST(EseCrossCheckTest, HoldsOverThousandRandomApplyStrategySteps) {
+  const int n = 25, m = 40, dim = 3;
+  Dataset data = MakeIndependent(n, dim, 15);
+  QueryGenOptions qopts;
+  qopts.k_max = 4;
+  auto engine = IqEngine::Create(std::move(data), LinearForm::Identity(dim),
+                                 MakeQueries(m, dim, 16, qopts));
+  ASSERT_TRUE(engine.ok());
+
+  Rng rng(17);
+  for (int step = 0; step < 1000; ++step) {
+    int target = static_cast<int>(rng.NextUint64(n));
+    Vec strategy(static_cast<size_t>(dim));
+    for (double& s : strategy) s = rng.UniformDouble(-0.05, 0.05);
+    ASSERT_TRUE(engine->ApplyStrategy(target, strategy).ok()) << step;
+    // Explicit cross-checks so this property holds in Release test runs
+    // too (inside ApplyStrategy they are Debug-only IQ_DCHECKs).
+    Status ese = CrossCheckEse(engine->index(), target);
+    ASSERT_TRUE(ese.ok()) << "step " << step << ": " << ese.ToString();
+    Status sampled = CrossCheckSampledSubdomain(
+        engine->index(), static_cast<uint64_t>(step));
+    ASSERT_TRUE(sampled.ok()) << "step " << step << ": " << sampled.ToString();
+    if (step % 100 == 99) {
+      Status deep = engine->CheckInvariants();
+      ASSERT_TRUE(deep.ok()) << "step " << step << ": " << deep.ToString();
+    }
+  }
+}
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, CheckFailureAbortsWithExpressionText) {
+  EXPECT_DEATH(IQ_CHECK(1 + 1 == 3) << "extra context",
+               "Check failed: 1 \\+ 1 == 3.*extra context");
+}
+
+TEST(CheckDeathTest, CheckEqPrintsBothOperands) {
+  int a = 4, b = 7;
+  EXPECT_DEATH(IQ_CHECK_EQ(a, b), "Check failed: a == b \\(4 vs 7\\)");
+}
+
+TEST(CheckDeathTest, CheckOkPrintsStatus) {
+  EXPECT_DEATH(IQ_CHECK_OK(Status::Internal("boom")),
+               "Check failed:.*Internal: boom");
+}
+
+TEST(CheckDeathTest, PassingChecksAreSilent) {
+  IQ_CHECK(true);
+  IQ_CHECK_EQ(2, 2);
+  IQ_CHECK_LT(1, 2);
+  IQ_CHECK_OK(Status::Ok());
+  IQ_DCHECK(true);
+  IQ_DCHECK_GE(2, 2);
+}
+
+}  // namespace
+}  // namespace iq

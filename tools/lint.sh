@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Repo lint: clang-tidy (when installed) plus a fast header-hygiene pass.
+#
+#   tools/lint.sh            # lint the whole tree
+#   tools/lint.sh --no-tidy  # header hygiene only
+#
+# Exits non-zero on any finding. CI runs this as its own lane.
+set -u
+
+cd "$(dirname "$0")/.."
+failures=0
+run_tidy=1
+[ "${1:-}" = "--no-tidy" ] && run_tidy=0
+
+note() { printf '%s\n' "$*"; }
+fail() { printf 'lint: %s\n' "$*" >&2; failures=$((failures + 1)); }
+
+# ---------------------------------------------------------------- guards --
+# Every header must carry an include guard derived from its path:
+#   src/util/check.h        -> IQ_UTIL_CHECK_H_
+#   tests/test_world.h      -> IQ_TESTS_TEST_WORLD_H_
+#   bench/common/harness.h  -> IQ_BENCH_COMMON_HARNESS_H_
+expected_guard() {
+  local rel="${1#./}"
+  rel="${rel#src/}"
+  rel="$(printf '%s' "$rel" | tr 'a-z/.-' 'A-Z___')"
+  printf 'IQ_%s_\n' "$rel"
+}
+
+while IFS= read -r header; do
+  guard="$(expected_guard "$header")"
+  if ! grep -q "^#ifndef ${guard}\$" "$header"; then
+    fail "$header: missing or wrong include guard (expected ${guard})"
+  elif ! grep -q "^#define ${guard}\$" "$header"; then
+    fail "$header: #ifndef ${guard} without matching #define"
+  fi
+done < <(find src tests bench -name '*.h' -type f | sort)
+
+# ------------------------------------------------------- banned patterns --
+# All randomness must flow through the seedable util/random.h Rng so every
+# experiment is reproducible; C library rand() and ad-hoc std::mt19937 /
+# std::random_device seeds are banned outside util/random.* itself.
+banned='std::rand\b|[^_[:alnum:]]srand[[:space:]]*\(|std::random_device|std::mt19937|std::default_random_engine'
+hits="$(grep -rnE "$banned" src bench examples \
+        --include='*.cc' --include='*.cpp' --include='*.h' \
+        | grep -v '^src/util/random\.' || true)"
+if [ -n "$hits" ]; then
+  fail "banned RNG use (route randomness through util/random.h):"
+  printf '%s\n' "$hits" >&2
+fi
+
+# ------------------------------------------------------------ clang-tidy --
+if [ "$run_tidy" -eq 1 ]; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    compdb=""
+    for d in build/release build build/asan-ubsan; do
+      [ -f "$d/compile_commands.json" ] && { compdb="$d"; break; }
+    done
+    if [ -z "$compdb" ]; then
+      note "lint: configuring build/release for compile_commands.json"
+      cmake --preset release >/dev/null || fail "cmake --preset release failed"
+      compdb="build/release"
+    fi
+    if [ -f "$compdb/compile_commands.json" ]; then
+      note "lint: clang-tidy over src/ (compdb: $compdb)"
+      tidy_out="$(find src -name '*.cc' -type f | sort \
+                  | xargs clang-tidy -p "$compdb" --quiet 2>/dev/null)"
+      if printf '%s' "$tidy_out" | grep -q 'warning:\|error:'; then
+        printf '%s\n' "$tidy_out" >&2
+        fail "clang-tidy reported findings"
+      fi
+    fi
+  else
+    note "lint: clang-tidy not installed — skipping (header hygiene still enforced)"
+  fi
+fi
+
+if [ "$failures" -gt 0 ]; then
+  note "lint: FAILED ($failures problem(s))"
+  exit 1
+fi
+note "lint: OK"
