@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -31,6 +32,8 @@ BenchOptions ParseArgs(int argc, char** argv) {
       opts.repetitions = static_cast<int>(*ParseInt(v));
     } else if (const char* v = value("--rta-iqs=")) {
       opts.rta_iqs_per_point = static_cast<int>(*ParseInt(v));
+    } else if (const char* v = value("--json=")) {
+      opts.json_path = v;
     } else if (arg == "--no-rta") {
       opts.include_rta = false;
     } else if (arg == "--full") {
@@ -38,7 +41,7 @@ BenchOptions ParseArgs(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "unknown flag %s (known: --scale= --iqs= --seed= --reps= "
-                   "--rta-iqs= --no-rta --full)\n",
+                   "--rta-iqs= --json= --no-rta --full)\n",
                    arg.c_str());
     }
   }
@@ -123,7 +126,10 @@ SchemeResult RunIqBatch(const Workload& w, IqScheme scheme, int iqs,
   Rng rng(seed);
   SchemeResult out;
   out.scheme = IqSchemeName(scheme);
+  static Histogram* iq_nanos =
+      MetricsRegistry::Global().GetHistogram("iq.bench.iq_nanos");
   RunningStats time_ms;
+  PercentileTracker lat_ms;
   RunningStats cost_per_hit;
   RunningStats mc_cost;
   RunningStats mh_hits;
@@ -138,10 +144,18 @@ SchemeResult RunIqBatch(const Workload& w, IqScheme scheme, int iqs,
         rng.UniformDouble(PaperParams::kBetaMin, PaperParams::kBetaMax);
 
     for (bool min_cost : {true, false}) {
-      WallTimer timer;
-      auto r = RunOne(w, scheme, min_cost, target, tau, beta);
+      double millis;
+      Result<IqResult> r = Status::Internal("not run");
+      {
+        // The ScopedTimer also feeds the iq.bench.iq_nanos histogram, so the
+        // JSON metrics snapshot carries the same distribution.
+        ScopedTimer timer(iq_nanos);
+        r = RunOne(w, scheme, min_cost, target, tau, beta);
+        millis = static_cast<double>(timer.ElapsedNanos()) / 1e6;
+      }
       if (!r.ok()) continue;
-      time_ms.Add(timer.ElapsedMillis());
+      time_ms.Add(millis);
+      lat_ms.Add(millis);
       int gained = r->hits_after;
       if (gained > 0 && r->cost > 0) {
         cost_per_hit.Add(r->cost / static_cast<double>(gained));
@@ -159,6 +173,8 @@ SchemeResult RunIqBatch(const Workload& w, IqScheme scheme, int iqs,
     }
   }
   out.avg_millis = time_ms.mean();
+  out.p50_millis = lat_ms.Percentile(50);
+  out.p99_millis = lat_ms.Percentile(99);
   out.avg_cost_per_hit = cost_per_hit.mean();
   out.mincost_avg_cost = mc_cost.mean();
   out.mincost_goal_rate =
@@ -188,14 +204,36 @@ namespace {
 
 void AppendPointRows(const Workload& w, const std::string& label,
                      const BenchOptions& opts, uint64_t seed,
-                     TablePrinter* table) {
-  for (const SchemeResult& r : RunPointAllSchemes(w, opts, seed)) {
+                     TablePrinter* table, std::vector<PointResults>* json) {
+  PointResults point;
+  point.point = label;
+  point.schemes = RunPointAllSchemes(w, opts, seed);
+  for (const SchemeResult& r : point.schemes) {
     table->AddRow({label, r.scheme, FmtDouble(r.avg_millis, 1),
                    FmtDouble(r.avg_cost_per_hit, 4),
                    FmtDouble(r.mincost_avg_cost, 4),
                    FmtDouble(100 * r.mincost_goal_rate, 0),
                    FmtDouble(r.maxhit_avg_hits, 1), FmtInt(r.completed)});
   }
+  json->push_back(std::move(point));
+}
+
+/// Shared tail of the figure runners: console table + optional JSON report.
+int FinishFigure(const TablePrinter& table, const BenchOptions& opts,
+                 const char* figure_name,
+                 const std::vector<PointResults>& points) {
+  table.Print();
+  if (!opts.json_path.empty()) {
+    Status st = WriteBenchJson(opts.json_path, figure_name, points);
+    if (!st.ok()) {
+      std::fprintf(stderr, "failed to write %s: %s\n",
+                   opts.json_path.c_str(), st.ToString().c_str());
+      return 1;
+    }
+    std::printf("JSON report (results + metrics snapshot): %s\n",
+                opts.json_path.c_str());
+  }
+  return 0;
 }
 
 const std::vector<std::string>& QueryProcessingHeader() {
@@ -215,18 +253,19 @@ int RunQueryProcessingByObjects(SyntheticKind kind, const char* figure_name,
               opts.iqs_per_point, opts.iqs_per_point);
   const int m = Scaled(PaperParams::kQueriesDefault, opts.scale);
   TablePrinter table(QueryProcessingHeader());
+  std::vector<PointResults> points;
   for (int base_n : PaperParams::kObjectsRange) {
     const int n = Scaled(base_n, opts.scale);
     Workload w = MakeLinearWorkload(kind, n, m, PaperParams::kDim,
                                     opts.seed + static_cast<uint64_t>(base_n));
-    AppendPointRows(w, FmtInt(n), opts, opts.seed + 3, &table);
+    AppendPointRows(w, FmtInt(n), opts, opts.seed + 3, &table, &points);
   }
-  table.Print();
+  int rc = FinishFigure(table, opts, figure_name, points);
   std::printf("\n(paper shape: Random fastest but worst-quality strategies; "
               "Greedy cheap but poor quality;\n Efficient-IQ and RTA-IQ find "
               "identical best-quality strategies, with Efficient-IQ an order "
               "of magnitude faster)\n");
-  return 0;
+  return rc;
 }
 
 int RunQueryProcessingByQueries(QueryDistribution dist,
@@ -238,18 +277,19 @@ int RunQueryProcessingByQueries(QueryDistribution dist,
               opts.iqs_per_point, opts.iqs_per_point);
   const int n = Scaled(PaperParams::kObjectsDefault, opts.scale);
   TablePrinter table(QueryProcessingHeader());
+  std::vector<PointResults> points;
   for (int base_m : PaperParams::kQueriesRange) {
     const int m = Scaled(base_m, opts.scale);
     Workload w = MakeLinearWorkload(SyntheticKind::kIndependent, n, m,
                                     PaperParams::kDim,
                                     opts.seed + static_cast<uint64_t>(base_m),
                                     dist);
-    AppendPointRows(w, FmtInt(m), opts, opts.seed + 5, &table);
+    AppendPointRows(w, FmtInt(m), opts, opts.seed + 5, &table, &points);
   }
-  table.Print();
+  int rc = FinishFigure(table, opts, figure_name, points);
   std::printf("\n(paper shape: same scheme ordering as Figures 7-9; "
               "processing time grows with |Q| for all schemes)\n");
-  return 0;
+  return rc;
 }
 
 TablePrinter::TablePrinter(std::vector<std::string> header)
@@ -290,6 +330,41 @@ std::string FmtDouble(double v, int precision) {
 }
 
 std::string FmtInt(long long v) { return StrFormat("%lld", v); }
+
+Status WriteBenchJson(const std::string& path, const std::string& figure,
+                      const std::vector<PointResults>& points) {
+  std::string json = "{\n  \"figure\": \"" + figure + "\",\n";
+  json += "  \"results\": [";
+  bool first = true;
+  for (const PointResults& point : points) {
+    for (const SchemeResult& r : point.schemes) {
+      if (!first) json += ",";
+      first = false;
+      json += StrFormat(
+          "\n    {\"point\": \"%s\", \"scheme\": \"%s\", "
+          "\"avg_millis\": %.6g, \"p50_millis\": %.6g, "
+          "\"p99_millis\": %.6g, \"cost_per_hit\": %.6g, "
+          "\"mincost_avg_cost\": %.6g, \"mincost_goal_rate\": %.6g, "
+          "\"maxhit_avg_hits\": %.6g, \"completed\": %d}",
+          point.point.c_str(), r.scheme.c_str(), r.avg_millis, r.p50_millis,
+          r.p99_millis, r.avg_cost_per_hit, r.mincost_avg_cost,
+          r.mincost_goal_rate, r.maxhit_avg_hits, r.completed);
+    }
+  }
+  json += "\n  ],\n  \"metrics\": ";
+  json += MetricsRegistry::Global().Snapshot().ToJson();
+  json += "\n}\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::Ok();
+}
 
 }  // namespace bench
 }  // namespace iq

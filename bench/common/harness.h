@@ -44,9 +44,13 @@ struct BenchOptions {
   /// RTA-IQ is orders of magnitude slower per IQ; its batch is capped
   /// separately so default runs stay in the minutes (--rta-iqs=).
   int rta_iqs_per_point = 1;
+  /// When non-empty, the figure runners also write a machine-readable JSON
+  /// report (per-scheme results + the full iq.* metrics snapshot) here.
+  std::string json_path;
 };
 
-/// Parses --scale=, --iqs=, --seed=, --reps=, --no-rta, --full (scale 1).
+/// Parses --scale=, --iqs=, --seed=, --reps=, --json=, --no-rta,
+/// --full (scale 1).
 BenchOptions ParseArgs(int argc, char** argv);
 
 int Scaled(int value, double scale);
@@ -76,6 +80,9 @@ struct SchemeResult {
   double mincost_goal_rate = 0.0;
   /// Max-Hit quality: average hits achieved within the budget.
   double maxhit_avg_hits = 0.0;
+  /// Latency distribution over the per-IQ wall times of the batch.
+  double p50_millis = 0.0;
+  double p99_millis = 0.0;
   int completed = 0;
 };
 
@@ -115,6 +122,19 @@ class TablePrinter {
 
 std::string FmtDouble(double v, int precision = 2);
 std::string FmtInt(long long v);
+
+/// One figure point: a label (e.g. the |D| or |Q| value) plus its per-scheme
+/// results. The JSON report serializes a vector of these.
+struct PointResults {
+  std::string point;
+  std::vector<SchemeResult> schemes;
+};
+
+/// Writes `{"figure":..., "results":[...], "metrics": <snapshot>}` to
+/// `path`. The metrics object is MetricsSnapshot::ToJson() — the full iq.*
+/// registry state at write time (counters, gauges, latency histograms).
+Status WriteBenchJson(const std::string& path, const std::string& figure,
+                      const std::vector<PointResults>& points);
 
 }  // namespace bench
 }  // namespace iq

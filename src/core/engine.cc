@@ -3,9 +3,41 @@
 #include <algorithm>
 
 #include "core/self_check.h"
+#include "obs/trace.h"
 #include "util/check.h"
+#include "util/timer.h"
 
 namespace iq {
+namespace {
+
+/// Cached pointers into the global registry; all increments are lock-free.
+struct EngineMetrics {
+  Histogram* min_cost_nanos;        // end-to-end MinCost() latency
+  Histogram* max_hit_nanos;         // end-to-end MaxHit() latency
+  Histogram* apply_strategy_nanos;  // end-to-end ApplyStrategy() latency
+  Counter* queries_reranked;        // maintenance re-ranks during Apply
+  Counter* queries_reused;          // cached assignments kept during Apply
+  Counter* affected_subspaces;      // subdomains touched during Apply
+
+  static EngineMetrics& Get() {
+    static EngineMetrics m = [] {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      EngineMetrics em;
+      em.min_cost_nanos = reg.GetHistogram("iq.engine.min_cost_nanos");
+      em.max_hit_nanos = reg.GetHistogram("iq.engine.max_hit_nanos");
+      em.apply_strategy_nanos =
+          reg.GetHistogram("iq.engine.apply_strategy_nanos");
+      em.queries_reranked = reg.GetCounter("iq.engine.apply.queries_reranked");
+      em.queries_reused = reg.GetCounter("iq.engine.apply.queries_reused");
+      em.affected_subspaces =
+          reg.GetCounter("iq.engine.apply.affected_subspaces");
+      return em;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 const char* IqSchemeName(IqScheme scheme) {
   switch (scheme) {
@@ -82,6 +114,7 @@ std::vector<int> IqEngine::HitSetLocked(int object) const {
 
 Result<std::vector<ScoredObject>> IqEngine::TopK(const Vec& weights,
                                                  int k) const {
+  IQ_TRACE_SCOPE("IqEngine::TopK");
   MutexLock lock(&mu_);
   if (static_cast<int>(weights.size()) != view_->form().num_weights()) {
     return Status::InvalidArgument("weight vector length mismatch");
@@ -154,6 +187,8 @@ Result<int> IqEngine::BestWorkloadRank(int object) const {
 
 Result<IqResult> IqEngine::MinCost(int target, int tau,
                                    const IqOptions& options, IqScheme scheme) {
+  IQ_TRACE_SCOPE("IqEngine::MinCost");
+  ScopedTimer latency(EngineMetrics::Get().min_cost_nanos);
   MutexLock lock(&mu_);
   IQ_ASSIGN_OR_RETURN(IqContext ctx, IqContext::FromIndex(index_.get(), target));
   switch (scheme) {
@@ -184,6 +219,8 @@ Result<IqResult> IqEngine::MinCost(int target, int tau,
 
 Result<IqResult> IqEngine::MaxHit(int target, double beta,
                                   const IqOptions& options, IqScheme scheme) {
+  IQ_TRACE_SCOPE("IqEngine::MaxHit");
+  ScopedTimer latency(EngineMetrics::Get().max_hit_nanos);
   MutexLock lock(&mu_);
   IQ_ASSIGN_OR_RETURN(IqContext ctx, IqContext::FromIndex(index_.get(), target));
   switch (scheme) {
@@ -257,6 +294,8 @@ Status IqEngine::RemoveObject(int id) {
 }
 
 Status IqEngine::ApplyStrategy(int target, const Vec& strategy) {
+  IQ_TRACE_SCOPE("IqEngine::ApplyStrategy");
+  ScopedTimer latency(EngineMetrics::Get().apply_strategy_nanos);
   MutexLock lock(&mu_);
   if (target < 0 || target >= dataset_->size() ||
       !dataset_->is_active(target)) {
@@ -266,6 +305,8 @@ Status IqEngine::ApplyStrategy(int target, const Vec& strategy) {
     return Status::InvalidArgument("strategy dimension mismatch");
   }
   Vec improved = Add(dataset_->attrs(target), strategy);
+  const size_t reranks_before = index_->maintenance_rerank_events();
+  const size_t affected_before = index_->maintenance_affected_subdomains();
   // Update order matters: the index patches signatures by treating the
   // change as remove + add, so the dataset/view must change in between.
   IQ_RETURN_IF_ERROR(dataset_->Remove(target));
@@ -274,12 +315,28 @@ Status IqEngine::ApplyStrategy(int target, const Vec& strategy) {
   IQ_RETURN_IF_ERROR(dataset_->Reactivate(target));
   view_->RefreshRow(target);
   IQ_RETURN_IF_ERROR(index_->OnObjectAdded(target));
+  // ESE reuse accounting (§4.3): the remove+add maintenance re-ranked only
+  // the queries whose subdomain boundary involved the target; everyone else
+  // kept their cached assignment. The delta is capped at the active query
+  // count because the two phases can re-rank the same query twice.
+  const uint64_t m_active = static_cast<uint64_t>(queries_->num_active());
+  uint64_t reranked = static_cast<uint64_t>(
+      index_->maintenance_rerank_events() - reranks_before);
+  if (reranked > m_active) reranked = m_active;
+  EngineMetrics::Get().queries_reranked->Increment(reranked);
+  EngineMetrics::Get().queries_reused->Increment(m_active - reranked);
+  EngineMetrics::Get().affected_subspaces->Increment(
+      index_->maintenance_affected_subdomains() - affected_before);
   // Debug-mode ESE cross-check: a stale cached ranking must abort here
   // rather than silently produce wrong H(p+s) counts downstream.
   const uint64_t ticket = apply_ticket_++;
   IQ_DCHECK_OK(CrossCheckSampledSubdomain(*index_, ticket));
   IQ_DCHECK_OK(CrossCheckEse(*index_, target));
   return Status::Ok();
+}
+
+MetricsSnapshot IqEngine::GetStatsSnapshot() const {
+  return MetricsRegistry::Global().Snapshot();
 }
 
 Status IqEngine::CheckInvariants() const {

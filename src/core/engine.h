@@ -9,6 +9,7 @@
 #include "core/combinatorial.h"
 #include "core/exhaustive.h"
 #include "core/iq_algorithms.h"
+#include "obs/metrics.h"
 #include "topk/topk.h"
 #include "util/annotations.h"
 
@@ -127,6 +128,15 @@ class IqEngine {
   /// re-evaluation and re-ranks one sampled subdomain (round robin); a
   /// stale cache aborts via IQ_DCHECK instead of returning wrong counts.
   Status ApplyStrategy(int target, const Vec& strategy) IQ_EXCLUDES(mu_);
+
+  // ---- Observability ----
+
+  /// Point-in-time snapshot of every engine metric (counters, gauges and
+  /// latency histograms under the iq.* naming scheme; see DESIGN.md
+  /// "Observability"). The registry is process-global, so the snapshot also
+  /// covers work done through other engines in the same process; call
+  /// MetricsRegistry::Global().Reset() first for a per-workload reading.
+  MetricsSnapshot GetStatsSnapshot() const;
 
   // ---- Correctness tooling ----
 

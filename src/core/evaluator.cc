@@ -4,10 +4,38 @@
 #include <cmath>
 
 #include "geom/wedge.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "topk/topk.h"
 #include "util/logging.h"
 
 namespace iq {
+namespace {
+
+/// Cached pointers into the global registry; all increments are lock-free.
+struct EseMetrics {
+  Counter* queries_reranked;    // hit state recomputed (scored)
+  Counter* queries_reused;      // cached hit state reused, no rescoring
+  Counter* affected_subspaces;  // wedge searches issued (one per competitor)
+  Counter* scan_evaluations;    // HitsForCoeffs calls (full-scan path)
+  Counter* wedge_evaluations;   // HitsViaWedges calls (geometric path)
+
+  static EseMetrics& Get() {
+    static EseMetrics m = [] {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      EseMetrics em;
+      em.queries_reranked = reg.GetCounter("iq.ese.queries_reranked");
+      em.queries_reused = reg.GetCounter("iq.ese.queries_reused");
+      em.affected_subspaces = reg.GetCounter("iq.ese.affected_subspaces");
+      em.scan_evaluations = reg.GetCounter("iq.ese.scan_evaluations");
+      em.wedge_evaluations = reg.GetCounter("iq.ese.wedge_evaluations");
+      return em;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 EseEvaluator::EseEvaluator(const SubdomainIndex* index, int target)
     : index_(index), target_(target) {
@@ -27,17 +55,24 @@ int EseEvaluator::HitsForCoeffs(const Vec& c) {
   ++calls_;
   const QuerySet& queries = index_->queries();
   int hits = 0;
+  uint64_t scored = 0;
   for (int q = 0; q < queries.size(); ++q) {
     if (!queries.is_active(q)) continue;
+    ++scored;
     double score = Dot(c, index_->aug_weights(q));
     if (HitByThreshold(score, thresholds_[static_cast<size_t>(q)])) ++hits;
   }
+  queries_rescored_ += scored;
+  EseMetrics::Get().queries_reranked->Increment(scored);
+  EseMetrics::Get().scan_evaluations->Increment();
   return hits;
 }
 
 std::vector<int> EseEvaluator::AffectedQueries(const Vec& c_from,
                                                const Vec& c_to) const {
+  IQ_TRACE_SCOPE("EseEvaluator::AffectedQueries");
   const QuerySet& queries = index_->queries();
+  uint64_t wedges_searched = 0;
   std::vector<bool> seen(static_cast<size_t>(queries.size()), false);
   std::vector<int> out;
   const FunctionView& view = index_->view();
@@ -46,6 +81,7 @@ std::vector<int> EseEvaluator::AffectedQueries(const Vec& c_from,
   for (int l : index_->SignatureMembers()) {
     if (l == target_ || !data.is_active(l)) continue;
     const Vec& cl = view.coeffs(l);
+    ++wedges_searched;
     Wedge wedge(IntersectionPlane(c_from, cl), IntersectionPlane(c_to, cl));
     index_->rtree().SearchIf(
         [&wedge](const Mbr& box) { return wedge.MayIntersect(box); },
@@ -58,19 +94,30 @@ std::vector<int> EseEvaluator::AffectedQueries(const Vec& c_from,
         });
   }
   std::sort(out.begin(), out.end());
+  EseMetrics::Get().affected_subspaces->Increment(wedges_searched);
   return out;
 }
 
 int EseEvaluator::HitsViaWedges(const Vec& c) {
+  IQ_TRACE_SCOPE("EseEvaluator::HitsViaWedges");
   ++calls_;
   const Vec& c_base = index_->view().coeffs(target_);
   int hits = base_hits_;
-  for (int q : AffectedQueries(c_base, c)) {
+  std::vector<int> affected = AffectedQueries(c_base, c);
+  for (int q : affected) {
     double score = Dot(c, index_->aug_weights(q));
     bool now = HitByThreshold(score, thresholds_[static_cast<size_t>(q)]);
     bool before = base_hit_flags_[static_cast<size_t>(q)];
     hits += static_cast<int>(now) - static_cast<int>(before);
   }
+  uint64_t num_active = static_cast<uint64_t>(index_->queries().num_active());
+  uint64_t scored = static_cast<uint64_t>(affected.size());
+  uint64_t reused = num_active >= scored ? num_active - scored : 0;
+  queries_rescored_ += scored;
+  queries_reused_ += reused;
+  EseMetrics::Get().queries_reranked->Increment(scored);
+  EseMetrics::Get().queries_reused->Increment(reused);
+  EseMetrics::Get().wedge_evaluations->Increment();
   return hits;
 }
 
@@ -98,10 +145,12 @@ BruteForceEvaluator::BruteForceEvaluator(const FunctionView* view,
   }
   base_hits_ = HitsForCoeffs(view_->coeffs(target));
   calls_ = 0;
+  queries_rescored_ = 0;
 }
 
 int BruteForceEvaluator::HitsForCoeffs(const Vec& c) {
   ++calls_;
+  queries_rescored_ += static_cast<size_t>(queries_->num_active());
   int hits = 0;
   for (int q = 0; q < queries_->size(); ++q) {
     if (!queries_->is_active(q)) continue;
@@ -128,11 +177,13 @@ RtaStrategyEvaluator::RtaStrategyEvaluator(const FunctionView* view,
   rta_ = std::make_unique<Rta>(&view_->rows(), &active_mask_, target_);
   base_hits_ = HitsForCoeffs(view_->coeffs(target));
   calls_ = 0;
+  queries_rescored_ = 0;
   total_full_evaluations_ = 0;
 }
 
 int RtaStrategyEvaluator::HitsForCoeffs(const Vec& c) {
   ++calls_;
+  queries_rescored_ += aug_w_dense_.size();
   int hits = rta_->CountHits(c, aug_w_dense_, ks_dense_, &order_);
   total_full_evaluations_ += rta_->full_evaluations();
   return hits;

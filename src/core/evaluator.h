@@ -32,8 +32,20 @@ class StrategyEvaluator {
   /// Number of HitsForCoeffs calls so far (experiment bookkeeping).
   size_t calls() const { return calls_; }
 
+  /// Queries whose hit state was recomputed (scored against the improved
+  /// coefficients) across all evaluations so far. For the scan paths this is
+  /// every active query per call; the wedge path recomputes only the
+  /// affected subspaces.
+  size_t queries_rescored() const { return queries_rescored_; }
+  /// Queries whose cached hit state was reused without rescoring. Invariant:
+  /// queries_rescored + queries_reused advances by |active queries| per
+  /// evaluation.
+  size_t queries_reused() const { return queries_reused_; }
+
  protected:
   size_t calls_ = 0;
+  size_t queries_rescored_ = 0;
+  size_t queries_reused_ = 0;
 };
 
 /// Efficient Strategy Evaluation (Algorithm 2). The subdomain index already

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "topk/topk.h"
 #include "util/check.h"
 #include "util/random.h"
@@ -46,6 +48,31 @@ struct Candidate {
   Vec step;
   double step_cost = 0.0;
   int hits = 0;  // H(p_cur + step)
+};
+
+/// Cached pointers into the global registry; all increments are lock-free.
+struct SearchMetrics {
+  Counter* iterations;            // greedy iterations across all IQ calls
+  Counter* candidates_generated;  // cost-solver solutions produced
+  Counter* candidates_evaluated;  // candidates whose H was computed
+  Histogram* solver_nanos;        // per-iteration candidate-solver time
+  Histogram* eval_nanos;          // per-iteration H-evaluation time
+
+  static SearchMetrics& Get() {
+    static SearchMetrics m = [] {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      SearchMetrics sm;
+      sm.iterations = reg.GetCounter("iq.search.iterations");
+      sm.candidates_generated =
+          reg.GetCounter("iq.search.candidates_generated");
+      sm.candidates_evaluated =
+          reg.GetCounter("iq.search.candidates_evaluated");
+      sm.solver_nanos = reg.GetHistogram("iq.search.solver_nanos");
+      sm.eval_nanos = reg.GetHistogram("iq.search.eval_nanos");
+      return sm;
+    }();
+    return m;
+  }
 };
 
 }  // namespace
@@ -184,9 +211,12 @@ std::vector<Candidate> BuildCandidates(const IqContext& ctx,
                                        const Vec& p_cur, const Vec& s_total,
                                        const Vec& c_cur,
                                        const IqOptions& options,
-                                       bool evaluate_hits) {
+                                       bool evaluate_hits,
+                                       EvalBreakdown* bd) {
+  IQ_TRACE_SCOPE("BuildCandidates");
   std::vector<Candidate> out;
   const QuerySet& queries = ctx.queries();
+  WallTimer solver_timer;
   for (int q = 0; q < queries.size(); ++q) {
     if (!queries.is_active(q)) continue;
     if (ctx.HitBy(q, c_cur)) continue;  // already hit
@@ -198,6 +228,10 @@ std::vector<Candidate> BuildCandidates(const IqContext& ctx,
     cand.step_cost = sol->cost;
     out.push_back(std::move(cand));
   }
+  bd->solver_seconds += solver_timer.ElapsedSeconds();
+  bd->candidates_generated += out.size();
+  SearchMetrics::Get().solver_nanos->Record(solver_timer.ElapsedNanos());
+  SearchMetrics::Get().candidates_generated->Increment(out.size());
   // Optionally restrict the expensive H evaluation to a bounded candidate
   // subset. Half the budget goes to the cheapest steps (the likely best
   // cost-per-hit ratios), half is strided across the remaining cost range so
@@ -224,10 +258,15 @@ std::vector<Candidate> BuildCandidates(const IqContext& ctx,
     out = std::move(kept);
   }
   if (evaluate_hits) {
+    WallTimer eval_timer;
     for (Candidate& cand : out) {
       Vec c_cand = ctx.view().CoefficientsFor(Add(p_cur, cand.step));
       cand.hits = evaluator->HitsForCoeffs(c_cand);
     }
+    bd->eval_seconds += eval_timer.ElapsedSeconds();
+    bd->candidates_evaluated += out.size();
+    SearchMetrics::Get().eval_nanos->Record(eval_timer.ElapsedNanos());
+    SearchMetrics::Get().candidates_evaluated->Increment(out.size());
   }
   return out;
 }
@@ -302,13 +341,34 @@ IqResult FinishResult(const Vec& s_total, const IqOptions& options,
   return r;
 }
 
+/// Closes out the per-call accounting: derives the evaluator deltas, stamps
+/// the result, and folds the iteration count into the global registry.
+void FinishBreakdown(const StrategyEvaluator& ev, size_t calls_before,
+                     size_t rescored_before, size_t reused_before,
+                     const WallTimer& timer, EvalBreakdown* bd, IqResult* r) {
+  bd->iterations = r->iterations;
+  bd->evaluator_calls = ev.calls() - calls_before;
+  bd->queries_rescored = ev.queries_rescored() - rescored_before;
+  bd->queries_reused = ev.queries_reused() - reused_before;
+  bd->total_seconds = timer.ElapsedSeconds();
+  r->evaluator_calls = bd->evaluator_calls;
+  r->seconds = bd->total_seconds;
+  r->breakdown = *bd;
+  SearchMetrics::Get().iterations->Increment(
+      static_cast<uint64_t>(r->iterations));
+}
+
 }  // namespace
 
 Result<IqResult> MinCostIq(const IqContext& ctx, StrategyEvaluator* evaluator,
                            int tau, const IqOptions& options) {
+  IQ_TRACE_SCOPE("MinCostIq");
   if (tau < 1) return Status::InvalidArgument("tau must be >= 1");
   WallTimer timer;
   const size_t calls_before = evaluator->calls();
+  const size_t rescored_before = evaluator->queries_rescored();
+  const size_t reused_before = evaluator->queries_reused();
+  EvalBreakdown bd;
   const int dim = ctx.view().dataset().dim();
   const int target = ctx.target();
 
@@ -325,7 +385,7 @@ Result<IqResult> MinCostIq(const IqContext& ctx, StrategyEvaluator* evaluator,
   while (!reached && iter < max_iters) {
     ++iter;
     std::vector<Candidate> candidates = BuildCandidates(
-        ctx, evaluator, p_cur, s_total, c_cur, options, /*evaluate_hits=*/true);
+        ctx, evaluator, p_cur, s_total, c_cur, options, /*evaluate_hits=*/true, &bd);
     if (candidates.empty()) break;
 
     const Candidate* best = nullptr;
@@ -359,16 +419,20 @@ Result<IqResult> MinCostIq(const IqContext& ctx, StrategyEvaluator* evaluator,
   }
   IqResult r = FinishResult(s_total, options, hits_before, cur_hits,
                             reached, iter);
-  r.evaluator_calls = evaluator->calls() - calls_before;
-  r.seconds = timer.ElapsedSeconds();
+  FinishBreakdown(*evaluator, calls_before, rescored_before, reused_before,
+                  timer, &bd, &r);
   return r;
 }
 
 Result<IqResult> MaxHitIq(const IqContext& ctx, StrategyEvaluator* evaluator,
                           double beta, const IqOptions& options) {
+  IQ_TRACE_SCOPE("MaxHitIq");
   if (beta < 0) return Status::InvalidArgument("budget must be >= 0");
   WallTimer timer;
   const size_t calls_before = evaluator->calls();
+  const size_t rescored_before = evaluator->queries_rescored();
+  const size_t reused_before = evaluator->queries_reused();
+  EvalBreakdown bd;
   const int dim = ctx.view().dataset().dim();
   const int target = ctx.target();
 
@@ -384,7 +448,7 @@ Result<IqResult> MaxHitIq(const IqContext& ctx, StrategyEvaluator* evaluator,
   while (iter < max_iters) {
     ++iter;
     std::vector<Candidate> candidates = BuildCandidates(
-        ctx, evaluator, p_cur, s_total, c_cur, options, /*evaluate_hits=*/true);
+        ctx, evaluator, p_cur, s_total, c_cur, options, /*evaluate_hits=*/true, &bd);
     // Keep only candidates affordable under the cumulative budget.
     std::vector<Candidate> affordable;
     for (Candidate& c : candidates) {
@@ -413,8 +477,8 @@ Result<IqResult> MaxHitIq(const IqContext& ctx, StrategyEvaluator* evaluator,
   }
   IqResult r = FinishResult(s_total, options, hits_before, cur_hits,
                             /*reached_goal=*/true, iter);
-  r.evaluator_calls = evaluator->calls() - calls_before;
-  r.seconds = timer.ElapsedSeconds();
+  FinishBreakdown(*evaluator, calls_before, rescored_before, reused_before,
+                  timer, &bd, &r);
   return r;
 }
 
@@ -424,6 +488,9 @@ Result<IqResult> GreedyMinCost(const IqContext& ctx,
   if (tau < 1) return Status::InvalidArgument("tau must be >= 1");
   WallTimer timer;
   const size_t calls_before = evaluator->calls();
+  const size_t rescored_before = evaluator->queries_rescored();
+  const size_t reused_before = evaluator->queries_reused();
+  EvalBreakdown bd;
   const int dim = ctx.view().dataset().dim();
   const int target = ctx.target();
 
@@ -442,7 +509,7 @@ Result<IqResult> GreedyMinCost(const IqContext& ctx,
     // Cheapest single query, no hit evaluation of alternatives.
     std::vector<Candidate> candidates =
         BuildCandidates(ctx, evaluator, p_cur, s_total, c_cur, options,
-                        /*evaluate_hits=*/false);
+                        /*evaluate_hits=*/false, &bd);
     if (candidates.empty()) break;
     const Candidate* best = nullptr;
     for (const Candidate& c : candidates) {
@@ -451,7 +518,9 @@ Result<IqResult> GreedyMinCost(const IqContext& ctx,
     AddInPlace(&s_total, best->step);
     p_cur = Add(p_cur, best->step);
     c_cur = ctx.view().CoefficientsFor(p_cur);
+    WallTimer eval_timer;
     cur_hits = evaluator->HitsForCoeffs(c_cur);
+    bd.eval_seconds += eval_timer.ElapsedSeconds();
     reached = cur_hits >= tau;
   }
 
@@ -461,8 +530,8 @@ Result<IqResult> GreedyMinCost(const IqContext& ctx,
   }
   IqResult r = FinishResult(s_total, options, hits_before, cur_hits,
                             reached, iter);
-  r.evaluator_calls = evaluator->calls() - calls_before;
-  r.seconds = timer.ElapsedSeconds();
+  FinishBreakdown(*evaluator, calls_before, rescored_before, reused_before,
+                  timer, &bd, &r);
   return r;
 }
 
@@ -472,6 +541,9 @@ Result<IqResult> GreedyMaxHit(const IqContext& ctx,
   if (beta < 0) return Status::InvalidArgument("budget must be >= 0");
   WallTimer timer;
   const size_t calls_before = evaluator->calls();
+  const size_t rescored_before = evaluator->queries_rescored();
+  const size_t reused_before = evaluator->queries_reused();
+  EvalBreakdown bd;
   const int dim = ctx.view().dataset().dim();
   const int target = ctx.target();
 
@@ -488,7 +560,7 @@ Result<IqResult> GreedyMaxHit(const IqContext& ctx,
     ++iter;
     std::vector<Candidate> candidates =
         BuildCandidates(ctx, evaluator, p_cur, s_total, c_cur, options,
-                        /*evaluate_hits=*/false);
+                        /*evaluate_hits=*/false, &bd);
     const Candidate* best = nullptr;
     for (const Candidate& c : candidates) {
       if (options.cost.Cost(Add(s_total, c.step)) > beta) continue;
@@ -498,7 +570,9 @@ Result<IqResult> GreedyMaxHit(const IqContext& ctx,
     AddInPlace(&s_total, best->step);
     p_cur = Add(p_cur, best->step);
     c_cur = ctx.view().CoefficientsFor(p_cur);
+    WallTimer eval_timer;
     cur_hits = evaluator->HitsForCoeffs(c_cur);
+    bd.eval_seconds += eval_timer.ElapsedSeconds();
   }
 
   if (!options.granularity.empty()) {
@@ -506,8 +580,8 @@ Result<IqResult> GreedyMaxHit(const IqContext& ctx,
   }
   IqResult r = FinishResult(s_total, options, hits_before, cur_hits,
                             /*reached_goal=*/true, iter);
-  r.evaluator_calls = evaluator->calls() - calls_before;
-  r.seconds = timer.ElapsedSeconds();
+  FinishBreakdown(*evaluator, calls_before, rescored_before, reused_before,
+                  timer, &bd, &r);
   return r;
 }
 
@@ -547,6 +621,9 @@ Result<IqResult> RandomMinCost(const IqContext& ctx,
   if (tau < 1) return Status::InvalidArgument("tau must be >= 1");
   WallTimer timer;
   const size_t calls_before = evaluator->calls();
+  const size_t rescored_before = evaluator->queries_rescored();
+  const size_t reused_before = evaluator->queries_reused();
+  EvalBreakdown bd;
   const int dim = ctx.view().dataset().dim();
   Rng rng(options.seed);
   AdjustBox box = EffectiveBox(options, dim);
@@ -563,7 +640,9 @@ Result<IqResult> RandomMinCost(const IqContext& ctx,
     Vec s = box.Clamp(Scale(RandomDirection(&rng, dim),
                             radius * rng.UniformDouble(0.2, 1.0)));
     Vec p = Add(ctx.view().dataset().attrs(ctx.target()), s);
+    WallTimer eval_timer;
     int hits = evaluator->HitsForCoeffs(ctx.view().CoefficientsFor(p));
+    bd.eval_seconds += eval_timer.ElapsedSeconds();
     if (hits > best_hits) {
       best_hits = hits;
       best_s = s;
@@ -583,8 +662,8 @@ Result<IqResult> RandomMinCost(const IqContext& ctx,
   }
   IqResult r = FinishResult(best_s, options, hits_before, best_hits,
                             reached, samples);
-  r.evaluator_calls = evaluator->calls() - calls_before;
-  r.seconds = timer.ElapsedSeconds();
+  FinishBreakdown(*evaluator, calls_before, rescored_before, reused_before,
+                  timer, &bd, &r);
   return r;
 }
 
@@ -594,6 +673,9 @@ Result<IqResult> RandomMaxHit(const IqContext& ctx,
   if (beta < 0) return Status::InvalidArgument("budget must be >= 0");
   WallTimer timer;
   const size_t calls_before = evaluator->calls();
+  const size_t rescored_before = evaluator->queries_rescored();
+  const size_t reused_before = evaluator->queries_reused();
+  EvalBreakdown bd;
   const int dim = ctx.view().dataset().dim();
   Rng rng(options.seed);
   AdjustBox box = EffectiveBox(options, dim);
@@ -620,7 +702,9 @@ Result<IqResult> RandomMaxHit(const IqContext& ctx,
     Vec s = box.Clamp(Scale(dir, lo * rng.UniformDouble(0.3, 1.0)));
     if (options.cost.Cost(s) > beta) continue;
     Vec p = Add(ctx.view().dataset().attrs(ctx.target()), s);
+    WallTimer eval_timer;
     int hits = evaluator->HitsForCoeffs(ctx.view().CoefficientsFor(p));
+    bd.eval_seconds += eval_timer.ElapsedSeconds();
     if (hits > best_hits) {
       best_hits = hits;
       best_s = s;
@@ -632,8 +716,8 @@ Result<IqResult> RandomMaxHit(const IqContext& ctx,
   }
   IqResult r = FinishResult(best_s, options, hits_before, best_hits,
                             /*reached_goal=*/true, options.random_samples);
-  r.evaluator_calls = evaluator->calls() - calls_before;
-  r.seconds = timer.ElapsedSeconds();
+  FinishBreakdown(*evaluator, calls_before, rescored_before, reused_before,
+                  timer, &bd, &r);
   return r;
 }
 

@@ -47,6 +47,27 @@ struct IqOptions {
   uint64_t seed = 1;
 };
 
+/// Explain-style per-call breakdown of where an IQ search spent its work.
+/// Filled by every scheme; the global metrics registry (src/obs/) aggregates
+/// the same quantities across calls under iq.search.* / iq.ese.*.
+struct EvalBreakdown {
+  int iterations = 0;
+  /// Candidate steps produced by the per-query cost solver (Eq. 13-14).
+  size_t candidates_generated = 0;
+  /// Candidates whose H(p'+s) was actually evaluated (after the optional
+  /// candidate_eval_limit pruning).
+  size_t candidates_evaluated = 0;
+  size_t evaluator_calls = 0;
+  /// Per-query work inside the evaluator: rescored = hit state recomputed,
+  /// reused = cached hit state kept (nonzero only on the ESE wedge path).
+  size_t queries_rescored = 0;
+  size_t queries_reused = 0;
+  /// Time inside the candidate cost solver vs. inside H evaluation.
+  double solver_seconds = 0.0;
+  double eval_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
 /// Outcome of one improvement query.
 struct IqResult {
   /// The improvement strategy s (total adjustment from the original object).
@@ -60,6 +81,7 @@ struct IqResult {
   int iterations = 0;
   size_t evaluator_calls = 0;
   double seconds = 0.0;
+  EvalBreakdown breakdown;
 };
 
 /// Per-target workload context shared by all schemes: augmented weights,

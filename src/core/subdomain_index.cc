@@ -7,12 +7,40 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "topk/topk.h"
 #include "util/check.h"
 #include "util/timer.h"
 
 namespace iq {
 namespace {
+
+/// Cached pointers into the global registry; all increments are lock-free.
+struct IndexMetrics {
+  Counter* full_reranks;          // ComputeSignature calls (full TopKScan)
+  Counter* signature_cache_hits;  // OnQueryAdded resolved by kNN shortcut
+  Counter* cells_visited;         // subdomains scanned in OnObjectRemoved
+  Counter* cells_skipped;         // subdomains pruned by the Bloom filter
+  Gauge* num_subdomains;
+  Histogram* build_nanos;
+
+  static IndexMetrics& Get() {
+    static IndexMetrics m = [] {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      IndexMetrics im;
+      im.full_reranks = reg.GetCounter("iq.index.full_reranks");
+      im.signature_cache_hits =
+          reg.GetCounter("iq.index.signature_cache_hits");
+      im.cells_visited = reg.GetCounter("iq.index.cells_visited");
+      im.cells_skipped = reg.GetCounter("iq.index.cells_skipped");
+      im.num_subdomains = reg.GetGauge("iq.index.num_subdomains");
+      im.build_nanos = reg.GetHistogram("iq.index.build_nanos");
+      return im;
+    }();
+    return m;
+  }
+};
 
 std::string SignatureKey(const std::vector<int>& sig) {
   std::string key(sig.size() * sizeof(int), '\0');
@@ -38,6 +66,7 @@ Result<SubdomainIndex> SubdomainIndex::Build(const FunctionView* view,
     return Status::InvalidArgument(
         "query weight count does not match the utility form");
   }
+  IQ_TRACE_SCOPE("SubdomainIndex::Build");
   WallTimer timer;
   SubdomainIndex index;
   index.view_ = view;
@@ -76,10 +105,13 @@ Result<SubdomainIndex> SubdomainIndex::Build(const FunctionView* view,
       view->form().num_slots(), points, ids, options.rtree_max_entries));
 
   index.build_seconds_ = timer.ElapsedSeconds();
+  IndexMetrics::Get().build_nanos->Record(timer.ElapsedNanos());
+  IndexMetrics::Get().num_subdomains->Set(index.num_occupied_);
   return index;
 }
 
 std::vector<int> SubdomainIndex::ComputeSignature(const Vec& aug_w) const {
+  IndexMetrics::Get().full_reranks->Increment();
   std::vector<bool> mask = ActiveMask(view_->dataset());
   std::vector<ScoredObject> top =
       TopKScan(view_->rows(), &mask, aug_w, kappa_);
@@ -252,6 +284,7 @@ Status SubdomainIndex::OnQueryAdded(int q) {
     if (SignatureMatches(w, subdomains_[static_cast<size_t>(cand)].signature)) {
       sd = cand;
       ++knn_shortcut_hits_;
+      IndexMetrics::Get().signature_cache_hits->Increment();
       break;
     }
   }
@@ -274,12 +307,14 @@ Status SubdomainIndex::OnQueryRemoved(int q) {
 }
 
 Status SubdomainIndex::OnObjectAdded(int id) {
+  IQ_TRACE_SCOPE("SubdomainIndex::OnObjectAdded");
   if (id < 0 || id >= view_->dataset().size() ||
       !view_->dataset().is_active(id)) {
     return Status::InvalidArgument("object id is not an active object");
   }
   sig_member_count_.resize(static_cast<size_t>(view_->dataset().size()), 0);
   const Vec& c = view_->coeffs(id);
+  std::vector<int> touched_sds;
 
   // A new object can only change a query's signature when it enters the
   // top-κ prefix; test against the current κ-th member first (one dot).
@@ -310,13 +345,22 @@ Status SubdomainIndex::OnObjectAdded(int id) {
     std::vector<int> new_sig;
     new_sig.reserve(ranked.size());
     for (const auto& [s, obj] : ranked) new_sig.push_back(obj);
+    int old_sd = sd_of_[static_cast<size_t>(q)];
+    if (std::find(touched_sds.begin(), touched_sds.end(), old_sd) ==
+        touched_sds.end()) {
+      touched_sds.push_back(old_sd);
+    }
     DetachQueryFromSubdomain(q);
     AttachQueryToSubdomain(q, FindOrCreateSubdomain(std::move(new_sig)));
+    ++maintenance_rerank_events_;
   }
+  maintenance_affected_subdomains_ += touched_sds.size();
+  IndexMetrics::Get().num_subdomains->Set(num_occupied_);
   return Status::Ok();
 }
 
 Status SubdomainIndex::OnObjectRemoved(int id) {
+  IQ_TRACE_SCOPE("SubdomainIndex::OnObjectRemoved");
   if (id < 0 || id >= static_cast<int>(sig_member_count_.size())) {
     return Status::OutOfRange("object id out of range");
   }
@@ -324,18 +368,24 @@ Status SubdomainIndex::OnObjectRemoved(int id) {
   // over (object, subdomain) membership prunes subdomains that certainly do
   // not use the object as a boundary (paper §4.3).
   std::vector<int> affected;
+  uint64_t visited = 0, skipped = 0, affected_cells = 0;
   for (int sd = 0; sd < static_cast<int>(subdomains_.size()); ++sd) {
     const Subdomain& s = subdomains_[static_cast<size_t>(sd)];
     if (!s.occupied) continue;
     if (!boundary_bloom_->MayContain(BloomFilter::KeyFromPair(id, sd))) {
+      ++skipped;
       continue;
     }
+    ++visited;
     if (std::find(s.signature.begin(), s.signature.end(), id) ==
         s.signature.end()) {
       continue;  // bloom false positive
     }
+    ++affected_cells;
     affected.insert(affected.end(), s.query_ids.begin(), s.query_ids.end());
   }
+  IndexMetrics::Get().cells_visited->Increment(visited);
+  IndexMetrics::Get().cells_skipped->Increment(skipped);
   for (int q : affected) {
     DetachQueryFromSubdomain(q);
   }
@@ -343,6 +393,9 @@ Status SubdomainIndex::OnObjectRemoved(int id) {
     std::vector<int> sig = ComputeSignature(aug_w_[static_cast<size_t>(q)]);
     AttachQueryToSubdomain(q, FindOrCreateSubdomain(std::move(sig)));
   }
+  maintenance_rerank_events_ += affected.size();
+  maintenance_affected_subdomains_ += affected_cells;
+  IndexMetrics::Get().num_subdomains->Set(num_occupied_);
   return Status::Ok();
 }
 

@@ -125,6 +125,19 @@ class SubdomainIndex {
   /// How many OnQueryAdded calls were resolved by the kNN shortcut.
   size_t knn_shortcut_hits() const { return knn_shortcut_hits_; }
 
+  /// Running total of query re-rank events across the On*() maintenance
+  /// hooks: each time a query's cached subdomain assignment had to be
+  /// recomputed (full re-rank or local signature patch) this advances by
+  /// one. IqEngine::ApplyStrategy diffs it to derive the ESE reuse ratio.
+  size_t maintenance_rerank_events() const {
+    return maintenance_rerank_events_;
+  }
+  /// Running total of distinct subdomains touched per maintenance hook call
+  /// (the "affected subspaces" of §4.3 update handling).
+  size_t maintenance_affected_subdomains() const {
+    return maintenance_affected_subdomains_;
+  }
+
  private:
   struct Subdomain {
     std::vector<int> signature;
@@ -160,6 +173,8 @@ class SubdomainIndex {
 
   double build_seconds_ = 0.0;
   size_t knn_shortcut_hits_ = 0;
+  size_t maintenance_rerank_events_ = 0;
+  size_t maintenance_affected_subdomains_ = 0;
 };
 
 }  // namespace iq

@@ -7,9 +7,21 @@
 #include <sstream>
 #include <string>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace iq {
+namespace {
+
+/// Nodes popped during pruned traversals (SearchIf) and best-first kNN —
+/// the paper-critical "R-tree nodes expanded" pruning-ratio counter.
+Counter* NodesExpandedCounter() {
+  static Counter* c =
+      MetricsRegistry::Global().GetCounter("iq.rtree.nodes_expanded");
+  return c;
+}
+
+}  // namespace
 
 struct RTree::Node {
   bool is_leaf = true;
@@ -309,12 +321,14 @@ void RTree::RangeSearch(const Mbr& box, const Visitor& visit) const {
 void RTree::SearchIf(const BoxPredicate& box_pred,
                      const PointPredicate& point_pred,
                      const Visitor& visit) const {
+  uint64_t expanded = 0;
   std::vector<const Node*> stack = {root_.get()};
   while (!stack.empty()) {
     const Node* n = stack.back();
     stack.pop_back();
     if (n->fanout() == 0) continue;
     if (!box_pred(n->mbr)) continue;
+    ++expanded;
     if (n->is_leaf) {
       for (const auto& e : n->entries) {
         if (point_pred(e.point)) visit(e.id, e.point);
@@ -323,6 +337,7 @@ void RTree::SearchIf(const BoxPredicate& box_pred,
       for (const auto& c : n->children) stack.push_back(c.get());
     }
   }
+  NodesExpandedCounter()->Increment(expanded);
 }
 
 std::vector<std::pair<int, double>> RTree::KNearest(const Vec& q,
@@ -339,6 +354,7 @@ std::vector<std::pair<int, double>> RTree::KNearest(const Vec& q,
   pq.push({root_->mbr.IsEmpty() ? 0.0 : root_->mbr.MinDistanceSquared(q),
            root_.get(), -1});
   std::vector<std::pair<int, double>> out;
+  uint64_t expanded = 0;
   while (!pq.empty() && static_cast<int>(out.size()) < k) {
     QueueEntry top = pq.top();
     pq.pop();
@@ -347,6 +363,7 @@ std::vector<std::pair<int, double>> RTree::KNearest(const Vec& q,
       continue;
     }
     const Node* n = top.node;
+    ++expanded;
     if (n->is_leaf) {
       for (const auto& e : n->entries) {
         pq.push({DistanceSquared(e.point, q), nullptr, e.id});
@@ -357,6 +374,7 @@ std::vector<std::pair<int, double>> RTree::KNearest(const Vec& q,
       }
     }
   }
+  NodesExpandedCounter()->Increment(expanded);
   return out;
 }
 

@@ -1,0 +1,161 @@
+#ifndef IQ_OBS_METRICS_H_
+#define IQ_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/annotations.h"
+#include "util/timer.h"
+
+namespace iq {
+
+/// Process-global metrics layer (zero dependencies beyond util). All hot-path
+/// mutation is a relaxed atomic increment on an object obtained once from the
+/// MetricsRegistry; registration takes a lock, recording never does.
+///
+/// Naming scheme (see DESIGN.md "Observability"):
+///   iq.<subsystem>.<name>    e.g. iq.ese.queries_reranked
+/// Subsystems in use: rtree, index, ese, search, engine, bench.
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (sizes, occupancy).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket base-2 exponential histogram for non-negative integer samples
+/// (latencies in nanoseconds, set sizes). Bucket 0 holds exactly {0}; bucket
+/// i >= 1 holds [2^(i-1), 2^i); the last bucket absorbs everything above.
+/// Recording is three relaxed atomic adds — safe and cheap from any thread.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 44;  // last finite bound 2^42 ns ~ 73 min
+
+  void Record(uint64_t v) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    buckets_[static_cast<size_t>(BucketIndex(v))].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(int i) const {
+    return buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+  void Reset();
+
+  static int BucketIndex(uint64_t v);
+  /// Smallest value belonging to bucket `i`.
+  static uint64_t BucketLowerBound(int i);
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+};
+
+/// Point-in-time copy of one histogram, with percentile estimation
+/// (interpolated inside the bucket the rank falls into).
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::vector<uint64_t> buckets;  // kNumBuckets entries
+
+  double Mean() const;
+  /// p in [0, 100]; 0 when empty.
+  double Percentile(double p) const;
+};
+
+/// Point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// 0 when the counter was never registered.
+  uint64_t CounterValue(const std::string& name) const;
+  /// nullptr when absent.
+  const HistogramSnapshot* FindHistogram(const std::string& name) const;
+
+  /// Aligned human-readable dump, one metric per line.
+  std::string ToText() const;
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} — counters
+  /// and gauges as flat name->value maps so shell tooling can grep them.
+  std::string ToJson() const;
+};
+
+/// Owner of all named metrics. Returned pointers are stable for the process
+/// lifetime; looking a name up twice yields the same object, so callers
+/// cache the pointer (typically in a function-local static) and increment
+/// lock-free afterwards.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name) IQ_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) IQ_EXCLUDES(mu_);
+  Histogram* GetHistogram(const std::string& name) IQ_EXCLUDES(mu_);
+
+  MetricsSnapshot Snapshot() const IQ_EXCLUDES(mu_);
+  /// Zeroes every registered metric (names stay registered).
+  void Reset() IQ_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      IQ_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ IQ_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      IQ_GUARDED_BY(mu_);
+};
+
+/// Records elapsed wall-clock nanoseconds into a Histogram on destruction.
+/// The canonical way to time a scope:
+///   ScopedTimer t(MetricsRegistry::Global().GetHistogram("iq.x.y_nanos"));
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist) : hist_(hist) {}
+  ~ScopedTimer() {
+    if (hist_ != nullptr) hist_->Record(timer_.ElapsedNanos());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Mid-scope reading, for callers that also want the raw value.
+  uint64_t ElapsedNanos() const { return timer_.ElapsedNanos(); }
+
+ private:
+  Histogram* hist_;
+  WallTimer timer_;
+};
+
+}  // namespace iq
+
+#endif  // IQ_OBS_METRICS_H_

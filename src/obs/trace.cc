@@ -1,0 +1,127 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace iq {
+
+uint64_t TraceNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+TraceCollector& TraceCollector::Global() {
+  // Leaked on purpose, like the metrics registry: thread_local buffer
+  // pointers must never dangle during late static destruction.
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+TraceCollector::ThreadBuffer* TraceCollector::BufferForThisThread() {
+  // One buffer per thread for the process lifetime. The collector is a
+  // process singleton, so a per-thread static is the right granularity.
+  thread_local ThreadBuffer* buffer = nullptr;
+  if (buffer == nullptr) {
+    auto owned = std::make_unique<ThreadBuffer>();
+    buffer = owned.get();
+    MutexLock lock(&mu_);
+    buffer->tid = next_tid_++;
+    buffers_.push_back(std::move(owned));
+  }
+  return buffer;
+}
+
+void TraceCollector::Record(const char* name, uint64_t start_ns,
+                            uint64_t dur_ns) {
+  ThreadBuffer* buf = BufferForThisThread();
+  MutexLock lock(&buf->mu);
+  if (buf->ring.size() < kRingCapacity) {
+    buf->ring.push_back(TraceEvent{name, start_ns, dur_ns});
+  } else {
+    buf->ring[buf->next % kRingCapacity] = TraceEvent{name, start_ns, dur_ns};
+  }
+  ++buf->next;
+}
+
+std::string TraceCollector::ToJson() const {
+  // Collect (event, tid) pairs under the per-buffer locks, then render
+  // sorted by start time so the JSON is stable and diff-friendly.
+  std::vector<std::pair<TraceEvent, int>> events;
+  {
+    MutexLock lock(&mu_);
+    for (const auto& buf : buffers_) {
+      MutexLock buf_lock(&buf->mu);
+      for (const TraceEvent& e : buf->ring) {
+        events.emplace_back(e, buf->tid);
+      }
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) {
+              return a.first.start_ns < b.first.start_ns;
+            });
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const auto& [e, tid] : events) {
+    out += StrFormat(
+        "%s\n  {\"name\": \"%s\", \"cat\": \"iq\", \"ph\": \"X\", "
+        "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %d}",
+        first ? "" : ",", e.name, static_cast<double>(e.start_ns) / 1e3,
+        static_cast<double>(e.dur_ns) / 1e3, tid);
+    first = false;
+  }
+  out += "\n], \"displayTimeUnit\": \"ns\"}\n";
+  return out;
+}
+
+Status TraceCollector::WriteJson(const std::string& path) const {
+  std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open trace file " + path);
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::Internal("short write to trace file " + path);
+  }
+  return Status::Ok();
+}
+
+void TraceCollector::Clear() {
+  MutexLock lock(&mu_);
+  for (const auto& buf : buffers_) {
+    MutexLock buf_lock(&buf->mu);
+    buf->ring.clear();
+    buf->next = 0;
+  }
+}
+
+size_t TraceCollector::EventCount() const {
+  MutexLock lock(&mu_);
+  size_t n = 0;
+  for (const auto& buf : buffers_) {
+    MutexLock buf_lock(&buf->mu);
+    n += buf->ring.size();
+  }
+  return n;
+}
+
+uint64_t TraceCollector::DroppedCount() const {
+  MutexLock lock(&mu_);
+  uint64_t dropped = 0;
+  for (const auto& buf : buffers_) {
+    MutexLock buf_lock(&buf->mu);
+    if (buf->next > buf->ring.size()) {
+      dropped += buf->next - buf->ring.size();
+    }
+  }
+  return dropped;
+}
+
+}  // namespace iq

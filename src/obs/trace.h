@@ -1,0 +1,129 @@
+#ifndef IQ_OBS_TRACE_H_
+#define IQ_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/annotations.h"
+#include "util/status.h"
+
+// Scoped tracing with Chrome-trace export. Usage on an instrumented path:
+//
+//   IQ_TRACE_SCOPE("SubdomainIndex::Build");
+//
+// Events land in a per-thread ring buffer and are flushed on demand with
+// TraceCollector::Global().WriteJson(path); the file loads directly in
+// chrome://tracing or https://ui.perfetto.dev.
+//
+// Two gates keep this off the hot path:
+//  * build time — configure with -DIQ_ENABLE_TRACING=OFF and the macro
+//    compiles to nothing (the default presets keep it ON);
+//  * run time — collection starts only after SetEnabled(true); a disabled
+//    scope costs a single relaxed atomic load.
+
+namespace iq {
+
+/// Monotonic clock for trace timestamps. Lives in src/obs/ (with
+/// util/timer.h, the only sanctioned direct steady_clock user — see
+/// tools/lint.sh).
+uint64_t TraceNowNanos();
+
+/// One completed scope. `name` must have static storage duration (the macro
+/// passes string literals); the collector stores the pointer, not a copy.
+struct TraceEvent {
+  const char* name = nullptr;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+};
+
+class TraceCollector {
+ public:
+  /// Events kept per thread; older events are overwritten once full.
+  static constexpr size_t kRingCapacity = 1 << 13;
+
+  static TraceCollector& Global();
+
+  void SetEnabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends a completed scope to the calling thread's ring buffer.
+  void Record(const char* name, uint64_t start_ns, uint64_t dur_ns);
+
+  /// All buffered events (every thread), in Chrome trace-event JSON.
+  std::string ToJson() const;
+  /// ToJson() written to `path`.
+  Status WriteJson(const std::string& path) const;
+
+  /// Drops all buffered events (buffers stay registered to their threads).
+  void Clear();
+
+  /// Buffered events across all threads (ring overwrites included), and how
+  /// many were overwritten — exposed so tests can assert ring semantics.
+  size_t EventCount() const;
+  uint64_t DroppedCount() const;
+
+ private:
+  struct ThreadBuffer {
+    /// Uncontended in steady state: only the owning thread records, and the
+    /// lock is shared with readers only while a flush is running.
+    Mutex mu;
+    int tid = 0;
+    std::vector<TraceEvent> ring IQ_GUARDED_BY(mu);
+    /// Events recorded since the last Clear(); next % kRingCapacity is the
+    /// overwrite cursor, next - ring.size() the number overwritten.
+    size_t next = 0;
+  };
+
+  TraceCollector() = default;
+
+  ThreadBuffer* BufferForThisThread();
+
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ IQ_GUARDED_BY(mu_);
+  int next_tid_ IQ_GUARDED_BY(mu_) = 1;
+  std::atomic<bool> enabled_{false};
+};
+
+/// RAII body of IQ_TRACE_SCOPE. The enabled check happens at construction;
+/// a scope that started while tracing was on is recorded even if tracing is
+/// switched off before it closes.
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name) {
+    if (TraceCollector::Global().enabled()) {
+      name_ = name;
+      start_ns_ = TraceNowNanos();
+    }
+  }
+  ~TraceScope() {
+    if (name_ != nullptr) {
+      TraceCollector::Global().Record(name_, start_ns_,
+                                      TraceNowNanos() - start_ns_);
+    }
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace iq
+
+#if defined(IQ_TRACING_ENABLED)
+#define IQ_TRACE_CONCAT2_(a, b) a##b
+#define IQ_TRACE_CONCAT_(a, b) IQ_TRACE_CONCAT2_(a, b)
+#define IQ_TRACE_SCOPE(name) \
+  ::iq::TraceScope IQ_TRACE_CONCAT_(iq_trace_scope_, __LINE__)(name)
+#else
+#define IQ_TRACE_SCOPE(name) static_cast<void>(0)
+#endif
+
+#endif  // IQ_OBS_TRACE_H_

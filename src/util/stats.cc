@@ -31,14 +31,18 @@ double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 double PercentileTracker::Percentile(double p) const {
   if (samples_.empty()) return 0.0;
-  std::sort(samples_.begin(), samples_.end());
-  if (p <= 0) return samples_.front();
-  if (p >= 100) return samples_.back();
+  if (p <= 0) return *std::min_element(samples_.begin(), samples_.end());
+  if (p >= 100) return *std::max_element(samples_.begin(), samples_.end());
   double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
   size_t lo = static_cast<size_t>(rank);
   double frac = rank - static_cast<double>(lo);
-  if (lo + 1 >= samples_.size()) return samples_.back();
-  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+  auto lo_it = samples_.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(samples_.begin(), lo_it, samples_.end());
+  double v_lo = *lo_it;
+  if (lo + 1 >= samples_.size() || frac == 0.0) return v_lo;
+  // The next order statistic is the minimum of the partition above lo_it.
+  double v_hi = *std::min_element(lo_it + 1, samples_.end());
+  return v_lo * (1.0 - frac) + v_hi * frac;
 }
 
 }  // namespace iq

@@ -30,10 +30,18 @@ class RunningStats {
 };
 
 /// Exact percentile over a retained sample set (used for reporting latency
-/// distributions in the bench harness; sizes there are small).
+/// distributions in the bench harness). Percentile() selects the two order
+/// statistics it needs with std::nth_element on the mutable sample vector —
+/// O(n) per call instead of a full sort.
 class PercentileTracker {
  public:
   void Add(double x) { samples_.push_back(x); }
+
+  /// Absorbs another tracker's samples (combining per-thread trackers).
+  void Merge(const PercentileTracker& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
 
   /// p in [0, 100]. Returns 0 when empty. Linear interpolation between ranks.
   double Percentile(double p) const;

@@ -2,10 +2,13 @@
 #define IQ_UTIL_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace iq {
 
-/// Monotonic wall-clock stopwatch used by the benchmark harness.
+/// Monotonic wall-clock stopwatch used by the benchmark harness and the
+/// observability layer. This header (plus src/obs/) is the only sanctioned
+/// direct user of std::chrono::steady_clock — tools/lint.sh enforces it.
 class WallTimer {
  public:
   WallTimer() { Restart(); }
@@ -19,6 +22,14 @@ class WallTimer {
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
   double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+  /// Integer nanoseconds — the unit the obs::Histogram latency metrics use.
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

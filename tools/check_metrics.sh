@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Sanity-checks a metrics snapshot JSON (as written by
+# `micro_ese --metrics-json=...` or the figure runners' --json= report):
+# the paper-critical counters must exist and be non-zero, otherwise the
+# instrumentation has silently rotted.
+#
+#   tools/check_metrics.sh path/to/metrics.json
+set -u
+
+if [ $# -ne 1 ] || [ ! -f "$1" ]; then
+  echo "usage: $0 metrics.json" >&2
+  exit 2
+fi
+json="$1"
+failures=0
+
+# Counters that any ESE-evaluating run must advance.
+required_counters='
+iq.ese.queries_reranked
+iq.rtree.nodes_expanded
+iq.index.full_reranks
+'
+
+for name in $required_counters; do
+  # The snapshot emits flat `"name": value` pairs; grep is enough.
+  value="$(grep -oE "\"${name}\": [0-9]+" "$json" | grep -oE '[0-9]+$' || true)"
+  if [ -z "$value" ]; then
+    echo "check_metrics: $name missing from $json" >&2
+    failures=$((failures + 1))
+  elif [ "$value" -eq 0 ]; then
+    echo "check_metrics: $name is zero — instrumentation not firing" >&2
+    failures=$((failures + 1))
+  else
+    echo "check_metrics: $name = $value"
+  fi
+done
+
+# The wedge path must have recorded reuse whenever it ran at all.
+wedge="$(grep -oE '"iq.ese.wedge_evaluations": [0-9]+' "$json" \
+         | grep -oE '[0-9]+$' || true)"
+if [ -n "$wedge" ] && [ "$wedge" -gt 0 ]; then
+  reused="$(grep -oE '"iq.ese.queries_reused": [0-9]+' "$json" \
+            | grep -oE '[0-9]+$' || true)"
+  if [ -z "$reused" ] || [ "$reused" -eq 0 ]; then
+    echo "check_metrics: wedge evaluations ran but iq.ese.queries_reused" \
+         "is zero — ESE reuse accounting broken" >&2
+    failures=$((failures + 1))
+  else
+    echo "check_metrics: iq.ese.queries_reused = $reused"
+  fi
+fi
+
+if [ "$failures" -gt 0 ]; then
+  echo "check_metrics: FAILED ($failures problem(s))" >&2
+  exit 1
+fi
+echo "check_metrics: OK"

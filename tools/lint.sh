@@ -49,6 +49,18 @@ if [ -n "$hits" ]; then
   printf '%s\n' "$hits" >&2
 fi
 
+# All timing must flow through util/timer.h (WallTimer) or the observability
+# layer (src/obs/) so latency metrics stay consistent and mockable; raw
+# std::chrono clock reads anywhere else are banned.
+banned_clocks='std::chrono::steady_clock::now|std::chrono::high_resolution_clock|std::chrono::system_clock::now'
+clock_hits="$(grep -rnE "$banned_clocks" src bench examples tests \
+        --include='*.cc' --include='*.cpp' --include='*.h' \
+        | grep -vE '^src/util/timer\.h|^src/obs/' || true)"
+if [ -n "$clock_hits" ]; then
+  fail "raw std::chrono clock use (time through util/timer.h or src/obs/):"
+  printf '%s\n' "$clock_hits" >&2
+fi
+
 # ------------------------------------------------------------ clang-tidy --
 if [ "$run_tidy" -eq 1 ]; then
   if command -v clang-tidy >/dev/null 2>&1; then
