@@ -1,0 +1,231 @@
+// Scaling micro-benchmark for the parallel execution layer (DESIGN.md §8).
+//
+// Measures the three pooled hot paths — subdomain-index build, greedy
+// Max-Hit search (parallel candidate generation + ESE evaluation) and
+// IqEngine::SolveBatch — at num_threads in {0 (serial fallback), 1, 2, 4, 8}
+// and reports wall time plus speedup relative to the serial path. Plain
+// main (not google-benchmark): the unit of interest is one whole build /
+// search / batch, and the table must juxtapose thread counts.
+//
+// Flags:
+//   --n=, --m=         workload size (default 4000 objects, 800 queries)
+//   --reps=            repetitions per cell, best-of (default 3)
+//   --json=PATH        machine-readable report: per-path per-thread-count
+//                      seconds + speedups, plus the full iq.* metrics
+//                      snapshot (CI greps it for the pool counters)
+//
+// Note on expectations: speedup > 1 needs real cores. On a single-core
+// machine the pooled paths measure the (small) coordination overhead
+// instead; the table is still useful as a regression canary for that
+// overhead, which is why the serial fallback is the baseline.
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common/harness.h"
+#include "obs/metrics.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace iq {
+namespace bench {
+namespace {
+
+constexpr int kThreadCounts[] = {0, 1, 2, 4, 8};
+
+struct Cell {
+  int num_threads = 0;
+  double seconds = 0.0;
+  double speedup = 1.0;  // serial seconds / this cell's seconds
+};
+
+struct PathResult {
+  std::string path;
+  std::vector<Cell> cells;
+};
+
+double BestOf(int reps, const std::function<void()>& fn) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer timer;
+    fn();
+    double s = timer.ElapsedSeconds();
+    if (r == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+void FillSpeedups(PathResult* result) {
+  const double serial = result->cells.front().seconds;
+  for (Cell& cell : result->cells) {
+    cell.speedup = cell.seconds > 0.0 ? serial / cell.seconds : 0.0;
+  }
+}
+
+PathResult BenchIndexBuild(const Workload& w, int reps) {
+  PathResult result{"index_build", {}};
+  for (int num_threads : kThreadCounts) {
+    std::unique_ptr<ThreadPool> pool;
+    if (num_threads > 0) pool = std::make_unique<ThreadPool>(num_threads);
+    SubdomainIndexOptions options;
+    options.pool = pool.get();
+    double seconds = BestOf(reps, [&] {
+      auto index =
+          SubdomainIndex::Build(w.view.get(), w.queries.get(), options);
+      IQ_CHECK(index.ok());
+    });
+    result.cells.push_back({num_threads, seconds, 1.0});
+  }
+  FillSpeedups(&result);
+  return result;
+}
+
+PathResult BenchGreedyMaxHit(const Workload& w, int reps) {
+  // Fixed targets + fixed budget: every thread count runs the identical
+  // search (the determinism contract makes the work content equal too).
+  PathResult result{"greedy_max_hit", {}};
+  const int num_targets = 8;
+  for (int num_threads : kThreadCounts) {
+    std::unique_ptr<ThreadPool> pool;
+    if (num_threads > 0) pool = std::make_unique<ThreadPool>(num_threads);
+    IqOptions options;
+    options.pool = pool.get();
+    double seconds = BestOf(reps, [&] {
+      for (int t = 0; t < num_targets; ++t) {
+        auto ctx = IqContext::FromIndex(w.index.get(), t);
+        IQ_CHECK(ctx.ok());
+        EseEvaluator ese(w.index.get(), t);
+        auto r = MaxHitIq(*ctx, &ese, 0.25, options);
+        IQ_CHECK(r.ok());
+      }
+    });
+    result.cells.push_back({num_threads, seconds, 1.0});
+  }
+  FillSpeedups(&result);
+  return result;
+}
+
+PathResult BenchSolveBatch(int n, int m, int reps) {
+  PathResult result{"solve_batch", {}};
+  std::vector<BatchItem> items;
+  for (int t = 0; t < n; t += std::max(1, n / 32)) {
+    BatchItem item;
+    item.kind =
+        t % 2 == 0 ? BatchItem::Kind::kMinCost : BatchItem::Kind::kMaxHit;
+    item.target = t;
+    item.tau = 1 + t % 8;
+    item.beta = 0.2;
+    items.push_back(item);
+  }
+  for (int num_threads : kThreadCounts) {
+    Dataset data = MakeIndependent(n, PaperParams::kDim, 42);
+    QueryGenOptions qopts;
+    qopts.k_max = 50;
+    EngineOptions eopts;
+    eopts.num_threads = num_threads;
+    auto engine =
+        IqEngine::Create(std::move(data), LinearForm::Identity(PaperParams::kDim),
+                         MakeQueries(m, PaperParams::kDim, 43, qopts), eopts);
+    IQ_CHECK(engine.ok());
+    double seconds = BestOf(reps, [&] {
+      auto batch = engine->SolveBatch(items);
+      IQ_CHECK(batch.ok());
+    });
+    result.cells.push_back({num_threads, seconds, 1.0});
+  }
+  FillSpeedups(&result);
+  return result;
+}
+
+void PrintTable(const std::vector<PathResult>& paths) {
+  TablePrinter table({"path", "threads", "seconds", "speedup"});
+  for (const PathResult& p : paths) {
+    for (const Cell& c : p.cells) {
+      table.AddRow({p.path,
+                    c.num_threads == 0 ? "serial" : FmtInt(c.num_threads),
+                    FmtDouble(c.seconds * 1e3, 3) + " ms",
+                    FmtDouble(c.speedup, 2) + "x"});
+    }
+  }
+  table.Print();
+}
+
+Status WriteJson(const std::string& path,
+                 const std::vector<PathResult>& paths) {
+  std::string json = "{\"bench\":\"micro_parallel\",\"paths\":[";
+  for (size_t i = 0; i < paths.size(); ++i) {
+    if (i > 0) json += ",";
+    json += "{\"path\":\"" + paths[i].path + "\",\"cells\":[";
+    for (size_t j = 0; j < paths[i].cells.size(); ++j) {
+      const Cell& c = paths[i].cells[j];
+      if (j > 0) json += ",";
+      json += "{\"threads\":" + std::to_string(c.num_threads) +
+              ",\"seconds\":" + FmtDouble(c.seconds, 6) +
+              ",\"speedup\":" + FmtDouble(c.speedup, 4) + "}";
+    }
+    json += "]}";
+  }
+  json += "],\"metrics\":" + MetricsRegistry::Global().Snapshot().ToJson() +
+          "}";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path);
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "json report written to %s\n", path.c_str());
+  return Status::Ok();
+}
+
+int Main(int argc, char** argv) {
+  int n = 4000, m = 800, reps = 3;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto intval = [&arg](const char* prefix, int* out) {
+      std::string p(prefix);
+      if (arg.rfind(p, 0) == 0) {
+        *out = std::stoi(arg.substr(p.size()));
+        return true;
+      }
+      return false;
+    };
+    if (intval("--n=", &n) || intval("--m=", &m) || intval("--reps=", &reps)) {
+      continue;
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+      continue;
+    }
+    std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+    return 1;
+  }
+
+  std::printf("micro_parallel: n=%d m=%d reps=%d (best-of)\n", n, m, reps);
+  Workload w = MakeLinearWorkload(SyntheticKind::kIndependent, n, m,
+                                  PaperParams::kDim, 42);
+  std::vector<PathResult> paths;
+  paths.push_back(BenchIndexBuild(w, reps));
+  paths.push_back(BenchGreedyMaxHit(w, reps));
+  paths.push_back(BenchSolveBatch(n / 4, m / 4, reps));
+  PrintTable(paths);
+
+  if (!json_path.empty()) {
+    Status s = WriteJson(json_path, paths);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace iq
+
+int main(int argc, char** argv) { return iq::bench::Main(argc, argv); }

@@ -1,6 +1,8 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
 
 #include "core/self_check.h"
 #include "obs/trace.h"
@@ -15,6 +17,8 @@ struct EngineMetrics {
   Histogram* min_cost_nanos;        // end-to-end MinCost() latency
   Histogram* max_hit_nanos;         // end-to-end MaxHit() latency
   Histogram* apply_strategy_nanos;  // end-to-end ApplyStrategy() latency
+  Histogram* solve_batch_nanos;     // end-to-end SolveBatch() latency
+  Counter* batch_items;             // improvement queries solved via batches
   Counter* queries_reranked;        // maintenance re-ranks during Apply
   Counter* queries_reused;          // cached assignments kept during Apply
   Counter* affected_subspaces;      // subdomains touched during Apply
@@ -27,6 +31,8 @@ struct EngineMetrics {
       em.max_hit_nanos = reg.GetHistogram("iq.engine.max_hit_nanos");
       em.apply_strategy_nanos =
           reg.GetHistogram("iq.engine.apply_strategy_nanos");
+      em.solve_batch_nanos = reg.GetHistogram("iq.engine.solve_batch_nanos");
+      em.batch_items = reg.GetCounter("iq.engine.batch_items");
       em.queries_reranked = reg.GetCounter("iq.engine.apply.queries_reranked");
       em.queries_reused = reg.GetCounter("iq.engine.apply.queries_reused");
       em.affected_subspaces =
@@ -36,6 +42,47 @@ struct EngineMetrics {
     return m;
   }
 };
+
+/// Solves one improvement query against a read-only (index, view, queries)
+/// snapshot. Shared by the single-target MinCost/MaxHit entry points and the
+/// SolveBatch workers; takes raw pointers so pool workers can run it without
+/// holding the engine mutex (the dispatching call holds it for them).
+Result<IqResult> SolveOne(const SubdomainIndex* index,
+                          const FunctionView* view, const QuerySet* queries,
+                          const BatchItem& item, IqScheme scheme) {
+  IQ_ASSIGN_OR_RETURN(IqContext ctx,
+                      IqContext::FromIndex(index, item.target));
+  const bool min_cost = item.kind == BatchItem::Kind::kMinCost;
+  switch (scheme) {
+    case IqScheme::kEfficient: {
+      EseEvaluator ese(index, item.target);
+      return min_cost ? MinCostIq(ctx, &ese, item.tau, item.options)
+                      : MaxHitIq(ctx, &ese, item.beta, item.options);
+    }
+    case IqScheme::kRta: {
+      RtaStrategyEvaluator rta(view, queries, item.target);
+      return min_cost ? MinCostIq(ctx, &rta, item.tau, item.options)
+                      : MaxHitIq(ctx, &rta, item.beta, item.options);
+    }
+    case IqScheme::kGreedy: {
+      EseEvaluator ese(index, item.target);
+      return min_cost ? GreedyMinCost(ctx, &ese, item.tau, item.options)
+                      : GreedyMaxHit(ctx, &ese, item.beta, item.options);
+    }
+    case IqScheme::kRandom: {
+      EseEvaluator ese(index, item.target);
+      return min_cost ? RandomMinCost(ctx, &ese, item.tau, item.options)
+                      : RandomMaxHit(ctx, &ese, item.beta, item.options);
+    }
+    case IqScheme::kExhaustive: {
+      ExhaustiveOptions ex;
+      ex.iq = item.options;
+      return min_cost ? ExhaustiveMinCost(ctx, item.tau, ex)
+                      : ExhaustiveMaxHit(ctx, item.beta, ex);
+    }
+  }
+  return Status::InvalidArgument("unknown scheme");
+}
 
 }  // namespace
 
@@ -58,6 +105,9 @@ const char* IqSchemeName(IqScheme scheme) {
 Result<IqEngine> IqEngine::Create(Dataset dataset, LinearForm form,
                                   std::vector<TopKQuery> queries,
                                   EngineOptions options) {
+  if (options.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0");
+  }
   auto dataset_ptr = std::make_unique<Dataset>(std::move(dataset));
   auto queries_ptr = std::make_unique<QuerySet>(form.num_weights());
   for (TopKQuery& q : queries) {
@@ -66,28 +116,48 @@ Result<IqEngine> IqEngine::Create(Dataset dataset, LinearForm form,
   }
   auto view_ptr =
       std::make_unique<FunctionView>(dataset_ptr.get(), std::move(form));
+  std::unique_ptr<ThreadPool> pool;
+  if (options.num_threads > 0) {
+    pool = std::make_unique<ThreadPool>(options.num_threads);
+  }
+  options.index.pool = pool.get();
   IQ_ASSIGN_OR_RETURN(
       SubdomainIndex index,
       SubdomainIndex::Build(view_ptr.get(), queries_ptr.get(),
                             options.index));
   return IqEngine(std::move(dataset_ptr), std::move(queries_ptr),
                   std::move(view_ptr),
-                  std::make_unique<SubdomainIndex>(std::move(index)));
+                  std::make_unique<SubdomainIndex>(std::move(index)),
+                  std::move(pool));
 }
 
-IqEngine::IqEngine(IqEngine&& other) noexcept
-    : dataset_(std::move(other.dataset_)),
-      queries_(std::move(other.queries_)),
-      view_(std::move(other.view_)),
-      index_(std::move(other.index_)),
-      apply_ticket_(other.apply_ticket_) {}
+IqEngine::IqEngine(IqEngine&& other) noexcept {
+  // Lock the source: a move racing a reader on `other` must wait for that
+  // reader instead of tearing its state out from under it. (Destroying a
+  // locked-by-others engine is still the caller's bug, as with any object.)
+  MutexLock lock(&other.mu_);
+  dataset_ = std::move(other.dataset_);
+  queries_ = std::move(other.queries_);
+  view_ = std::move(other.view_);
+  index_ = std::move(other.index_);
+  pool_ = std::move(other.pool_);
+  apply_ticket_ = other.apply_ticket_;
+}
 
 IqEngine& IqEngine::operator=(IqEngine&& other) noexcept {
   if (this != &other) {
+    // Both engines' state moves; take both locks in address order so two
+    // threads cross-assigning cannot deadlock.
+    Mutex* first = &mu_;
+    Mutex* second = &other.mu_;
+    if (second < first) std::swap(first, second);
+    MutexLock lock_first(first);
+    MutexLock lock_second(second);
     dataset_ = std::move(other.dataset_);
     queries_ = std::move(other.queries_);
     view_ = std::move(other.view_);
     index_ = std::move(other.index_);
+    pool_ = std::move(other.pool_);
     apply_ticket_ = other.apply_ticket_;
   }
   return *this;
@@ -190,31 +260,15 @@ Result<IqResult> IqEngine::MinCost(int target, int tau,
   IQ_TRACE_SCOPE("IqEngine::MinCost");
   ScopedTimer latency(EngineMetrics::Get().min_cost_nanos);
   MutexLock lock(&mu_);
-  IQ_ASSIGN_OR_RETURN(IqContext ctx, IqContext::FromIndex(index_.get(), target));
-  switch (scheme) {
-    case IqScheme::kEfficient: {
-      EseEvaluator ese(index_.get(), target);
-      return MinCostIq(ctx, &ese, tau, options);
-    }
-    case IqScheme::kRta: {
-      RtaStrategyEvaluator rta(view_.get(), queries_.get(), target);
-      return MinCostIq(ctx, &rta, tau, options);
-    }
-    case IqScheme::kGreedy: {
-      EseEvaluator ese(index_.get(), target);
-      return GreedyMinCost(ctx, &ese, tau, options);
-    }
-    case IqScheme::kRandom: {
-      EseEvaluator ese(index_.get(), target);
-      return RandomMinCost(ctx, &ese, tau, options);
-    }
-    case IqScheme::kExhaustive: {
-      ExhaustiveOptions ex;
-      ex.iq = options;
-      return ExhaustiveMinCost(ctx, tau, ex);
-    }
-  }
-  return Status::InvalidArgument("unknown scheme");
+  BatchItem item;
+  item.kind = BatchItem::Kind::kMinCost;
+  item.target = target;
+  item.tau = tau;
+  item.options = options;
+  // Single-target calls parallelize *inside* the search (candidate
+  // generation + ESE evaluation); see SolveBatch for across-target fan-out.
+  item.options.pool = pool_.get();
+  return SolveOne(index_.get(), view_.get(), queries_.get(), item, scheme);
 }
 
 Result<IqResult> IqEngine::MaxHit(int target, double beta,
@@ -222,31 +276,50 @@ Result<IqResult> IqEngine::MaxHit(int target, double beta,
   IQ_TRACE_SCOPE("IqEngine::MaxHit");
   ScopedTimer latency(EngineMetrics::Get().max_hit_nanos);
   MutexLock lock(&mu_);
-  IQ_ASSIGN_OR_RETURN(IqContext ctx, IqContext::FromIndex(index_.get(), target));
-  switch (scheme) {
-    case IqScheme::kEfficient: {
-      EseEvaluator ese(index_.get(), target);
-      return MaxHitIq(ctx, &ese, beta, options);
-    }
-    case IqScheme::kRta: {
-      RtaStrategyEvaluator rta(view_.get(), queries_.get(), target);
-      return MaxHitIq(ctx, &rta, beta, options);
-    }
-    case IqScheme::kGreedy: {
-      EseEvaluator ese(index_.get(), target);
-      return GreedyMaxHit(ctx, &ese, beta, options);
-    }
-    case IqScheme::kRandom: {
-      EseEvaluator ese(index_.get(), target);
-      return RandomMaxHit(ctx, &ese, beta, options);
-    }
-    case IqScheme::kExhaustive: {
-      ExhaustiveOptions ex;
-      ex.iq = options;
-      return ExhaustiveMaxHit(ctx, beta, ex);
-    }
+  BatchItem item;
+  item.kind = BatchItem::Kind::kMaxHit;
+  item.target = target;
+  item.beta = beta;
+  item.options = options;
+  item.options.pool = pool_.get();
+  return SolveOne(index_.get(), view_.get(), queries_.get(), item, scheme);
+}
+
+Result<std::vector<IqResult>> IqEngine::SolveBatch(
+    const std::vector<BatchItem>& items, IqScheme scheme) {
+  IQ_TRACE_SCOPE("IqEngine::SolveBatch");
+  ScopedTimer latency(EngineMetrics::Get().solve_batch_nanos);
+  MutexLock lock(&mu_);
+  // Raw read-only snapshot for the workers. Holding mu_ across the whole
+  // parallel region keeps every mutator (AddObject, ApplyStrategy, ...)
+  // blocked out, so the workers' lock-free reads cannot race a write.
+  const SubdomainIndex* index = index_.get();
+  const FunctionView* view = view_.get();
+  const QuerySet* queries = queries_.get();
+  std::vector<std::optional<Result<IqResult>>> slots(items.size());
+  ParallelForOrSerial(
+      pool_.get(), static_cast<int64_t>(items.size()),
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          BatchItem item = items[static_cast<size_t>(i)];
+          // Items are the parallel unit; their inner candidate loops run
+          // serially (a nested ParallelFor would run inline anyway, this
+          // just makes the contract explicit and thread-count-independent).
+          item.options.pool = nullptr;
+          slots[static_cast<size_t>(i)] =
+              SolveOne(index, view, queries, item, scheme);
+        }
+      });
+  EngineMetrics::Get().batch_items->Increment(
+      static_cast<uint64_t>(items.size()));
+  // Deterministic error policy: the lowest-index failure wins.
+  std::vector<IqResult> out;
+  out.reserve(items.size());
+  for (auto& slot : slots) {
+    if (!slot->ok()) return slot->status();
+    out.push_back(*std::move(*slot));
   }
-  return Status::InvalidArgument("unknown scheme");
+  return out;
 }
 
 Result<MultiIqResult> IqEngine::MultiMinCost(

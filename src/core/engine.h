@@ -12,6 +12,7 @@
 #include "obs/metrics.h"
 #include "topk/topk.h"
 #include "util/annotations.h"
+#include "util/thread_pool.h"
 
 namespace iq {
 
@@ -29,6 +30,30 @@ const char* IqSchemeName(IqScheme scheme);
 
 struct EngineOptions {
   SubdomainIndexOptions index;
+  /// Worker threads for the parallel execution layer (DESIGN.md §8): the
+  /// subdomain-index build/maintenance ranking, greedy candidate
+  /// generation + ESE evaluation, and SolveBatch all fan out over an
+  /// engine-owned pool of this many threads. 0 (the default) creates no
+  /// pool and preserves the fully serial code path; any value >= 1 routes
+  /// through the pool with results bit-identical to serial (deterministic
+  /// reduction — see tests/parallel_diff_test.cc).
+  int num_threads = 0;
+};
+
+/// One unit of work for IqEngine::SolveBatch: a Min-Cost or Max-Hit
+/// improvement query against one target object.
+struct BatchItem {
+  enum class Kind { kMinCost, kMaxHit };
+  Kind kind = Kind::kMinCost;
+  int target = -1;
+  /// Min-Cost goal (ignored by kMaxHit).
+  int tau = 1;
+  /// Max-Hit budget (ignored by kMinCost).
+  double beta = 0.0;
+  /// Per-item options. BatchItem solves always run their *inner* candidate
+  /// loops serially (items are the parallel unit); any pool set here is
+  /// ignored.
+  IqOptions options;
 };
 
 /// The analytic tool's core facade (§6.1): owns the dataset, the query
@@ -52,6 +77,11 @@ class IqEngine {
                                  std::vector<TopKQuery> queries,
                                  EngineOptions options = {});
 
+  /// Moves lock `other.mu_` (and, for assignment, both mutexes in address
+  /// order) for the duration of the member transfer, so a move racing a
+  /// concurrent reader on `other` is a blocked wait instead of a torn read.
+  /// The annotations can't express locking a *parameter's* mutex, hence the
+  /// IQ_NO_THREAD_SAFETY_ANALYSIS escape hatch.
   IqEngine(IqEngine&& other) noexcept IQ_NO_THREAD_SAFETY_ANALYSIS;
   IqEngine& operator=(IqEngine&& other) noexcept
       IQ_NO_THREAD_SAFETY_ANALYSIS;
@@ -118,6 +148,22 @@ class IqEngine {
                                     const std::vector<IqOptions>& options)
       IQ_EXCLUDES(mu_);
 
+  /// Solves many independent improvement queries over the shared read-only
+  /// index, fanning the items out over the engine pool
+  /// (EngineOptions::num_threads; serial when 0). The engine mutex is held
+  /// for the whole batch, so updates serialize against it exactly like a
+  /// single MinCost/MaxHit call; worker threads only read the index.
+  /// Results come back in item order. Determinism contract: equal inputs
+  /// yield byte-identical results for every num_threads value, and the
+  /// first (lowest-index) failing item's error is returned — see
+  /// tests/parallel_diff_test.cc.
+  Result<std::vector<IqResult>> SolveBatch(
+      const std::vector<BatchItem>& items,
+      IqScheme scheme = IqScheme::kEfficient) IQ_EXCLUDES(mu_);
+
+  /// The engine's worker pool; nullptr when num_threads was 0.
+  ThreadPool* pool() const { return pool_.get(); }
+
   // ---- Live maintenance (§4.3) ----
   Result<int> AddQuery(TopKQuery q) IQ_EXCLUDES(mu_);
   Status RemoveQuery(int q) IQ_EXCLUDES(mu_);
@@ -147,11 +193,13 @@ class IqEngine {
  private:
   IqEngine(std::unique_ptr<Dataset> dataset, std::unique_ptr<QuerySet> queries,
            std::unique_ptr<FunctionView> view,
-           std::unique_ptr<SubdomainIndex> index)
+           std::unique_ptr<SubdomainIndex> index,
+           std::unique_ptr<ThreadPool> pool)
       : dataset_(std::move(dataset)),
         queries_(std::move(queries)),
         view_(std::move(view)),
-        index_(std::move(index)) {}
+        index_(std::move(index)),
+        pool_(std::move(pool)) {}
 
   std::vector<int> HitSetLocked(int object) const IQ_REQUIRES(mu_);
   Result<int> RankUnderQueryLocked(int object, int q) const IQ_REQUIRES(mu_);
@@ -165,6 +213,11 @@ class IqEngine {
   std::unique_ptr<QuerySet> queries_ IQ_GUARDED_BY(mu_);
   std::unique_ptr<FunctionView> view_ IQ_GUARDED_BY(mu_);
   std::unique_ptr<SubdomainIndex> index_ IQ_GUARDED_BY(mu_);
+  /// Worker pool (DESIGN.md §8). Not guarded: set once at Create, then
+  /// immutable; the pool object is internally synchronized. Workers never
+  /// take mu_ — the dispatching engine call already holds it for the whole
+  /// parallel region.
+  std::unique_ptr<ThreadPool> pool_;
   /// Round-robin ticket for the Debug-mode sampled-subdomain cross-check.
   uint64_t apply_ticket_ IQ_GUARDED_BY(mu_) = 0;
 };

@@ -1,6 +1,7 @@
 #ifndef IQ_CORE_EVALUATOR_H_
 #define IQ_CORE_EVALUATOR_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -29,23 +30,36 @@ class StrategyEvaluator {
 
   virtual const char* name() const = 0;
 
+  /// True when HitsForCoeffs may be called from several threads at once
+  /// (the implementation only reads shared state and keeps its accounting
+  /// in the atomic counters below). The parallel candidate-evaluation path
+  /// checks this and falls back to a serial loop otherwise.
+  virtual bool SupportsConcurrentEval() const { return false; }
+
   /// Number of HitsForCoeffs calls so far (experiment bookkeeping).
-  size_t calls() const { return calls_; }
+  size_t calls() const { return calls_.load(std::memory_order_relaxed); }
 
   /// Queries whose hit state was recomputed (scored against the improved
   /// coefficients) across all evaluations so far. For the scan paths this is
   /// every active query per call; the wedge path recomputes only the
   /// affected subspaces.
-  size_t queries_rescored() const { return queries_rescored_; }
+  size_t queries_rescored() const {
+    return queries_rescored_.load(std::memory_order_relaxed);
+  }
   /// Queries whose cached hit state was reused without rescoring. Invariant:
   /// queries_rescored + queries_reused advances by |active queries| per
   /// evaluation.
-  size_t queries_reused() const { return queries_reused_; }
+  size_t queries_reused() const {
+    return queries_reused_.load(std::memory_order_relaxed);
+  }
 
  protected:
-  size_t calls_ = 0;
-  size_t queries_rescored_ = 0;
-  size_t queries_reused_ = 0;
+  // Atomic so thread-safe subclasses (SupportsConcurrentEval() == true) can
+  // be driven concurrently by ThreadPool::ParallelFor without racing the
+  // bookkeeping; single-threaded evaluators pay one uncontended add.
+  std::atomic<size_t> calls_{0};
+  std::atomic<size_t> queries_rescored_{0};
+  std::atomic<size_t> queries_reused_{0};
 };
 
 /// Efficient Strategy Evaluation (Algorithm 2). The subdomain index already
@@ -62,6 +76,8 @@ class EseEvaluator : public StrategyEvaluator {
   int HitsForCoeffs(const Vec& c) override;
   int base_hits() const override { return base_hits_; }
   const char* name() const override { return "Efficient-IQ"; }
+  /// Pure reads over the index's cached thresholds; safe to share.
+  bool SupportsConcurrentEval() const override { return true; }
 
   int target() const { return target_; }
   /// Cached per-query hit thresholds (NaN on inactive slots).
@@ -96,6 +112,8 @@ class BruteForceEvaluator : public StrategyEvaluator {
   int HitsForCoeffs(const Vec& c) override;
   int base_hits() const override { return base_hits_; }
   const char* name() const override { return "BruteForce"; }
+  /// Stateless full scans (KthBestScore is a pure function); safe to share.
+  bool SupportsConcurrentEval() const override { return true; }
 
  private:
   const FunctionView* view_;

@@ -9,6 +9,7 @@
 #include "topk/topk.h"
 #include "util/check.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace iq {
@@ -55,6 +56,8 @@ struct SearchMetrics {
   Counter* iterations;            // greedy iterations across all IQ calls
   Counter* candidates_generated;  // cost-solver solutions produced
   Counter* candidates_evaluated;  // candidates whose H was computed
+  Counter* parallel_solve_batches;  // candidate-solver rounds run on a pool
+  Counter* parallel_eval_batches;   // H-evaluation rounds run on a pool
   Histogram* solver_nanos;        // per-iteration candidate-solver time
   Histogram* eval_nanos;          // per-iteration H-evaluation time
 
@@ -67,6 +70,10 @@ struct SearchMetrics {
           reg.GetCounter("iq.search.candidates_generated");
       sm.candidates_evaluated =
           reg.GetCounter("iq.search.candidates_evaluated");
+      sm.parallel_solve_batches =
+          reg.GetCounter("iq.search.parallel_solve_batches");
+      sm.parallel_eval_batches =
+          reg.GetCounter("iq.search.parallel_eval_batches");
       sm.solver_nanos = reg.GetHistogram("iq.search.solver_nanos");
       sm.eval_nanos = reg.GetHistogram("iq.search.eval_nanos");
       return sm;
@@ -206,6 +213,14 @@ namespace {
 
 /// Generates and evaluates all candidates for the current iteration.
 /// Returns candidates sorted by ascending cost-per-hit ratio.
+///
+/// Parallel execution (DESIGN.md §8): when options.pool is set, the
+/// per-query candidate solves — and, for thread-safe evaluators, the
+/// per-candidate H evaluations — fan out over the pool. Each unit writes
+/// into its own pre-assigned slot and the slots are compacted in query-id
+/// order afterwards, so the returned vector is bit-identical to the serial
+/// path for every thread count (the deterministic reduction the
+/// differential tests pin down).
 std::vector<Candidate> BuildCandidates(const IqContext& ctx,
                                        StrategyEvaluator* evaluator,
                                        const Vec& p_cur, const Vec& s_total,
@@ -217,16 +232,34 @@ std::vector<Candidate> BuildCandidates(const IqContext& ctx,
   std::vector<Candidate> out;
   const QuerySet& queries = ctx.queries();
   WallTimer solver_timer;
+  // Queries still worth hitting, in ascending id order (the slot order the
+  // deterministic compaction below preserves).
+  std::vector<int> pending;
   for (int q = 0; q < queries.size(); ++q) {
     if (!queries.is_active(q)) continue;
     if (ctx.HitBy(q, c_cur)) continue;  // already hit
-    auto sol = ctx.SolveCandidate(q, p_cur, s_total, options);
-    if (!sol.ok()) continue;
-    Candidate cand;
-    cand.q = q;
-    cand.step = std::move(sol->s);
-    cand.step_cost = sol->cost;
-    out.push_back(std::move(cand));
+    pending.push_back(q);
+  }
+  std::vector<Candidate> slots(pending.size());
+  if (options.pool != nullptr && pending.size() > 1) {
+    SearchMetrics::Get().parallel_solve_batches->Increment();
+  }
+  ParallelForOrSerial(
+      options.pool, static_cast<int64_t>(pending.size()),
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          const int q = pending[static_cast<size_t>(i)];
+          auto sol = ctx.SolveCandidate(q, p_cur, s_total, options);
+          if (!sol.ok()) continue;  // slot stays q == -1
+          Candidate& cand = slots[static_cast<size_t>(i)];
+          cand.q = q;
+          cand.step = std::move(sol->s);
+          cand.step_cost = sol->cost;
+        }
+      });
+  out.reserve(slots.size());
+  for (Candidate& cand : slots) {
+    if (cand.q >= 0) out.push_back(std::move(cand));
   }
   bd->solver_seconds += solver_timer.ElapsedSeconds();
   bd->candidates_generated += out.size();
@@ -259,10 +292,20 @@ std::vector<Candidate> BuildCandidates(const IqContext& ctx,
   }
   if (evaluate_hits) {
     WallTimer eval_timer;
-    for (Candidate& cand : out) {
-      Vec c_cand = ctx.view().CoefficientsFor(Add(p_cur, cand.step));
-      cand.hits = evaluator->HitsForCoeffs(c_cand);
+    ThreadPool* eval_pool =
+        evaluator->SupportsConcurrentEval() ? options.pool : nullptr;
+    if (eval_pool != nullptr && out.size() > 1) {
+      SearchMetrics::Get().parallel_eval_batches->Increment();
     }
+    ParallelForOrSerial(eval_pool, static_cast<int64_t>(out.size()),
+                        [&](int64_t begin, int64_t end) {
+                          for (int64_t i = begin; i < end; ++i) {
+                            Candidate& cand = out[static_cast<size_t>(i)];
+                            Vec c_cand = ctx.view().CoefficientsFor(
+                                Add(p_cur, cand.step));
+                            cand.hits = evaluator->HitsForCoeffs(c_cand);
+                          }
+                        });
     bd->eval_seconds += eval_timer.ElapsedSeconds();
     bd->candidates_evaluated += out.size();
     SearchMetrics::Get().eval_nanos->Record(eval_timer.ElapsedNanos());

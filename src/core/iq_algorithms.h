@@ -14,6 +14,8 @@
 
 namespace iq {
 
+class ThreadPool;
+
 /// Options shared by every IQ scheme.
 struct IqOptions {
   /// The query issuer's cost model (paper default: Eq. 30, L2).
@@ -45,6 +47,15 @@ struct IqOptions {
   /// reached_goal describe the snapped strategy.
   Vec granularity;
   uint64_t seed = 1;
+  /// Non-owning worker pool for the parallel execution layer (DESIGN.md §8).
+  /// When set, candidate generation and (for evaluators with
+  /// SupportsConcurrentEval()) candidate H-evaluation fan out over the pool
+  /// with a deterministic per-candidate-slot reduction, so results are
+  /// bit-identical to the null-pool serial path regardless of thread count.
+  /// IqEngine wires its own pool in here (EngineOptions::num_threads);
+  /// callers driving MinCostIq/MaxHitIq directly may pass any pool whose
+  /// lifetime covers the call.
+  ThreadPool* pool = nullptr;
 };
 
 /// Explain-style per-call breakdown of where an IQ search spent its work.

@@ -11,6 +11,7 @@
 #include "obs/trace.h"
 #include "topk/topk.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace iq {
@@ -22,6 +23,7 @@ struct IndexMetrics {
   Counter* signature_cache_hits;  // OnQueryAdded resolved by kNN shortcut
   Counter* cells_visited;         // subdomains scanned in OnObjectRemoved
   Counter* cells_skipped;         // subdomains pruned by the Bloom filter
+  Counter* parallel_rank_batches; // ranking rounds fanned out over a pool
   Gauge* num_subdomains;
   Histogram* build_nanos;
 
@@ -34,6 +36,8 @@ struct IndexMetrics {
           reg.GetCounter("iq.index.signature_cache_hits");
       im.cells_visited = reg.GetCounter("iq.index.cells_visited");
       im.cells_skipped = reg.GetCounter("iq.index.cells_skipped");
+      im.parallel_rank_batches =
+          reg.GetCounter("iq.index.parallel_rank_batches");
       im.num_subdomains = reg.GetGauge("iq.index.num_subdomains");
       im.build_nanos = reg.GetHistogram("iq.index.build_nanos");
       return im;
@@ -75,6 +79,7 @@ Result<SubdomainIndex> SubdomainIndex::Build(const FunctionView* view,
   if (kappa <= 0) kappa = queries->max_k() + 1;
   kappa = std::max(kappa, 2);
   index.kappa_ = kappa;
+  index.pool_ = options.pool;
 
   const int m = queries->size();
   index.aug_w_.resize(static_cast<size_t>(m));
@@ -89,13 +94,36 @@ Result<SubdomainIndex> SubdomainIndex::Build(const FunctionView* view,
   points.reserve(static_cast<size_t>(queries->num_active()));
   ids.reserve(points.capacity());
 
+  // Phase 1 (parallel): the expensive per-query ranking — augmented weights
+  // plus a full TopKScan signature per active query. Every unit writes only
+  // its own slots.
+  std::vector<int> active;
+  active.reserve(static_cast<size_t>(queries->num_active()));
   for (int q = 0; q < m; ++q) {
-    if (!queries->is_active(q)) continue;
-    index.aug_w_[static_cast<size_t>(q)] =
-        view->form().AugmentWeights(queries->query(q).weights);
+    if (queries->is_active(q)) active.push_back(q);
+  }
+  std::vector<std::vector<int>> sigs(active.size());
+  if (options.pool != nullptr && active.size() > 1) {
+    IndexMetrics::Get().parallel_rank_batches->Increment();
+  }
+  ParallelForOrSerial(
+      options.pool, static_cast<int64_t>(active.size()),
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          const int q = active[static_cast<size_t>(i)];
+          index.aug_w_[static_cast<size_t>(q)] =
+              view->form().AugmentWeights(queries->query(q).weights);
+          sigs[static_cast<size_t>(i)] =
+              index.ComputeSignature(index.aug_w_[static_cast<size_t>(q)]);
+        }
+      });
+
+  // Phase 2 (serial): attach in ascending query id, so subdomain ids are
+  // assigned in first-encounter order exactly as the serial build does.
+  for (size_t i = 0; i < active.size(); ++i) {
+    const int q = active[i];
     const Vec& w = index.aug_w_[static_cast<size_t>(q)];
-    std::vector<int> sig = index.ComputeSignature(w);
-    int sd = index.FindOrCreateSubdomain(std::move(sig));
+    int sd = index.FindOrCreateSubdomain(std::move(sigs[i]));
     index.AttachQueryToSubdomain(q, sd);
     points.push_back(w);
     ids.push_back(q);
@@ -389,9 +417,23 @@ Status SubdomainIndex::OnObjectRemoved(int id) {
   for (int q : affected) {
     DetachQueryFromSubdomain(q);
   }
-  for (int q : affected) {
-    std::vector<int> sig = ComputeSignature(aug_w_[static_cast<size_t>(q)]);
-    AttachQueryToSubdomain(q, FindOrCreateSubdomain(std::move(sig)));
+  // Re-rank the affected queries (the §4.3 hot loop) in parallel; cell
+  // creation stays serial in `affected` order so ids match the serial path.
+  std::vector<std::vector<int>> sigs(affected.size());
+  if (pool_ != nullptr && affected.size() > 1) {
+    IndexMetrics::Get().parallel_rank_batches->Increment();
+  }
+  ParallelForOrSerial(pool_, static_cast<int64_t>(affected.size()),
+                      [&](int64_t begin, int64_t end) {
+                        for (int64_t i = begin; i < end; ++i) {
+                          sigs[static_cast<size_t>(i)] = ComputeSignature(
+                              aug_w_[static_cast<size_t>(
+                                  affected[static_cast<size_t>(i)])]);
+                        }
+                      });
+  for (size_t i = 0; i < affected.size(); ++i) {
+    AttachQueryToSubdomain(affected[i],
+                           FindOrCreateSubdomain(std::move(sigs[i])));
   }
   maintenance_rerank_events_ += affected.size();
   maintenance_affected_subdomains_ += affected_cells;

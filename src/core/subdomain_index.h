@@ -13,6 +13,8 @@
 
 namespace iq {
 
+class ThreadPool;
+
 /// Options for SubdomainIndex::Build.
 struct SubdomainIndexOptions {
   /// Signature prefix length κ. Queries are grouped by the identity of their
@@ -22,6 +24,12 @@ struct SubdomainIndexOptions {
   /// (k <= max_k < κ) is identical. -1 = max_k + 1.
   int kappa = -1;
   int rtree_max_entries = 16;
+  /// Non-owning worker pool (DESIGN.md §8). When set, Build's per-query
+  /// ranking (signature computation) and the §4.3 maintenance re-ranks fan
+  /// out over the pool; the subdomain cells are still created serially in
+  /// query-id order, so cell ids and contents match the serial build
+  /// exactly. The pool must outlive the index. nullptr = serial.
+  ThreadPool* pool = nullptr;
 };
 
 /// The paper's query index (§4.1): query points grouped by subdomain and
@@ -159,6 +167,9 @@ class SubdomainIndex {
   const FunctionView* view_ = nullptr;
   const QuerySet* queries_ = nullptr;
   int kappa_ = 0;
+  /// Non-owning; see SubdomainIndexOptions::pool. Survives engine moves
+  /// because the pool object itself never relocates.
+  ThreadPool* pool_ = nullptr;
 
   std::vector<Vec> aug_w_;
   std::vector<int> sd_of_;

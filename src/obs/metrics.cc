@@ -3,8 +3,34 @@
 #include <bit>
 
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace iq {
+namespace {
+
+/// Bridges ThreadPool's layering-safe observer hook into the registry:
+/// util/ may not depend on obs/, so the pool publishes one callback per
+/// executed task and this always-linked TU turns it into iq.pool.* metrics.
+struct PoolMetricsBridge {
+  PoolMetricsBridge() {
+    ThreadPool::SetTaskObserver(+[](uint64_t queue_wait_nanos) {
+      struct Cached {
+        Counter* tasks;
+        Histogram* queue_wait;
+      };
+      static Cached c = [] {
+        MetricsRegistry& reg = MetricsRegistry::Global();
+        return Cached{reg.GetCounter("iq.pool.tasks"),
+                      reg.GetHistogram("iq.pool.queue_wait_nanos")};
+      }();
+      c.tasks->Increment();
+      c.queue_wait->Record(queue_wait_nanos);
+    });
+  }
+};
+const PoolMetricsBridge g_pool_metrics_bridge;
+
+}  // namespace
 
 void Histogram::Reset() {
   count_.store(0, std::memory_order_relaxed);

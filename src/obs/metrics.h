@@ -20,7 +20,7 @@ namespace iq {
 ///
 /// Naming scheme (see DESIGN.md "Observability"):
 ///   iq.<subsystem>.<name>    e.g. iq.ese.queries_reranked
-/// Subsystems in use: rtree, index, ese, search, engine, bench.
+/// Subsystems in use: rtree, index, ese, search, engine, pool, bench.
 
 /// Monotonic event counter.
 class Counter {

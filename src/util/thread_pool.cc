@@ -1,0 +1,137 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace iq {
+namespace {
+
+/// Marks threads that belong to some pool, so nested ParallelFor calls run
+/// inline instead of deadlocking on their own queue.
+thread_local bool t_in_pool_worker = false;
+
+std::atomic<ThreadPool::TaskObserver> g_task_observer{nullptr};
+
+}  // namespace
+
+void ThreadPool::SetTaskObserver(TaskObserver observer) {
+  g_task_observer.store(observer, std::memory_order_release);
+}
+
+bool ThreadPool::InWorker() { return t_in_pool_worker; }
+
+ThreadPool::ThreadPool(int num_threads) {
+  num_threads = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    int64_t n, const std::function<void(int64_t, int64_t)>& body) {
+  if (n <= 0) return;
+  if (t_in_pool_worker || n == 1) {
+    body(0, n);  // nested or trivial: run inline on the current thread
+    return;
+  }
+  const int64_t workers = static_cast<int64_t>(workers_.size());
+  // Deterministic partition: chunk size depends only on n and the worker
+  // count. Over-decompose (4 chunks per participant) so an unlucky slow
+  // chunk cannot serialize the whole call.
+  const int64_t chunk =
+      std::max<int64_t>(1, n / (4 * (workers + 1)) + 1);
+
+  struct CallState {
+    std::atomic<int64_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;      // first failure, guarded by err_mu
+    std::mutex err_mu;
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    int pending = 0;               // outstanding pool tasks, done_mu
+  };
+  CallState state;
+
+  auto run_chunks = [&state, &body, n, chunk] {
+    for (;;) {
+      int64_t begin = state.next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) return;
+      if (state.failed.load(std::memory_order_acquire)) return;
+      int64_t end = std::min<int64_t>(n, begin + chunk);
+      try {
+        body(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state.err_mu);
+        if (!state.error) state.error = std::current_exception();
+        state.failed.store(true, std::memory_order_release);
+      }
+    }
+  };
+
+  // One helper task per worker; each claims chunks until the range drains.
+  const int64_t helpers =
+      std::min<int64_t>(workers, (n + chunk - 1) / chunk);
+  state.pending = static_cast<int>(helpers);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int64_t i = 0; i < helpers; ++i) {
+      queue_.emplace_back([&state, &run_chunks, timer = WallTimer()] {
+        TaskObserver observer =
+            g_task_observer.load(std::memory_order_acquire);
+        if (observer != nullptr) observer(timer.ElapsedNanos());
+        run_chunks();
+        std::lock_guard<std::mutex> done(state.done_mu);
+        if (--state.pending == 0) state.done_cv.notify_one();
+      });
+    }
+  }
+  work_cv_.notify_all();
+
+  run_chunks();  // the caller participates
+  {
+    std::unique_lock<std::mutex> done(state.done_mu);
+    state.done_cv.wait(done, [&state] { return state.pending == 0; });
+  }
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+void ParallelForOrSerial(ThreadPool* pool, int64_t n,
+                         const std::function<void(int64_t, int64_t)>& body) {
+  if (n <= 0) return;
+  if (pool == nullptr) {
+    body(0, n);
+    return;
+  }
+  pool->ParallelFor(n, body);
+}
+
+}  // namespace iq

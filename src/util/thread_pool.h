@@ -1,0 +1,81 @@
+#ifndef IQ_UTIL_THREAD_POOL_H_
+#define IQ_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace iq {
+
+/// Fixed-size worker pool backing the parallel execution layer (DESIGN.md
+/// §8). Dependency-free: std::thread workers around a single locked task
+/// queue. The pool is deliberately simple — the engine's parallel units
+/// (candidate evaluation, signature ranking, batch IQ solving) are coarse
+/// enough that queue contention is negligible next to the work itself.
+///
+/// Determinism contract: ParallelFor partitions [0, n) into chunks whose
+/// boundaries depend only on `n` and the worker count, and callers write
+/// results into per-index slots, so every reduction downstream of a
+/// ParallelFor is independent of scheduling. The serial fallback (a null
+/// pool, see ParallelForOrSerial) executes the identical per-index code.
+///
+/// Nested parallelism: a ParallelFor issued from inside a pool worker runs
+/// inline on that worker instead of re-entering the queue, so composed
+/// parallel paths (e.g. IqEngine::SolveBatch items that themselves evaluate
+/// candidates) can never deadlock waiting on their own pool.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs body(begin, end) over disjoint chunks covering [0, n); the calling
+  /// thread works alongside the pool and the call returns only when every
+  /// chunk completed. The first exception thrown by any chunk is captured
+  /// and rethrown on the caller (remaining chunks are drained, not run).
+  /// Called from a pool worker, runs body(0, n) inline (see class comment).
+  void ParallelFor(int64_t n,
+                   const std::function<void(int64_t, int64_t)>& body);
+
+  /// True when the current thread is a worker of any ThreadPool.
+  static bool InWorker();
+
+  /// Process-wide task observer, invoked once per dequeued pool task with the
+  /// task's queue-wait time. This is the layering seam that lets the
+  /// observability module (which sits *above* util) count pool tasks without
+  /// util depending on it: src/obs/metrics.cc installs a bridge at static
+  /// initialization. Pass nullptr to detach. Must be a noexcept-ish plain
+  /// function pointer — it runs on worker threads inside the dispatch path.
+  using TaskObserver = void (*)(uint64_t queue_wait_nanos);
+  static void SetTaskObserver(TaskObserver observer);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Serial-fallback dispatch: runs `body` over [0, n) on the pool when one is
+/// provided, inline on the caller otherwise. This is the single entry point
+/// the engine's hot paths use, so `EngineOptions::num_threads == 0` (no
+/// pool) preserves the exact pre-parallel code path.
+void ParallelForOrSerial(ThreadPool* pool, int64_t n,
+                         const std::function<void(int64_t, int64_t)>& body);
+
+}  // namespace iq
+
+#endif  // IQ_UTIL_THREAD_POOL_H_

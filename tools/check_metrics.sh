@@ -4,11 +4,21 @@
 # the paper-critical counters must exist and be non-zero, otherwise the
 # instrumentation has silently rotted.
 #
-#   tools/check_metrics.sh path/to/metrics.json
+#   tools/check_metrics.sh [--pool] path/to/metrics.json
+#
+# --pool additionally requires the parallel-execution counters
+# (iq.pool.tasks etc.) to have moved — pass it for snapshots produced by a
+# pooled run (micro_parallel --json=...); serial runs legitimately leave
+# them at zero.
 set -u
 
+check_pool=0
+if [ "${1:-}" = "--pool" ]; then
+  check_pool=1
+  shift
+fi
 if [ $# -ne 1 ] || [ ! -f "$1" ]; then
-  echo "usage: $0 metrics.json" >&2
+  echo "usage: $0 [--pool] metrics.json" >&2
   exit 2
 fi
 json="$1"
@@ -20,6 +30,20 @@ iq.ese.queries_reranked
 iq.rtree.nodes_expanded
 iq.index.full_reranks
 '
+if [ "$check_pool" -eq 1 ]; then
+  # Pooled runs (micro_parallel) drive the scan-path evaluators and the
+  # index build but not the geometric wedge retrieval, so the R-tree
+  # counter is dropped in favor of the parallel-layer set.
+  required_counters='
+iq.ese.queries_reranked
+iq.index.full_reranks
+iq.pool.tasks
+iq.search.parallel_solve_batches
+iq.search.parallel_eval_batches
+iq.index.parallel_rank_batches
+iq.engine.batch_items
+'
+fi
 
 for name in $required_counters; do
   # The snapshot emits flat `"name": value` pairs; grep is enough.

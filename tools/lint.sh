@@ -41,7 +41,7 @@ done < <(find src tests bench -name '*.h' -type f | sort)
 # experiment is reproducible; C library rand() and ad-hoc std::mt19937 /
 # std::random_device seeds are banned outside util/random.* itself.
 banned='std::rand\b|[^_[:alnum:]]srand[[:space:]]*\(|std::random_device|std::mt19937|std::default_random_engine'
-hits="$(grep -rnE "$banned" src bench examples \
+hits="$(grep -rnE "$banned" src bench examples tests \
         --include='*.cc' --include='*.cpp' --include='*.h' \
         | grep -v '^src/util/random\.' || true)"
 if [ -n "$hits" ]; then
