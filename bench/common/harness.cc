@@ -1,7 +1,9 @@
 #include "bench/common/harness.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "obs/metrics.h"
 #include "util/check.h"
@@ -34,6 +36,8 @@ BenchOptions ParseArgs(int argc, char** argv) {
       opts.rta_iqs_per_point = static_cast<int>(*ParseInt(v));
     } else if (const char* v = value("--json=")) {
       opts.json_path = v;
+    } else if (const char* v = value("--exporter-port=")) {
+      opts.exporter_port = static_cast<int>(*ParseInt(v));
     } else if (arg == "--no-rta") {
       opts.include_rta = false;
     } else if (arg == "--full") {
@@ -41,7 +45,7 @@ BenchOptions ParseArgs(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "unknown flag %s (known: --scale= --iqs= --seed= --reps= "
-                   "--rta-iqs= --json= --no-rta --full)\n",
+                   "--rta-iqs= --json= --exporter-port= --no-rta --full)\n",
                    arg.c_str());
     }
   }
@@ -50,6 +54,55 @@ BenchOptions ParseArgs(int argc, char** argv) {
 
 int Scaled(int value, double scale) {
   return std::max(1, static_cast<int>(value * scale + 0.5));
+}
+
+RunMetadata CollectRunMetadata(uint64_t seed) {
+  RunMetadata meta;
+  meta.seed = seed;
+#ifdef NDEBUG
+  meta.build_type = "release";
+#else
+  meta.build_type = "debug";
+#endif
+  meta.num_threads = static_cast<int>(std::thread::hardware_concurrency());
+  if (const char* sha = std::getenv("IQ_GIT_SHA"); sha != nullptr && *sha) {
+    meta.git_sha = sha;
+  } else if (std::FILE* p =
+                 ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64] = {0};
+    if (std::fgets(buf, sizeof(buf), p) != nullptr) {
+      meta.git_sha = buf;
+      while (!meta.git_sha.empty() &&
+             (meta.git_sha.back() == '\n' || meta.git_sha.back() == '\r')) {
+        meta.git_sha.pop_back();
+      }
+    }
+    ::pclose(p);
+  }
+  if (meta.git_sha.empty()) meta.git_sha = "unknown";
+  return meta;
+}
+
+std::string RunMetadataJson(const RunMetadata& meta) {
+  return StrFormat(
+      "{\"git_sha\": \"%s\", \"build_type\": \"%s\", \"num_threads\": %d, "
+      "\"seed\": %llu}",
+      meta.git_sha.c_str(), meta.build_type.c_str(), meta.num_threads,
+      static_cast<unsigned long long>(meta.seed));
+}
+
+std::unique_ptr<MetricsExporter> ServeMetricsIfRequested(
+    const BenchOptions& opts) {
+  if (opts.exporter_port < 0) return nullptr;
+  auto exporter = std::make_unique<MetricsExporter>();
+  Status st = exporter->Start(opts.exporter_port);
+  if (!st.ok()) {
+    std::fprintf(stderr, "exporter: %s\n", st.ToString().c_str());
+    return nullptr;
+  }
+  std::printf("serving live metrics on http://127.0.0.1:%d/metrics\n",
+              exporter->port());
+  return exporter;
 }
 
 Workload MakeLinearWorkload(SyntheticKind kind, int n, int m, int dim,
@@ -224,7 +277,7 @@ int FinishFigure(const TablePrinter& table, const BenchOptions& opts,
                  const std::vector<PointResults>& points) {
   table.Print();
   if (!opts.json_path.empty()) {
-    Status st = WriteBenchJson(opts.json_path, figure_name, points);
+    Status st = WriteBenchJson(opts.json_path, figure_name, points, opts.seed);
     if (!st.ok()) {
       std::fprintf(stderr, "failed to write %s: %s\n",
                    opts.json_path.c_str(), st.ToString().c_str());
@@ -247,6 +300,7 @@ const std::vector<std::string>& QueryProcessingHeader() {
 
 int RunQueryProcessingByObjects(SyntheticKind kind, const char* figure_name,
                                 const BenchOptions& opts) {
+  auto exporter = ServeMetricsIfRequested(opts);
   std::printf("== %s: query processing on the %s object dataset "
               "(scale %.2f, %d Min-Cost + %d Max-Hit IQs per scheme) ==\n",
               figure_name, SyntheticKindName(kind), opts.scale,
@@ -271,6 +325,7 @@ int RunQueryProcessingByObjects(SyntheticKind kind, const char* figure_name,
 int RunQueryProcessingByQueries(QueryDistribution dist,
                                 const char* figure_name,
                                 const BenchOptions& opts) {
+  auto exporter = ServeMetricsIfRequested(opts);
   std::printf("== %s: query processing on the %s query dataset "
               "(scale %.2f, %d Min-Cost + %d Max-Hit IQs per scheme) ==\n",
               figure_name, QueryDistributionName(dist), opts.scale,
@@ -332,8 +387,10 @@ std::string FmtDouble(double v, int precision) {
 std::string FmtInt(long long v) { return StrFormat("%lld", v); }
 
 Status WriteBenchJson(const std::string& path, const std::string& figure,
-                      const std::vector<PointResults>& points) {
+                      const std::vector<PointResults>& points,
+                      uint64_t seed) {
   std::string json = "{\n  \"figure\": \"" + figure + "\",\n";
+  json += "  \"run\": " + RunMetadataJson(CollectRunMetadata(seed)) + ",\n";
   json += "  \"results\": [";
   bool first = true;
   for (const PointResults& point : points) {

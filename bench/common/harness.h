@@ -1,6 +1,8 @@
 #ifndef IQ_BENCH_COMMON_HARNESS_H_
 #define IQ_BENCH_COMMON_HARNESS_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,6 +13,7 @@
 #include "data/real_world.h"
 #include "data/synthetic.h"
 #include "data/workload.h"
+#include "obs/exporter.h"
 #include "util/check.h"
 #include "util/random.h"
 #include "util/stats.h"
@@ -47,11 +50,33 @@ struct BenchOptions {
   /// When non-empty, the figure runners also write a machine-readable JSON
   /// report (per-scheme results + the full iq.* metrics snapshot) here.
   std::string json_path;
+  /// When >= 0, serve live /metrics on 127.0.0.1:port for the duration of
+  /// the run (0 = ephemeral port, printed at startup). -1 = off.
+  int exporter_port = -1;
 };
 
-/// Parses --scale=, --iqs=, --seed=, --reps=, --json=, --no-rta,
-/// --full (scale 1).
+/// Parses --scale=, --iqs=, --seed=, --reps=, --json=, --exporter-port=,
+/// --no-rta, --full (scale 1).
 BenchOptions ParseArgs(int argc, char** argv);
+
+/// Provenance stamped into every bench JSON report, so a stored report (or a
+/// BENCH_5.json baseline) says which tree and machine shape produced it.
+struct RunMetadata {
+  std::string git_sha;     // $IQ_GIT_SHA, else `git rev-parse`, else unknown
+  std::string build_type;  // "release" (NDEBUG) or "debug"
+  int num_threads = 0;     // hardware_concurrency of the machine
+  uint64_t seed = 0;       // the run's base RNG seed (0 = fixed builtin)
+};
+
+RunMetadata CollectRunMetadata(uint64_t seed);
+
+/// `{"git_sha": ..., "build_type": ..., "num_threads": ..., "seed": ...}`.
+std::string RunMetadataJson(const RunMetadata& meta);
+
+/// Starts the live /metrics exporter when opts.exporter_port >= 0 and
+/// returns it (keep it alive for the run); returns null when not requested.
+std::unique_ptr<MetricsExporter> ServeMetricsIfRequested(
+    const BenchOptions& opts);
 
 int Scaled(int value, double scale);
 
@@ -130,11 +155,12 @@ struct PointResults {
   std::vector<SchemeResult> schemes;
 };
 
-/// Writes `{"figure":..., "results":[...], "metrics": <snapshot>}` to
-/// `path`. The metrics object is MetricsSnapshot::ToJson() — the full iq.*
-/// registry state at write time (counters, gauges, latency histograms).
+/// Writes `{"figure":..., "run": <metadata>, "results":[...],
+/// "metrics": <snapshot>}` to `path`. The metrics object is
+/// MetricsSnapshot::ToJson() — the full iq.* registry state at write time
+/// (counters, gauges, latency histograms); `run` is RunMetadataJson.
 Status WriteBenchJson(const std::string& path, const std::string& figure,
-                      const std::vector<PointResults>& points);
+                      const std::vector<PointResults>& points, uint64_t seed);
 
 }  // namespace bench
 }  // namespace iq

@@ -1,0 +1,30 @@
+#ifndef IQ_BENCH_COMMON_MICRO_MAIN_H_
+#define IQ_BENCH_COMMON_MICRO_MAIN_H_
+
+namespace iq {
+namespace bench {
+
+/// Shared main() for the google-benchmark micros (micro_ese, micro_solver,
+/// micro_rtree). Beyond the standard google-benchmark flags it understands:
+///
+///   --json=PATH            write the benchmark report as JSON (shorthand
+///                          for --benchmark_out=PATH
+///                          --benchmark_out_format=json); the report's
+///                          context carries the run metadata (git SHA,
+///                          build type, num_threads, seed) so a stored
+///                          baseline says what produced it
+///   --metrics-json=PATH    write the full iq.* metrics snapshot after the
+///                          run (CI greps it to verify the counters move)
+///   --exporter-port=PORT   serve live /metrics on 127.0.0.1:PORT for the
+///                          duration of the run (0 = ephemeral port)
+///   --scrape-metrics=PATH  after the run, GET /metrics from the exporter
+///                          over loopback and write the payload to PATH
+///                          (starts an ephemeral exporter when no
+///                          --exporter-port= was given); this is how CI
+///                          validates a genuinely served scrape
+int RunMicroBenchMain(int argc, char** argv);
+
+}  // namespace bench
+}  // namespace iq
+
+#endif  // IQ_BENCH_COMMON_MICRO_MAIN_H_

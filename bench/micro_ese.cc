@@ -1,18 +1,14 @@
 // Micro-benchmarks (google-benchmark) for strategy evaluation and the
 // subdomain index build.
 //
-// Beyond the standard google-benchmark flags, accepts
-//   --metrics-json=PATH   write the full iq.* metrics snapshot to PATH after
-//                         the run (CI uses it to verify the counters move).
+// Beyond the standard google-benchmark flags, accepts the shared micro
+// flags (--json=, --metrics-json=, --exporter-port=, --scrape-metrics=);
+// see bench/common/micro_main.h.
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-#include <string>
-#include <vector>
-
 #include "bench/common/harness.h"
-#include "obs/metrics.h"
+#include "bench/common/micro_main.h"
 
 namespace iq {
 namespace bench {
@@ -112,37 +108,5 @@ BENCHMARK(BM_MinCostIqEndToEnd)->Args({10000, 1000});
 }  // namespace iq
 
 int main(int argc, char** argv) {
-  // Split off our own flag before google-benchmark sees (and rejects) it.
-  std::string metrics_json;
-  std::vector<char*> bench_argv;
-  for (int i = 0; i < argc; ++i) {
-    constexpr const char kFlag[] = "--metrics-json=";
-    std::string arg = argv[i];
-    if (arg.rfind(kFlag, 0) == 0) {
-      metrics_json = arg.substr(sizeof(kFlag) - 1);
-    } else {
-      bench_argv.push_back(argv[i]);
-    }
-  }
-  int bench_argc = static_cast<int>(bench_argv.size());
-  benchmark::Initialize(&bench_argc, bench_argv.data());
-  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
-    return 1;
-  }
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  if (!metrics_json.empty()) {
-    iq::MetricsSnapshot snap = iq::MetricsRegistry::Global().Snapshot();
-    std::FILE* f = std::fopen(metrics_json.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot open %s\n", metrics_json.c_str());
-      return 1;
-    }
-    std::string json = snap.ToJson();
-    std::fwrite(json.data(), 1, json.size(), f);
-    std::fclose(f);
-    std::fprintf(stderr, "metrics snapshot written to %s\n",
-                 metrics_json.c_str());
-  }
-  return 0;
+  return iq::bench::RunMicroBenchMain(argc, argv);
 }

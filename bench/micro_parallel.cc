@@ -8,11 +8,17 @@
 // search / batch, and the table must juxtapose thread counts.
 //
 // Flags:
-//   --n=, --m=         workload size (default 4000 objects, 800 queries)
-//   --reps=            repetitions per cell, best-of (default 3)
-//   --json=PATH        machine-readable report: per-path per-thread-count
-//                      seconds + speedups, plus the full iq.* metrics
-//                      snapshot (CI greps it for the pool counters)
+//   --n=, --m=             workload size (default 4000 objects, 800 queries)
+//   --reps=                repetitions per cell, best-of (default 3)
+//   --json=PATH            machine-readable report: per-path per-thread-count
+//                          seconds + speedups, run metadata, plus the full
+//                          iq.* metrics snapshot (CI greps it for the pool
+//                          counters)
+//   --exporter-port=PORT   serve live /metrics on 127.0.0.1:PORT while the
+//                          bench runs (0 = ephemeral port)
+//   --scrape-metrics=PATH  after the run, GET /metrics over loopback and
+//                          write the payload to PATH (starts an ephemeral
+//                          exporter when no --exporter-port= was given)
 //
 // Note on expectations: speedup > 1 needs real cores. On a single-core
 // machine the pooled paths measure the (small) coordination overhead
@@ -27,6 +33,7 @@
 #include <vector>
 
 #include "bench/common/harness.h"
+#include "obs/exporter.h"
 #include "obs/metrics.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -156,7 +163,9 @@ void PrintTable(const std::vector<PathResult>& paths) {
 
 Status WriteJson(const std::string& path,
                  const std::vector<PathResult>& paths) {
-  std::string json = "{\"bench\":\"micro_parallel\",\"paths\":[";
+  std::string json = "{\"bench\":\"micro_parallel\",\"run\":" +
+                     RunMetadataJson(CollectRunMetadata(/*seed=*/42)) +
+                     ",\"paths\":[";
   for (size_t i = 0; i < paths.size(); ++i) {
     if (i > 0) json += ",";
     json += "{\"path\":\"" + paths[i].path + "\",\"cells\":[";
@@ -183,7 +192,8 @@ Status WriteJson(const std::string& path,
 
 int Main(int argc, char** argv) {
   int n = 4000, m = 800, reps = 3;
-  std::string json_path;
+  int exporter_port = -1;
+  std::string json_path, scrape_path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto intval = [&arg](const char* prefix, int* out) {
@@ -194,15 +204,31 @@ int Main(int argc, char** argv) {
       }
       return false;
     };
-    if (intval("--n=", &n) || intval("--m=", &m) || intval("--reps=", &reps)) {
+    if (intval("--n=", &n) || intval("--m=", &m) || intval("--reps=", &reps) ||
+        intval("--exporter-port=", &exporter_port)) {
       continue;
     }
     if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
       continue;
     }
+    if (arg.rfind("--scrape-metrics=", 0) == 0) {
+      scrape_path = arg.substr(17);
+      continue;
+    }
     std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
     return 1;
+  }
+
+  MetricsExporter exporter;
+  if (exporter_port >= 0 || !scrape_path.empty()) {
+    Status st = exporter.Start(exporter_port >= 0 ? exporter_port : 0);
+    if (!st.ok()) {
+      std::fprintf(stderr, "exporter: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("serving live metrics on http://127.0.0.1:%d/metrics\n",
+                exporter.port());
   }
 
   std::printf("micro_parallel: n=%d m=%d reps=%d (best-of)\n", n, m, reps);
@@ -220,6 +246,25 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());
       return 1;
     }
+  }
+  if (!scrape_path.empty()) {
+    // A real loopback round-trip, not a direct render: CI uses this file to
+    // prove the exporter serves what the registry holds.
+    Result<std::string> body = HttpGetLocal(exporter.port(), "/metrics");
+    if (!body.ok()) {
+      std::fprintf(stderr, "scrape failed: %s\n",
+                   body.status().ToString().c_str());
+      return 1;
+    }
+    std::FILE* f = std::fopen(scrape_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", scrape_path.c_str());
+      return 1;
+    }
+    std::fwrite(body->data(), 1, body->size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "scraped /metrics written to %s\n",
+                 scrape_path.c_str());
   }
   return 0;
 }

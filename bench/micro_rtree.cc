@@ -2,6 +2,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/common/micro_main.h"
 #include "index/rtree.h"
 #include "util/random.h"
 
@@ -76,4 +77,6 @@ BENCHMARK(BM_RTreeKNearest)->Arg(10000)->Arg(100000);
 }  // namespace
 }  // namespace iq
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return iq::bench::RunMicroBenchMain(argc, argv);
+}

@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/common/micro_main.h"
 #include "opt/dykstra.h"
 #include "opt/hit_solver.h"
 #include "util/random.h"
@@ -82,4 +83,6 @@ BENCHMARK(BM_PenaltySolver);
 }  // namespace
 }  // namespace iq
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return iq::bench::RunMicroBenchMain(argc, argv);
+}

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/self_check.h"
+#include "obs/event_log.h"
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/timer.h"
@@ -84,6 +85,26 @@ Result<IqResult> SolveOne(const SubdomainIndex* index,
   return Status::InvalidArgument("unknown scheme");
 }
 
+/// Flight-recorder tail of every solve path: one solve_end event carrying
+/// the per-call EvalBreakdown (success) or the failure status (error).
+void RecordSolveEnd(const char* op, IqScheme scheme, int target,
+                    const Result<IqResult>& r, double seconds) {
+  Event e;
+  if (r.ok()) {
+    const EvalBreakdown& b = r->breakdown;
+    e = EventLog::SolveEnd(op, IqSchemeName(scheme), target, /*ok=*/true,
+                           r->cost, r->hits_before, r->hits_after,
+                           b.iterations, b.candidates_generated,
+                           b.candidates_evaluated, b.queries_rescored,
+                           b.queries_reused, seconds);
+  } else {
+    e = EventLog::SolveEnd(op, IqSchemeName(scheme), target, /*ok=*/false,
+                           0.0, 0, 0, 0, 0, 0, 0, 0, seconds);
+    e.note = r.status().ToString();
+  }
+  EventLog::Global().Record(std::move(e));
+}
+
 }  // namespace
 
 const char* IqSchemeName(IqScheme scheme) {
@@ -125,10 +146,16 @@ Result<IqEngine> IqEngine::Create(Dataset dataset, LinearForm form,
       SubdomainIndex index,
       SubdomainIndex::Build(view_ptr.get(), queries_ptr.get(),
                             options.index));
+  std::unique_ptr<MetricsExporter> exporter;
+  if (options.exporter_port >= 0) {
+    exporter = std::make_unique<MetricsExporter>();
+    IQ_RETURN_IF_ERROR(exporter->Start(options.exporter_port));
+  }
   return IqEngine(std::move(dataset_ptr), std::move(queries_ptr),
                   std::move(view_ptr),
                   std::make_unique<SubdomainIndex>(std::move(index)),
-                  std::move(pool));
+                  std::move(pool), std::move(exporter),
+                  std::move(options.event_dump_path));
 }
 
 IqEngine::IqEngine(IqEngine&& other) noexcept {
@@ -141,6 +168,8 @@ IqEngine::IqEngine(IqEngine&& other) noexcept {
   view_ = std::move(other.view_);
   index_ = std::move(other.index_);
   pool_ = std::move(other.pool_);
+  exporter_ = std::move(other.exporter_);
+  event_dump_path_ = std::move(other.event_dump_path_);
   apply_ticket_ = other.apply_ticket_;
 }
 
@@ -158,6 +187,8 @@ IqEngine& IqEngine::operator=(IqEngine&& other) noexcept {
     view_ = std::move(other.view_);
     index_ = std::move(other.index_);
     pool_ = std::move(other.pool_);
+    exporter_ = std::move(other.exporter_);
+    event_dump_path_ = std::move(other.event_dump_path_);
     apply_ticket_ = other.apply_ticket_;
   }
   return *this;
@@ -268,7 +299,14 @@ Result<IqResult> IqEngine::MinCost(int target, int tau,
   // Single-target calls parallelize *inside* the search (candidate
   // generation + ESE evaluation); see SolveBatch for across-target fan-out.
   item.options.pool = pool_.get();
-  return SolveOne(index_.get(), view_.get(), queries_.get(), item, scheme);
+  EventLog::Global().Record(
+      EventLog::SolveStart("MinCost", IqSchemeName(scheme), target, tau, 0.0));
+  Result<IqResult> r =
+      SolveOne(index_.get(), view_.get(), queries_.get(), item, scheme);
+  RecordSolveEnd("MinCost", scheme, target, r,
+                 static_cast<double>(latency.ElapsedNanos()) / 1e9);
+  NoteOutcome(r.ok() ? Status::Ok() : r.status());
+  return r;
 }
 
 Result<IqResult> IqEngine::MaxHit(int target, double beta,
@@ -282,7 +320,14 @@ Result<IqResult> IqEngine::MaxHit(int target, double beta,
   item.beta = beta;
   item.options = options;
   item.options.pool = pool_.get();
-  return SolveOne(index_.get(), view_.get(), queries_.get(), item, scheme);
+  EventLog::Global().Record(
+      EventLog::SolveStart("MaxHit", IqSchemeName(scheme), target, 0, beta));
+  Result<IqResult> r =
+      SolveOne(index_.get(), view_.get(), queries_.get(), item, scheme);
+  RecordSolveEnd("MaxHit", scheme, target, r,
+                 static_cast<double>(latency.ElapsedNanos()) / 1e9);
+  NoteOutcome(r.ok() ? Status::Ok() : r.status());
+  return r;
 }
 
 Result<std::vector<IqResult>> IqEngine::SolveBatch(
@@ -296,6 +341,14 @@ Result<std::vector<IqResult>> IqEngine::SolveBatch(
   const SubdomainIndex* index = index_.get();
   const FunctionView* view = view_.get();
   const QuerySet* queries = queries_.get();
+  // Flight-recorder saturation signal: far more items than workers means
+  // the batch will queue behind itself for most of the call.
+  if (pool_ != nullptr &&
+      static_cast<int64_t>(items.size()) > 16 * pool_->num_threads()) {
+    EventLog::Global().Record(EventLog::PoolSaturation(
+        "SolveBatch", static_cast<int64_t>(items.size()),
+        pool_->num_threads()));
+  }
   std::vector<std::optional<Result<IqResult>>> slots(items.size());
   ParallelForOrSerial(
       pool_.get(), static_cast<int64_t>(items.size()),
@@ -306,8 +359,18 @@ Result<std::vector<IqResult>> IqEngine::SolveBatch(
           // serially (a nested ParallelFor would run inline anyway, this
           // just makes the contract explicit and thread-count-independent).
           item.options.pool = nullptr;
-          slots[static_cast<size_t>(i)] =
-              SolveOne(index, view, queries, item, scheme);
+          const bool min_cost = item.kind == BatchItem::Kind::kMinCost;
+          // Per-item flight-recorder events, recorded from the worker
+          // thread that solved the item (the lock striping keeps the
+          // concurrent appends cheap — see tests/event_log_test.cc).
+          EventLog::Global().Record(EventLog::SolveStart(
+              "SolveBatch", IqSchemeName(scheme), item.target,
+              min_cost ? item.tau : 0, min_cost ? 0.0 : item.beta));
+          WallTimer item_timer;
+          Result<IqResult> r = SolveOne(index, view, queries, item, scheme);
+          RecordSolveEnd("SolveBatch", scheme, item.target, r,
+                         item_timer.ElapsedSeconds());
+          slots[static_cast<size_t>(i)] = std::move(r);
         }
       });
   EngineMetrics::Get().batch_items->Increment(
@@ -316,7 +379,7 @@ Result<std::vector<IqResult>> IqEngine::SolveBatch(
   std::vector<IqResult> out;
   out.reserve(items.size());
   for (auto& slot : slots) {
-    if (!slot->ok()) return slot->status();
+    if (!slot->ok()) return NoteOutcome(slot->status());
     out.push_back(*std::move(*slot));
   }
   return out;
@@ -370,6 +433,19 @@ Status IqEngine::ApplyStrategy(int target, const Vec& strategy) {
   IQ_TRACE_SCOPE("IqEngine::ApplyStrategy");
   ScopedTimer latency(EngineMetrics::Get().apply_strategy_nanos);
   MutexLock lock(&mu_);
+  uint64_t reranked = 0, reused = 0, affected = 0;
+  Status st =
+      ApplyStrategyLocked(target, strategy, &reranked, &reused, &affected);
+  EventLog::Global().Record(EventLog::ApplyStrategy(
+      target, st.ok(), reranked, reused, static_cast<int64_t>(affected),
+      static_cast<double>(latency.ElapsedNanos()) / 1e9));
+  return NoteOutcome(std::move(st));
+}
+
+Status IqEngine::ApplyStrategyLocked(int target, const Vec& strategy,
+                                     uint64_t* reranked_out,
+                                     uint64_t* reused_out,
+                                     uint64_t* affected_out) {
   if (target < 0 || target >= dataset_->size() ||
       !dataset_->is_active(target)) {
     return Status::InvalidArgument("target is not an active object");
@@ -396,16 +472,30 @@ Status IqEngine::ApplyStrategy(int target, const Vec& strategy) {
   uint64_t reranked = static_cast<uint64_t>(
       index_->maintenance_rerank_events() - reranks_before);
   if (reranked > m_active) reranked = m_active;
+  const uint64_t affected = static_cast<uint64_t>(
+      index_->maintenance_affected_subdomains() - affected_before);
   EngineMetrics::Get().queries_reranked->Increment(reranked);
   EngineMetrics::Get().queries_reused->Increment(m_active - reranked);
-  EngineMetrics::Get().affected_subspaces->Increment(
-      index_->maintenance_affected_subdomains() - affected_before);
+  EngineMetrics::Get().affected_subspaces->Increment(affected);
+  *reranked_out = reranked;
+  *reused_out = m_active - reranked;
+  *affected_out = affected;
   // Debug-mode ESE cross-check: a stale cached ranking must abort here
   // rather than silently produce wrong H(p+s) counts downstream.
   const uint64_t ticket = apply_ticket_++;
   IQ_DCHECK_OK(CrossCheckSampledSubdomain(*index_, ticket));
   IQ_DCHECK_OK(CrossCheckEse(*index_, target));
   return Status::Ok();
+}
+
+Status IqEngine::NoteOutcome(Status st) const {
+  if (st.ok()) return st;
+  EventLog::Global().Record(EventLog::Error("IqEngine", st.ToString()));
+  if (!event_dump_path_.empty()) {
+    // Best effort: an unwritable dump path must not mask the real error.
+    (void)EventLog::Global().WriteJsonl(event_dump_path_);
+  }
+  return st;
 }
 
 MetricsSnapshot IqEngine::GetStatsSnapshot() const {

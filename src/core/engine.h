@@ -6,9 +6,12 @@
 #include <utility>
 #include <vector>
 
+#include <string>
+
 #include "core/combinatorial.h"
 #include "core/exhaustive.h"
 #include "core/iq_algorithms.h"
+#include "obs/exporter.h"
 #include "obs/metrics.h"
 #include "topk/topk.h"
 #include "util/annotations.h"
@@ -38,6 +41,16 @@ struct EngineOptions {
   /// through the pool with results bit-identical to serial (deterministic
   /// reduction — see tests/parallel_diff_test.cc).
   int num_threads = 0;
+  /// Live observability endpoint (DESIGN.md §9). -1 (the default) serves
+  /// nothing; 0 starts the /metrics exporter on a kernel-chosen loopback
+  /// port (read it back via exporter()->port()); any other value binds
+  /// 127.0.0.1:<port>. The exporter is engine-owned and stops with it.
+  int exporter_port = -1;
+  /// Flight-recorder post-mortem (DESIGN.md §9). When non-empty, any engine
+  /// call that returns a non-OK status also dumps the event log as JSONL to
+  /// this path, so the window of events leading up to the failure survives
+  /// the process. Empty = no automatic dumps.
+  std::string event_dump_path;
 };
 
 /// One unit of work for IqEngine::SolveBatch: a Min-Cost or Max-Hit
@@ -164,6 +177,9 @@ class IqEngine {
   /// The engine's worker pool; nullptr when num_threads was 0.
   ThreadPool* pool() const { return pool_.get(); }
 
+  /// The live /metrics endpoint; nullptr when exporter_port was -1.
+  const MetricsExporter* exporter() const { return exporter_.get(); }
+
   // ---- Live maintenance (§4.3) ----
   Result<int> AddQuery(TopKQuery q) IQ_EXCLUDES(mu_);
   Status RemoveQuery(int q) IQ_EXCLUDES(mu_);
@@ -194,14 +210,28 @@ class IqEngine {
   IqEngine(std::unique_ptr<Dataset> dataset, std::unique_ptr<QuerySet> queries,
            std::unique_ptr<FunctionView> view,
            std::unique_ptr<SubdomainIndex> index,
-           std::unique_ptr<ThreadPool> pool)
+           std::unique_ptr<ThreadPool> pool,
+           std::unique_ptr<MetricsExporter> exporter,
+           std::string event_dump_path)
       : dataset_(std::move(dataset)),
         queries_(std::move(queries)),
         view_(std::move(view)),
         index_(std::move(index)),
-        pool_(std::move(pool)) {}
+        pool_(std::move(pool)),
+        exporter_(std::move(exporter)),
+        event_dump_path_(std::move(event_dump_path)) {}
+
+  /// Flight-recorder post-mortem hook: on a non-OK status, records an error
+  /// event and (when EngineOptions::event_dump_path is set) dumps the event
+  /// ring as JSONL there. Always returns `st` so call sites can tail-call.
+  Status NoteOutcome(Status st) const;
 
   std::vector<int> HitSetLocked(int object) const IQ_REQUIRES(mu_);
+  /// ApplyStrategy body; reports the §4.3 reuse accounting of this call
+  /// (queries re-ranked / kept, subdomains touched) for the event log.
+  Status ApplyStrategyLocked(int target, const Vec& strategy,
+                             uint64_t* reranked_out, uint64_t* reused_out,
+                             uint64_t* affected_out) IQ_REQUIRES(mu_);
   Result<int> RankUnderQueryLocked(int object, int q) const IQ_REQUIRES(mu_);
   Result<std::vector<std::pair<int, int>>> ReverseKRanksLocked(int object,
                                                                int k) const
@@ -218,6 +248,12 @@ class IqEngine {
   /// take mu_ — the dispatching engine call already holds it for the whole
   /// parallel region.
   std::unique_ptr<ThreadPool> pool_;
+  /// Live /metrics endpoint (DESIGN.md §9). Not guarded: set once at
+  /// Create, then immutable; the exporter is internally synchronized and
+  /// only ever *reads* the process-global registry.
+  std::unique_ptr<MetricsExporter> exporter_;
+  /// Dump-on-error target; set once at Create.
+  std::string event_dump_path_;
   /// Round-robin ticket for the Debug-mode sampled-subdomain cross-check.
   uint64_t apply_ticket_ IQ_GUARDED_BY(mu_) = 0;
 };

@@ -1,11 +1,41 @@
 #include "core/explain.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "obs/metrics.h"
 #include "topk/topk.h"
 #include "util/string_util.h"
 
 namespace iq {
+namespace {
+
+/// Cached pointers into the global registry (see EngineMetrics).
+struct ExplainMetrics {
+  Counter* reports;
+  Histogram* margin;  // |QueryEffect::margin| in integer nano-units
+
+  static ExplainMetrics& Get() {
+    static ExplainMetrics m = [] {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      ExplainMetrics em;
+      em.reports = reg.GetCounter("iq.explain.reports");
+      em.margin = reg.GetHistogram("iq.explain.margin");
+      return em;
+    }();
+    return m;
+  }
+};
+
+/// Histograms take integer samples; margins are small doubles, so record
+/// them in nano-units (1.0 -> 1e9) to keep the base-2 buckets informative.
+void RecordMargin(double margin) {
+  double nanos = std::abs(margin) * 1e9;
+  if (!std::isfinite(nanos)) return;
+  ExplainMetrics::Get().margin->Record(static_cast<uint64_t>(nanos));
+}
+
+}  // namespace
 
 std::string StrategyReport::ToString(int max_rows) const {
   std::string out = StrFormat(
@@ -73,7 +103,9 @@ Result<StrategyReport> ExplainStrategy(const SubdomainIndex& index,
       e.margin = e.score_after - t;
       report.lost.push_back(e);
     }
+    RecordMargin(e.margin);
   }
+  ExplainMetrics::Get().reports->Increment();
   auto by_margin = [](const QueryEffect& a, const QueryEffect& b) {
     return a.margin > b.margin;
   };

@@ -7,6 +7,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "topk/topk.h"
@@ -135,6 +136,9 @@ Result<SubdomainIndex> SubdomainIndex::Build(const FunctionView* view,
   index.build_seconds_ = timer.ElapsedSeconds();
   IndexMetrics::Get().build_nanos->Record(timer.ElapsedNanos());
   IndexMetrics::Get().num_subdomains->Set(index.num_occupied_);
+  EventLog::Global().Record(EventLog::IndexBuild(
+      static_cast<int>(active.size()), index.num_occupied_,
+      index.build_seconds_));
   return index;
 }
 
@@ -321,6 +325,8 @@ Status SubdomainIndex::OnQueryAdded(int q) {
   }
   AttachQueryToSubdomain(q, sd);
   rtree_->Insert(w, q);
+  EventLog::Global().Record(
+      EventLog::IndexMaintenance("OnQueryAdded", q, /*ok=*/true));
   return Status::Ok();
 }
 
@@ -331,6 +337,8 @@ Status SubdomainIndex::OnQueryRemoved(int q) {
   }
   rtree_->Remove(aug_w_[static_cast<size_t>(q)], q);
   DetachQueryFromSubdomain(q);
+  EventLog::Global().Record(
+      EventLog::IndexMaintenance("OnQueryRemoved", q, /*ok=*/true));
   return Status::Ok();
 }
 
@@ -384,6 +392,8 @@ Status SubdomainIndex::OnObjectAdded(int id) {
   }
   maintenance_affected_subdomains_ += touched_sds.size();
   IndexMetrics::Get().num_subdomains->Set(num_occupied_);
+  EventLog::Global().Record(
+      EventLog::IndexMaintenance("OnObjectAdded", id, /*ok=*/true));
   return Status::Ok();
 }
 
@@ -438,6 +448,8 @@ Status SubdomainIndex::OnObjectRemoved(int id) {
   maintenance_rerank_events_ += affected.size();
   maintenance_affected_subdomains_ += affected_cells;
   IndexMetrics::Get().num_subdomains->Set(num_occupied_);
+  EventLog::Global().Record(
+      EventLog::IndexMaintenance("OnObjectRemoved", id, /*ok=*/true));
   return Status::Ok();
 }
 

@@ -3,6 +3,7 @@
 #include "core/evaluator.h"
 #include "core/explain.h"
 #include "core/iq_algorithms.h"
+#include "obs/metrics.h"
 #include "tests/test_world.h"
 
 namespace iq {
@@ -46,6 +47,28 @@ TEST(ExplainTest, EffectsAreInternallyConsistent) {
   for (size_t i = 1; i < report->gained.size(); ++i) {
     EXPECT_GE(report->gained[i - 1].margin, report->gained[i].margin);
   }
+}
+
+TEST(ExplainTest, MarginMetricRecordsEveryEffect) {
+  auto histogram_count = [] {
+    MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+    const HistogramSnapshot* h = snap.FindHistogram("iq.explain.margin");
+    return h != nullptr ? h->count : uint64_t{0};
+  };
+  uint64_t margins_before = histogram_count();
+  uint64_t reports_before =
+      MetricsRegistry::Global().Snapshot().CounterValue("iq.explain.reports");
+
+  TestWorld w = TestWorld::Linear(50, 40, 3, 142);
+  auto report = ExplainStrategy(*w.index, 7, Vec{-0.2, -0.1, -0.15});
+  ASSERT_TRUE(report.ok());
+
+  EXPECT_EQ(MetricsRegistry::Global().Snapshot().CounterValue(
+                "iq.explain.reports"),
+            reports_before + 1);
+  // One iq.explain.margin sample per gained/lost query effect.
+  EXPECT_EQ(histogram_count() - margins_before,
+            report->gained.size() + report->lost.size());
 }
 
 TEST(ExplainTest, MinimalStrategiesHaveThinMargins) {

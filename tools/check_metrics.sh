@@ -4,25 +4,82 @@
 # the paper-critical counters must exist and be non-zero, otherwise the
 # instrumentation has silently rotted.
 #
-#   tools/check_metrics.sh [--pool] path/to/metrics.json
+#   tools/check_metrics.sh [--pool|--exporter] path/to/metrics.json
 #
 # --pool additionally requires the parallel-execution counters
 # (iq.pool.tasks etc.) to have moved — pass it for snapshots produced by a
 # pooled run (micro_parallel --json=...); serial runs legitimately leave
 # them at zero.
+#
+# --exporter validates a scraped /metrics payload (Prometheus text
+# exposition, as written by --scrape-metrics= or `curl /metrics`) instead of
+# a JSON snapshot: the required counters must be present and non-zero under
+# their Prometheus names, every sample line must be preceded by # HELP and
+# # TYPE lines, and histograms must expose _bucket/_sum/_count series.
 set -u
 
 check_pool=0
+check_exporter=0
 if [ "${1:-}" = "--pool" ]; then
   check_pool=1
   shift
+elif [ "${1:-}" = "--exporter" ]; then
+  check_exporter=1
+  shift
 fi
 if [ $# -ne 1 ] || [ ! -f "$1" ]; then
-  echo "usage: $0 [--pool] metrics.json" >&2
+  echo "usage: $0 [--pool|--exporter] metrics.json" >&2
   exit 2
 fi
 json="$1"
 failures=0
+
+if [ "$check_exporter" -eq 1 ]; then
+  # Prometheus text-exposition payload, not a JSON snapshot.
+  required_prom='
+iq_ese_queries_reranked
+iq_index_full_reranks
+'
+  for name in $required_prom; do
+    value="$(grep -E "^${name} [0-9]+$" "$json" | grep -oE '[0-9]+$' || true)"
+    if [ -z "$value" ]; then
+      echo "check_metrics: $name missing from scraped payload $json" >&2
+      failures=$((failures + 1))
+    elif [ "$value" -eq 0 ]; then
+      echo "check_metrics: $name is zero — instrumentation not firing" >&2
+      failures=$((failures + 1))
+    else
+      echo "check_metrics: $name = $value"
+    fi
+  done
+  # Exposition-format sanity: every metric family needs # HELP and # TYPE.
+  help_count="$(grep -c '^# HELP ' "$json")"
+  type_count="$(grep -c '^# TYPE ' "$json")"
+  if [ "$help_count" -eq 0 ] || [ "$help_count" -ne "$type_count" ]; then
+    echo "check_metrics: HELP/TYPE mismatch ($help_count HELP," \
+         "$type_count TYPE)" >&2
+    failures=$((failures + 1))
+  else
+    echo "check_metrics: $type_count metric families with HELP+TYPE"
+  fi
+  # Every histogram family must expose cumulative buckets ending in +Inf
+  # plus its _sum and _count series.
+  for hist in $(grep -E '^# TYPE [a-zA-Z0-9_:]+ histogram$' "$json" \
+                | awk '{print $3}'); do
+    for want in "^${hist}_bucket{le=\"+Inf\"} " "^${hist}_sum " "^${hist}_count "; do
+      if ! grep -qF -- "$(printf '%s' "$want" | sed 's/^\^//')" "$json"; then
+        echo "check_metrics: histogram $hist missing series ${want}" >&2
+        failures=$((failures + 1))
+      fi
+    done
+  done
+  if [ "$failures" -gt 0 ]; then
+    echo "check_metrics: FAILED ($failures problem(s))" >&2
+    exit 1
+  fi
+  echo "check_metrics: OK (exporter payload)"
+  exit 0
+fi
 
 # Counters that any ESE-evaluating run must advance.
 required_counters='

@@ -61,6 +61,18 @@ if [ -n "$clock_hits" ]; then
   printf '%s\n' "$clock_hits" >&2
 fi
 
+# All network I/O must stay inside the observability exporter: it is the one
+# sanctioned socket user (loopback-only, reviewed as a unit), and scattering
+# raw socket(2)/bind/accept/connect calls elsewhere would bypass that review.
+banned_sockets='::socket[[:space:]]*\(|::bind[[:space:]]*\(|::listen[[:space:]]*\(|::accept[[:space:]]*\(|::connect[[:space:]]*\('
+socket_hits="$(grep -rnE "$banned_sockets" src bench examples tests \
+        --include='*.cc' --include='*.cpp' --include='*.h' \
+        | grep -v '^src/obs/exporter\.cc' || true)"
+if [ -n "$socket_hits" ]; then
+  fail "raw socket use outside src/obs/exporter.cc (route through the exporter/HttpGetLocal):"
+  printf '%s\n' "$socket_hits" >&2
+fi
+
 # ------------------------------------------------------------ clang-tidy --
 if [ "$run_tidy" -eq 1 ]; then
   if command -v clang-tidy >/dev/null 2>&1; then
