@@ -175,13 +175,12 @@ IqEngine::IqEngine(IqEngine&& other) noexcept {
 
 IqEngine& IqEngine::operator=(IqEngine&& other) noexcept {
   if (this != &other) {
-    // Both engines' state moves; take both locks in address order so two
-    // threads cross-assigning cannot deadlock.
-    Mutex* first = &mu_;
-    Mutex* second = &other.mu_;
-    if (second < first) std::swap(first, second);
-    MutexLock lock_first(first);
-    MutexLock lock_second(second);
+    // Both engines' state moves, so both engine-rank locks must be held.
+    // MutexLockPair imposes address order internally (two threads
+    // cross-assigning cannot deadlock) and is the only path the Debug
+    // deadlock detector admits for a same-rank double acquisition —
+    // hand-rolling the ordering here again would abort under Debug.
+    MutexLockPair lock(&mu_, &other.mu_);
     dataset_ = std::move(other.dataset_);
     queries_ = std::move(other.queries_);
     view_ = std::move(other.view_);

@@ -90,14 +90,15 @@ class IqEngine {
                                  std::vector<TopKQuery> queries,
                                  EngineOptions options = {});
 
-  /// Moves lock `other.mu_` (and, for assignment, both mutexes in address
-  /// order) for the duration of the member transfer, so a move racing a
-  /// concurrent reader on `other` is a blocked wait instead of a torn read.
-  /// The annotations can't express locking a *parameter's* mutex, hence the
-  /// IQ_NO_THREAD_SAFETY_ANALYSIS escape hatch.
+  /// Moves lock `other.mu_` (and, for assignment, both engine mutexes via
+  /// the ranked MutexLockPair, which imposes address order internally) for
+  /// the duration of the member transfer, so a move racing a concurrent
+  /// reader on `other` is a blocked wait instead of a torn read. The move
+  /// *constructor* keeps an IQ_NO_THREAD_SAFETY_ANALYSIS escape only
+  /// because it writes this' members before the object is published —
+  /// there is no lock of `this` to hold yet; assignment is fully analyzed.
   IqEngine(IqEngine&& other) noexcept IQ_NO_THREAD_SAFETY_ANALYSIS;
-  IqEngine& operator=(IqEngine&& other) noexcept
-      IQ_NO_THREAD_SAFETY_ANALYSIS;
+  IqEngine& operator=(IqEngine&& other) noexcept;
   IqEngine(const IqEngine&) = delete;
   IqEngine& operator=(const IqEngine&) = delete;
 
@@ -238,22 +239,31 @@ class IqEngine {
       IQ_REQUIRES(mu_);
 
   /// Serializes dataset/workload updates against query evaluation (§4.3).
-  mutable Mutex mu_;
-  std::unique_ptr<Dataset> dataset_ IQ_GUARDED_BY(mu_);
-  std::unique_ptr<QuerySet> queries_ IQ_GUARDED_BY(mu_);
-  std::unique_ptr<FunctionView> view_ IQ_GUARDED_BY(mu_);
-  std::unique_ptr<SubdomainIndex> index_ IQ_GUARDED_BY(mu_);
+  /// The outermost lock in the tree's acquisition order (LockRank::kEngine,
+  /// see util/lock_rank.h): it is held across whole solves, and the pool,
+  /// event-log and metrics locks all nest inside it.
+  mutable Mutex mu_{LockRank::kEngine};
+  // IQ_PT_GUARDED_BY extends the check to the pointees: dereferencing one
+  // of these outside mu_ is flagged, not just reseating the pointer.
+  std::unique_ptr<Dataset> dataset_ IQ_GUARDED_BY(mu_) IQ_PT_GUARDED_BY(mu_);
+  std::unique_ptr<QuerySet> queries_ IQ_GUARDED_BY(mu_)
+      IQ_PT_GUARDED_BY(mu_);
+  std::unique_ptr<FunctionView> view_ IQ_GUARDED_BY(mu_)
+      IQ_PT_GUARDED_BY(mu_);
+  std::unique_ptr<SubdomainIndex> index_ IQ_GUARDED_BY(mu_)
+      IQ_PT_GUARDED_BY(mu_);
   /// Worker pool (DESIGN.md §8). Not guarded: set once at Create, then
   /// immutable; the pool object is internally synchronized. Workers never
   /// take mu_ — the dispatching engine call already holds it for the whole
   /// parallel region.
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ThreadPool> pool_;  // iq-lint: allow(unguarded-member)
   /// Live /metrics endpoint (DESIGN.md §9). Not guarded: set once at
   /// Create, then immutable; the exporter is internally synchronized and
   /// only ever *reads* the process-global registry.
-  std::unique_ptr<MetricsExporter> exporter_;
-  /// Dump-on-error target; set once at Create.
-  std::string event_dump_path_;
+  std::unique_ptr<MetricsExporter>
+      exporter_;  // iq-lint: allow(unguarded-member)
+  /// Dump-on-error target; set once at Create, then immutable.
+  std::string event_dump_path_;  // iq-lint: allow(unguarded-member)
   /// Round-robin ticket for the Debug-mode sampled-subdomain cross-check.
   uint64_t apply_ticket_ IQ_GUARDED_BY(mu_) = 0;
 };

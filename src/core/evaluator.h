@@ -7,6 +7,7 @@
 
 #include "core/subdomain_index.h"
 #include "topk/rta.h"
+#include "util/annotations.h"
 
 namespace iq {
 
@@ -18,6 +19,16 @@ namespace iq {
 /// The three implementations mirror the paper's compared schemes:
 /// Ese (the proposed Algorithm 2), Rta (reverse top-k baseline), and
 /// BruteForce (index-free re-evaluation).
+///
+/// Concurrency: evaluators are externally synchronized — they own no lock
+/// and are created, driven and destroyed under their owner's mutex (the
+/// engine's mu_, or a single test thread). SupportsConcurrentEval() widens
+/// that contract per subclass: when it returns true, HitsForCoeffs only
+/// reads construction-time state and keeps its bookkeeping in the atomic
+/// counters below, so the parallel candidate-evaluation path may share one
+/// instance across pool workers. Subclass members that are mutated per
+/// evaluation and therefore pin SupportsConcurrentEval() to false carry
+/// IQ_GUARDED_BY_CALLER markers (documentation, not compiler-enforced).
 class StrategyEvaluator {
  public:
   virtual ~StrategyEvaluator() = default;
@@ -147,8 +158,11 @@ class RtaStrategyEvaluator : public StrategyEvaluator {
   std::vector<int> ks_dense_;
   std::vector<int> order_;
   std::vector<bool> active_mask_;
-  std::unique_ptr<Rta> rta_;
-  size_t total_full_evaluations_ = 0;
+  /// Rta keeps per-call scratch state, and the counter below is a plain
+  /// size_t bumped on every evaluation — both are why this evaluator reports
+  /// SupportsConcurrentEval() == false and must stay caller-serialized.
+  std::unique_ptr<Rta> rta_ IQ_GUARDED_BY_CALLER(owner);
+  size_t total_full_evaluations_ IQ_GUARDED_BY_CALLER(owner) = 0;
 };
 
 }  // namespace iq

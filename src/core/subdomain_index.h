@@ -9,6 +9,7 @@
 #include "core/query.h"
 #include "index/bloom_filter.h"
 #include "index/rtree.h"
+#include "util/annotations.h"
 #include "util/status.h"
 
 namespace iq {
@@ -45,6 +46,17 @@ struct SubdomainIndexOptions {
 ///  * maintenance (§4.3): add/remove query (kNN candidate subdomains),
 ///    add/remove object (signature patching; a Bloom filter over
 ///    (object, subdomain) boundary membership prunes the removal scan).
+///
+/// Concurrency: externally synchronized. The index owns no lock; its owner
+/// serializes every maintenance hook against every read (IqEngine holds
+/// `mu_` across both — see util/lock_rank.h). The one sanctioned exception
+/// is the concurrent-read window IqEngine::SolveBatch opens: while no
+/// maintenance hook runs, the const query-time surface (KthScoreExcluding,
+/// HitThresholds, Hits, the R-tree searches) is safe to call from many
+/// threads because it only reads build-time state. The mutable members
+/// below carry IQ_GUARDED_BY_CALLER markers naming that contract; the
+/// annotations are documentation, not compiler-enforced, because the
+/// guarding mutex lives in another class.
 class SubdomainIndex {
  public:
   /// `view` and `queries` must outlive the index. Both may be mutated later
@@ -171,21 +183,26 @@ class SubdomainIndex {
   /// because the pool object itself never relocates.
   ThreadPool* pool_ = nullptr;
 
-  std::vector<Vec> aug_w_;
-  std::vector<int> sd_of_;
-  std::vector<Subdomain> subdomains_;
-  std::vector<int> free_subdomains_;
-  int num_occupied_ = 0;
-  std::unordered_map<std::string, int> signature_to_sd_;
+  // Subdomain structure: written by Build and the On*() maintenance hooks,
+  // read by everything. The owner's lock separates those phases.
+  std::vector<Vec> aug_w_ IQ_GUARDED_BY_CALLER(IqEngine::mu_);
+  std::vector<int> sd_of_ IQ_GUARDED_BY_CALLER(IqEngine::mu_);
+  std::vector<Subdomain> subdomains_ IQ_GUARDED_BY_CALLER(IqEngine::mu_);
+  std::vector<int> free_subdomains_ IQ_GUARDED_BY_CALLER(IqEngine::mu_);
+  int num_occupied_ IQ_GUARDED_BY_CALLER(IqEngine::mu_) = 0;
+  std::unordered_map<std::string, int> signature_to_sd_
+      IQ_GUARDED_BY_CALLER(IqEngine::mu_);
   // sig_member_count_[obj] = number of subdomains whose signature holds obj.
-  std::vector<int> sig_member_count_;
-  std::unique_ptr<RTree> rtree_;
-  std::unique_ptr<BloomFilter> boundary_bloom_;
+  std::vector<int> sig_member_count_ IQ_GUARDED_BY_CALLER(IqEngine::mu_);
+  std::unique_ptr<RTree> rtree_ IQ_GUARDED_BY_CALLER(IqEngine::mu_);
+  std::unique_ptr<BloomFilter> boundary_bloom_
+      IQ_GUARDED_BY_CALLER(IqEngine::mu_);
 
   double build_seconds_ = 0.0;
-  size_t knn_shortcut_hits_ = 0;
-  size_t maintenance_rerank_events_ = 0;
-  size_t maintenance_affected_subdomains_ = 0;
+  size_t knn_shortcut_hits_ IQ_GUARDED_BY_CALLER(IqEngine::mu_) = 0;
+  size_t maintenance_rerank_events_ IQ_GUARDED_BY_CALLER(IqEngine::mu_) = 0;
+  size_t maintenance_affected_subdomains_
+      IQ_GUARDED_BY_CALLER(IqEngine::mu_) = 0;
 };
 
 }  // namespace iq

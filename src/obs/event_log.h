@@ -129,7 +129,10 @@ class EventLog {
 
  private:
   struct Stripe {
-    mutable Mutex mu;
+    /// All stripes share LockRank::kEventLogStripe: the log holds at most
+    /// one stripe lock at a time (Record touches one stripe; Snapshot and
+    /// Clear visit stripes strictly sequentially).
+    mutable Mutex mu{LockRank::kEventLogStripe};
     /// Ring storage; grows to kStripeCapacity then wraps.
     std::vector<Event> ring IQ_GUARDED_BY(mu);
     /// Events ever recorded into this stripe; `next % kStripeCapacity` is

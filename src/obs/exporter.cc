@@ -42,6 +42,24 @@ std::string HttpResponse(const char* status, const char* content_type,
   return out;
 }
 
+/// Thread-safe strerror: std::strerror may return a pointer into shared
+/// static storage (clang-tidy concurrency-mt-unsafe), and the exporter
+/// formats errors both on caller threads and the serving thread. Uses the
+/// POSIX strerror_r into a local buffer instead.
+std::string SafeStrError(int err) {
+  char buf[128];
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  // glibc's _GNU_SOURCE variant returns the message pointer (which may be a
+  // static string rather than `buf`).
+  return std::string(strerror_r(err, buf, sizeof(buf)));
+#else
+  if (strerror_r(err, buf, sizeof(buf)) != 0) {
+    return StrFormat("errno %d", err);
+  }
+  return std::string(buf);
+#endif
+}
+
 /// Writes the whole buffer, retrying on short writes / EINTR.
 bool WriteAll(int fd, const std::string& data) {
   size_t off = 0;
@@ -168,13 +186,15 @@ std::string ExporterResponseForPath(const std::string& path,
 MetricsExporter::~MetricsExporter() { Stop(); }
 
 Status MetricsExporter::Start(int port) {
+  MutexLock lock(&mu_);
   if (running()) return Status::FailedPrecondition("exporter already running");
   if (port < 0 || port > 65535) {
     return Status::InvalidArgument("exporter port out of range");
   }
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
-    return Status::Internal(StrFormat("socket: %s", std::strerror(errno)));
+    return Status::Internal(
+        StrFormat("socket: %s", SafeStrError(errno).c_str()));
   }
   int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -184,20 +204,20 @@ Status MetricsExporter::Start(int port) {
   addr.sin_port = htons(static_cast<uint16_t>(port));
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     Status st = Status::Internal(
-        StrFormat("bind 127.0.0.1:%d: %s", port, std::strerror(errno)));
+        StrFormat("bind 127.0.0.1:%d: %s", port, SafeStrError(errno).c_str()));
     ::close(fd);
     return st;
   }
   if (::listen(fd, 16) != 0) {
     Status st =
-        Status::Internal(StrFormat("listen: %s", std::strerror(errno)));
+        Status::Internal(StrFormat("listen: %s", SafeStrError(errno).c_str()));
     ::close(fd);
     return st;
   }
   socklen_t len = sizeof(addr);
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
-    Status st =
-        Status::Internal(StrFormat("getsockname: %s", std::strerror(errno)));
+    Status st = Status::Internal(
+        StrFormat("getsockname: %s", SafeStrError(errno).c_str()));
     ::close(fd);
     return st;
   }
@@ -207,11 +227,15 @@ Status MetricsExporter::Start(int port) {
   port_.store(static_cast<int>(ntohs(addr.sin_port)),
               std::memory_order_release);
   running_.store(true, std::memory_order_release);
-  thread_ = std::thread([this] { ServeLoop(); });
+  // The serving thread gets the fd and the start timestamp by value so it
+  // never reads mu_-guarded members; its only shared state is `stop_`.
+  thread_ = std::thread(
+      [this, fd, start_ns = start_ns_] { ServeLoop(fd, start_ns); });
   return Status::Ok();
 }
 
 void MetricsExporter::Stop() {
+  MutexLock lock(&mu_);
   if (!running()) return;
   stop_.store(true, std::memory_order_release);
   if (thread_.joinable()) thread_.join();
@@ -223,16 +247,16 @@ void MetricsExporter::Stop() {
   running_.store(false, std::memory_order_release);
 }
 
-void MetricsExporter::ServeLoop() {
+void MetricsExporter::ServeLoop(int listen_fd, uint64_t start_ns) {
   while (!stop_.load(std::memory_order_acquire)) {
     pollfd pfd{};
-    pfd.fd = listen_fd_;
+    pfd.fd = listen_fd;
     pfd.events = POLLIN;
     // Short poll timeout so Stop() is honored promptly without needing a
     // self-pipe; an idle exporter wakes five times a second.
     int rc = ::poll(&pfd, 1, 200);
     if (rc <= 0) continue;
-    int client = ::accept(listen_fd_, nullptr, nullptr);
+    int client = ::accept(listen_fd, nullptr, nullptr);
     if (client < 0) continue;
     // Requests are one GET line plus a few headers; a single bounded read
     // is enough, and a malformed/slow client just gets a 404 or a reset.
@@ -250,7 +274,7 @@ void MetricsExporter::ServeLoop() {
         }
       }
       WriteAll(client,
-               ExporterResponseForPath(path, TraceNowNanos() - start_ns_));
+               ExporterResponseForPath(path, TraceNowNanos() - start_ns));
     }
     ::close(client);
   }
@@ -259,15 +283,16 @@ void MetricsExporter::ServeLoop() {
 Result<std::string> HttpGetLocal(int port, const std::string& path) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
-    return Status::Internal(StrFormat("socket: %s", std::strerror(errno)));
+    return Status::Internal(
+        StrFormat("socket: %s", SafeStrError(errno).c_str()));
   }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<uint16_t>(port));
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status st = Status::Internal(
-        StrFormat("connect 127.0.0.1:%d: %s", port, std::strerror(errno)));
+    Status st = Status::Internal(StrFormat(
+        "connect 127.0.0.1:%d: %s", port, SafeStrError(errno).c_str()));
     ::close(fd);
     return st;
   }

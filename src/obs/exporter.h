@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "obs/metrics.h"
+#include "util/annotations.h"
 #include "util/status.h"
 
 namespace iq {
@@ -65,11 +66,11 @@ class MetricsExporter {
   /// Binds 127.0.0.1:`port` (0 = kernel-chosen ephemeral port, see port())
   /// and starts the serving thread. Fails if already running or the bind is
   /// refused.
-  Status Start(int port);
+  Status Start(int port) IQ_EXCLUDES(mu_);
 
   /// Stops the serving thread and closes the socket. Idempotent; also run
   /// by the destructor.
-  void Stop();
+  void Stop() IQ_EXCLUDES(mu_);
 
   bool running() const { return running_.load(std::memory_order_acquire); }
   /// The bound port while running (the resolved one when Start got 0);
@@ -77,14 +78,21 @@ class MetricsExporter {
   int port() const { return port_.load(std::memory_order_acquire); }
 
  private:
-  void ServeLoop();
+  /// The serving thread's body. Takes the listening socket and the start
+  /// timestamp by value, captured at Start() time: the loop never touches
+  /// guarded members, so serving needs no locks and Stop() only synchronizes
+  /// with the thread through `stop_` and join.
+  void ServeLoop(int listen_fd, uint64_t start_ns);
 
+  /// Guards the Start/Stop lifecycle transitions (bind, thread launch,
+  /// join, close), making concurrent Start/Stop calls safe and idempotent.
+  Mutex mu_{LockRank::kExporter};
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
   std::atomic<int> port_{-1};
-  int listen_fd_ = -1;
-  std::thread thread_;
-  uint64_t start_ns_ = 0;
+  int listen_fd_ IQ_GUARDED_BY(mu_) = -1;
+  std::thread thread_ IQ_GUARDED_BY(mu_);
+  uint64_t start_ns_ IQ_GUARDED_BY(mu_) = 0;
 };
 
 /// Blocking loopback HTTP GET against 127.0.0.1:`port`, returning the

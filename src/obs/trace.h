@@ -70,20 +70,23 @@ class TraceCollector {
  private:
   struct ThreadBuffer {
     /// Uncontended in steady state: only the owning thread records, and the
-    /// lock is shared with readers only while a flush is running.
-    Mutex mu;
-    int tid = 0;
+    /// lock is shared with readers only while a flush is running (which
+    /// holds the registry lock first — hence the higher rank).
+    Mutex mu{LockRank::kTraceBuffer};
+    /// Assigned once at registration, under the collector's mu_; read-only
+    /// afterwards.  // iq-lint: allow(unguarded-member)
+    int tid = 0;  // iq-lint: allow(unguarded-member)
     std::vector<TraceEvent> ring IQ_GUARDED_BY(mu);
     /// Events recorded since the last Clear(); next % kRingCapacity is the
     /// overwrite cursor, next - ring.size() the number overwritten.
-    size_t next = 0;
+    size_t next IQ_GUARDED_BY(mu) = 0;
   };
 
   TraceCollector() = default;
 
   ThreadBuffer* BufferForThisThread();
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kTraceRegistry};
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_ IQ_GUARDED_BY(mu_);
   int next_tid_ IQ_GUARDED_BY(mu_) = 1;
   std::atomic<bool> enabled_{false};

@@ -1,12 +1,19 @@
 #ifndef IQ_UTIL_ANNOTATIONS_H_
 #define IQ_UTIL_ANNOTATIONS_H_
 
+#include <condition_variable>
+#include <functional>
 #include <mutex>
+
+#include "util/lock_rank.h"
 
 // Clang -Wthread-safety annotations (no-ops on other compilers), plus the
 // annotated iq::Mutex / iq::MutexLock wrappers the engine's mutable state is
 // guarded with. Keeping the wrapper in-house (instead of raw std::mutex)
-// lets the analysis see every acquire/release site.
+// lets the analysis see every acquire/release site — tools/iq_lint bans raw
+// std::mutex outside src/util/ so nothing escapes it — and lets Debug
+// builds run the ranked-mutex deadlock detector (util/lock_rank.h) on every
+// acquisition in the tree.
 
 #if defined(__clang__)
 #define IQ_THREAD_ANNOTATION_(x) __attribute__((x))
@@ -38,21 +45,66 @@
 #define IQ_NO_THREAD_SAFETY_ANALYSIS \
   IQ_THREAD_ANNOTATION_(no_thread_safety_analysis)
 
+// Documentation-only marker for members of externally-synchronized classes:
+// the guarding mutex lives in the *owner* (e.g. SubdomainIndex's state is
+// guarded by IqEngine::mu_), so clang's analysis cannot name it from here.
+// The marker keeps the locking contract grep-able at the member and
+// satisfies tools/iq_lint's unguarded-member check the same way a real
+// IQ_GUARDED_BY does. `what` is free-form prose naming the owner's mutex.
+#define IQ_GUARDED_BY_CALLER(what)
+
 namespace iq {
 
-/// std::mutex with thread-safety-analysis annotations.
+/// std::mutex with thread-safety-analysis annotations and a deadlock-
+/// detecting lock rank (util/lock_rank.h). In Debug builds every Lock()
+/// checks the calling thread's held-rank stack *before* blocking and aborts
+/// on any non-increasing acquisition; Release builds compile the check out
+/// and Lock() is exactly std::mutex::lock().
 class IQ_CAPABILITY("mutex") Mutex {
  public:
+  /// Mutexes outside the engine's documented acquisition order default to
+  /// LockRank::kLeaf; everything inside the tree names its rank.
   Mutex() = default;
+  explicit Mutex(LockRank rank) : rank_(rank) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() IQ_ACQUIRE() { mu_.lock(); }
-  void Unlock() IQ_RELEASE() { mu_.unlock(); }
-  bool TryLock() IQ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() IQ_ACQUIRE() {
+#ifndef NDEBUG
+    lock_rank_internal::OnAcquire(this, rank_);
+#endif
+    mu_.lock();
+  }
+  void Unlock() IQ_RELEASE() {
+    mu_.unlock();
+#ifndef NDEBUG
+    lock_rank_internal::OnRelease(this);
+#endif
+  }
+  bool TryLock() IQ_TRY_ACQUIRE(true) {
+    // TryLock cannot deadlock, but a try-acquisition against rank order is
+    // still a smell the detector reports (strictness keeps the rank table
+    // honest; nothing in the tree try-locks out of order).
+    bool ok = mu_.try_lock();
+#ifndef NDEBUG
+    if (ok) lock_rank_internal::OnAcquire(this, rank_);
+#endif
+    return ok;
+  }
+
+  LockRank rank() const { return rank_; }
 
  private:
+  friend class CondVar;
+  friend class MutexLockPair;
+
+  /// For CondVar's wait (which must release/reacquire the native handle
+  /// without disturbing the rank bookkeeping — the waiter logically still
+  /// owns the slot) and MutexLockPair's ordered double acquisition.
+  std::mutex& native() { return mu_; }
+
   std::mutex mu_;
+  LockRank rank_ = LockRank::kLeaf;
 };
 
 /// RAII lock; the scoped capability makes lock scope visible to the
@@ -67,6 +119,80 @@ class IQ_SCOPED_CAPABILITY MutexLock {
 
  private:
   Mutex* mu_;
+};
+
+/// RAII two-lock acquisition for same-rank mutex pairs (the IqEngine
+/// move-assignment case: both engines' state moves, so both engine-rank
+/// locks must be held). Acquisition is in address order — the classic
+/// symmetric-deadlock fix — and the deadlock detector admits the second
+/// same-rank acquisition only through this path, so ad-hoc hand-rolled
+/// double locking elsewhere still aborts in Debug builds. `a` and `b` may
+/// be the same mutex (self-move): it is then locked once.
+class IQ_SCOPED_CAPABILITY MutexLockPair {
+ public:
+  // The bodies are IQ_NO_THREAD_SAFETY_ANALYSIS because the analysis cannot
+  // alias the address-swapped first_/second_ back to the declared (a, b)
+  // capabilities; the interface attributes still govern every call site.
+  MutexLockPair(Mutex* a, Mutex* b) IQ_ACQUIRE(a, b)
+      IQ_NO_THREAD_SAFETY_ANALYSIS : first_(a), second_(b) {
+    if (first_ == second_) {
+      second_ = nullptr;
+    } else if (std::less<Mutex*>{}(second_, first_)) {
+      std::swap(first_, second_);
+    }
+    first_->Lock();
+    if (second_ != nullptr) {
+#ifndef NDEBUG
+      lock_rank_internal::OnAcquirePairSecond(second_, second_->rank(),
+                                              first_);
+#endif
+      second_->native().lock();
+    }
+  }
+
+  ~MutexLockPair() IQ_RELEASE() IQ_NO_THREAD_SAFETY_ANALYSIS {
+    if (second_ != nullptr) {
+      second_->native().unlock();
+#ifndef NDEBUG
+      lock_rank_internal::OnRelease(second_);
+#endif
+    }
+    first_->Unlock();
+  }
+
+  MutexLockPair(const MutexLockPair&) = delete;
+  MutexLockPair& operator=(const MutexLockPair&) = delete;
+
+ private:
+  Mutex* first_;   // lower address, locked first
+  Mutex* second_;  // higher address; nullptr when a == b
+};
+
+/// Condition variable paired with iq::Mutex. No predicate overload on
+/// purpose: callers loop `while (!cond) cv.Wait(mu);` inside a MutexLock
+/// scope, which keeps the guarded reads of `cond` visible to the
+/// thread-safety analysis without any suppression. While blocked in Wait
+/// the calling thread keeps its rank-stack entry for `mu` — conservative,
+/// and exactly right for the re-acquisition on wake-up.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu` and blocks; re-acquires before returning.
+  /// Spurious wake-ups happen — always re-test the condition in a loop.
+  void Wait(Mutex& mu) IQ_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.native(), std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
 };
 
 }  // namespace iq

@@ -34,10 +34,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -46,8 +46,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stopping_ && queue_.empty()) work_cv_.Wait(mu_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -73,11 +73,11 @@ void ThreadPool::ParallelFor(
   struct CallState {
     std::atomic<int64_t> next{0};
     std::atomic<bool> failed{false};
-    std::exception_ptr error;      // first failure, guarded by err_mu
-    std::mutex err_mu;
-    std::mutex done_mu;
-    std::condition_variable done_cv;
-    int pending = 0;               // outstanding pool tasks, done_mu
+    Mutex err_mu{LockRank::kPoolError};
+    std::exception_ptr error IQ_GUARDED_BY(err_mu);  // first failure
+    Mutex done_mu{LockRank::kPoolDone};
+    CondVar done_cv;
+    int pending IQ_GUARDED_BY(done_mu) = 0;  // outstanding pool tasks
   };
   CallState state;
 
@@ -90,7 +90,7 @@ void ThreadPool::ParallelFor(
       try {
         body(begin, end);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(state.err_mu);
+        MutexLock lock(&state.err_mu);
         if (!state.error) state.error = std::current_exception();
         state.failed.store(true, std::memory_order_release);
       }
@@ -100,28 +100,38 @@ void ThreadPool::ParallelFor(
   // One helper task per worker; each claims chunks until the range drains.
   const int64_t helpers =
       std::min<int64_t>(workers, (n + chunk - 1) / chunk);
-  state.pending = static_cast<int>(helpers);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock done(&state.done_mu);
+    state.pending = static_cast<int>(helpers);
+  }
+  {
+    MutexLock lock(&mu_);
     for (int64_t i = 0; i < helpers; ++i) {
       queue_.emplace_back([&state, &run_chunks, timer = WallTimer()] {
         TaskObserver observer =
             g_task_observer.load(std::memory_order_acquire);
         if (observer != nullptr) observer(timer.ElapsedNanos());
         run_chunks();
-        std::lock_guard<std::mutex> done(state.done_mu);
-        if (--state.pending == 0) state.done_cv.notify_one();
+        MutexLock done(&state.done_mu);
+        if (--state.pending == 0) state.done_cv.NotifyOne();
       });
     }
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 
   run_chunks();  // the caller participates
   {
-    std::unique_lock<std::mutex> done(state.done_mu);
-    state.done_cv.wait(done, [&state] { return state.pending == 0; });
+    MutexLock done(&state.done_mu);
+    while (state.pending != 0) state.done_cv.Wait(state.done_mu);
   }
-  if (state.error) std::rethrow_exception(state.error);
+  // pending == 0 above synchronized with every helper's final decrement, so
+  // this read of `error` cannot race; the lock keeps the analysis exact.
+  std::exception_ptr error;
+  {
+    MutexLock lock(&state.err_mu);
+    error = state.error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ParallelForOrSerial(ThreadPool* pool, int64_t n,

@@ -1,14 +1,14 @@
 #ifndef IQ_UTIL_THREAD_POOL_H_
 #define IQ_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.h"
 
 namespace iq {
 
@@ -62,11 +62,16 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  /// Task-queue lock. Dispatchers may already hold the engine lock
+  /// (LockRank::kEngine < kPoolQueue); workers acquire it with nothing
+  /// held.
+  Mutex mu_{LockRank::kPoolQueue};
+  CondVar work_cv_;
+  std::deque<std::function<void()>> queue_ IQ_GUARDED_BY(mu_);
+  bool stopping_ IQ_GUARDED_BY(mu_) = false;
+  /// Spawned in the constructor, joined in the destructor, never touched in
+  /// between — immutable for the pool's concurrent lifetime.
+  std::vector<std::thread> workers_;  // iq-lint: allow(unguarded-member)
 };
 
 /// Serial-fallback dispatch: runs `body` over [0, n) on the pool when one is

@@ -1,0 +1,10 @@
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+
+// Fixture: include guard does not follow the IQ_<PATH>_H_ derivation.
+
+namespace iq {
+inline int LintFixtureBadGuard() { return 0; }
+}  // namespace iq
+
+#endif  // WRONG_GUARD_H

@@ -1,0 +1,29 @@
+// Fixture: one representative of every banned pattern ported from
+// tools/lint.sh. Comments and strings must NOT count — only the marked
+// code lines below are real findings.
+//
+// In a comment, std::mt19937 and std::chrono::steady_clock::now and
+// ::socket( are all fine.
+#include <chrono>
+#include <random>
+
+namespace iq {
+
+const char* kProse = "std::rand and ::connect( in a string are fine";
+
+unsigned SeedFixture() {
+  std::mt19937 gen(42);  // finding: banned-rng
+  return static_cast<unsigned>(gen());
+}
+
+long NowFixture() {
+  return std::chrono::steady_clock::now()  // finding: banned-clock
+      .time_since_epoch()
+      .count();
+}
+
+int SocketFixture() {
+  return ::socket(0, 0, 0);  // finding: banned-socket
+}
+
+}  // namespace iq

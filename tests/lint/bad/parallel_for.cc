@@ -1,0 +1,20 @@
+// Fixture: fans a reduction out through ParallelFor without a single
+// IQ_CHECK/IQ_DCHECK validating the merged result.
+#include <atomic>
+#include <cstdint>
+
+#include "util/thread_pool.h"
+
+namespace iq {
+
+int64_t SumFixture(ThreadPool* pool, int64_t n) {
+  std::atomic<int64_t> sum{0};
+  pool->ParallelFor(n, [&sum](int64_t begin, int64_t end) {
+    int64_t local = 0;
+    for (int64_t i = begin; i < end; ++i) local += i;
+    sum.fetch_add(local);
+  });
+  return sum.load();  // finding: parallel-for-check (no IQ_CHECK anywhere)
+}
+
+}  // namespace iq

@@ -1,0 +1,15 @@
+// Fixture: raw standard-library lock primitives outside src/util/. The
+// self-test feeds this through CheckFile under a synthetic src/core/ path
+// and expects one raw-mutex finding per marked line.
+#include <mutex>
+
+namespace iq {
+
+std::mutex g_mu;  // finding: raw-mutex
+
+int Locked() {
+  std::lock_guard<std::mutex> lock(g_mu);  // finding: raw-mutex
+  return 1;
+}
+
+}  // namespace iq

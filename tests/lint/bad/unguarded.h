@@ -1,0 +1,32 @@
+#ifndef IQ_TESTS_LINT_BAD_UNGUARDED_H_
+#define IQ_TESTS_LINT_BAD_UNGUARDED_H_
+
+// Fixture: a Mutex-owning class with an unannotated mutable member. The
+// self-test checks it under this real repo-relative path (the guard above
+// must therefore be correct, so only unguarded-member findings fire).
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "util/annotations.h"
+
+namespace iq {
+
+class BadCache {
+ public:
+  void Put(int key);
+
+ private:
+  Mutex mu_{LockRank::kLeaf};
+  std::vector<int> keys_ IQ_GUARDED_BY(mu_);  // annotated: ok
+  std::atomic<int> hits_{0};                  // atomic: ok
+  int size_ = 0;          // finding: unguarded-member
+  std::string name_;      // finding: unguarded-member
+  double rate_{0.5};      // finding: unguarded-member (brace init)
+  bool frozen_ = false;   // iq-lint: allow(unguarded-member)
+};
+
+}  // namespace iq
+
+#endif  // IQ_TESTS_LINT_BAD_UNGUARDED_H_

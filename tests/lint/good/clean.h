@@ -1,0 +1,39 @@
+#ifndef IQ_TESTS_LINT_GOOD_CLEAN_H_
+#define IQ_TESTS_LINT_GOOD_CLEAN_H_
+
+// Fixture: a fully disciplined header — correct guard, every mutable
+// member of the Mutex-owning class annotated, atomic, the lock itself, or
+// explicitly waived. CheckFile must return zero findings for it.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/annotations.h"
+
+namespace iq {
+
+class CleanCache {
+ public:
+  void Put(int key);
+  int size() const;
+
+ private:
+  mutable Mutex mu_{LockRank::kLeaf};
+  CondVar cv_;
+  std::vector<int> keys_ IQ_GUARDED_BY(mu_);
+  int size_ IQ_GUARDED_BY(mu_) = 0;
+  std::atomic<bool> open_{true};
+  std::vector<std::thread> workers_;  // iq-lint: allow(unguarded-member)
+  static constexpr int kMax = 8;
+};
+
+/// No Mutex member here, so plain members need no annotations.
+struct PlainStats {
+  int calls = 0;
+  double seconds = 0.0;
+};
+
+}  // namespace iq
+
+#endif  // IQ_TESTS_LINT_GOOD_CLEAN_H_

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# clang-tidy over the files a change touches (DESIGN.md §10).
+#
+#   tools/clang_tidy_changed.sh [--base=REF] [--all] [--compdb=DIR]
+#
+# Lints only the .cc/.h files that differ from --base (default: origin/main,
+# falling back to HEAD~1) so a PR pays for its own diagnostics, not for the
+# whole tree's history. --all lints every source file instead (the cron /
+# full-audit mode). Exits non-zero iff clang-tidy reports any warning or
+# error in the selected files, so CI fails on NEW diagnostics in changed
+# files while untouched legacy files stay out of scope by construction.
+set -u
+
+cd "$(dirname "$0")/.."
+
+base=""
+all=0
+compdb=""
+for arg in "$@"; do
+  case "$arg" in
+    --base=*) base="${arg#--base=}" ;;
+    --all) all=1 ;;
+    --compdb=*) compdb="${arg#--compdb=}" ;;
+    *) echo "usage: $0 [--base=REF] [--all] [--compdb=DIR]" >&2; exit 2 ;;
+  esac
+done
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "clang_tidy_changed: clang-tidy not installed — skipping" >&2
+  exit 0
+fi
+
+# A compilation database is required; configure the release preset if none
+# of the usual build trees has one yet.
+if [ -z "$compdb" ]; then
+  for d in build/release build build/asan-ubsan; do
+    [ -f "$d/compile_commands.json" ] && { compdb="$d"; break; }
+  done
+fi
+if [ -z "$compdb" ] || [ ! -f "$compdb/compile_commands.json" ]; then
+  echo "clang_tidy_changed: configuring build/release for compile_commands.json"
+  cmake --preset release >/dev/null || exit 1
+  compdb="build/release"
+fi
+
+if [ "$all" -eq 1 ]; then
+  files="$(find src -name '*.cc' -type f | sort)"
+else
+  if [ -z "$base" ]; then
+    if git rev-parse --verify -q origin/main >/dev/null; then
+      base="origin/main"
+    else
+      base="HEAD~1"
+    fi
+  fi
+  # Headers aren't compile units: when a changed header is in scope, lint
+  # the .cc files that include it so its diagnostics surface anyway.
+  changed="$(git diff --name-only --diff-filter=d "$base" -- \
+               'src/**/*.cc' 'src/**/*.h' 'src/*.cc' 'src/*.h')"
+  files=""
+  for f in $changed; do
+    case "$f" in
+      *.cc) files="$files$f"$'\n' ;;
+      *.h)
+        hits="$(grep -rl "$(basename "$f")" src --include='*.cc' || true)"
+        [ -n "$hits" ] && files="$files$hits"$'\n'
+        ;;
+    esac
+  done
+  files="$(printf '%s' "$files" | sort -u)"
+fi
+
+if [ -z "$files" ]; then
+  echo "clang_tidy_changed: no source files in scope — OK"
+  exit 0
+fi
+
+echo "clang_tidy_changed: linting $(printf '%s\n' "$files" | wc -l) file(s) (compdb: $compdb)"
+out="$(printf '%s\n' "$files" | xargs clang-tidy -p "$compdb" --quiet 2>/dev/null)"
+if printf '%s' "$out" | grep -q 'warning:\|error:'; then
+  printf '%s\n' "$out" >&2
+  echo "clang_tidy_changed: FAILED" >&2
+  exit 1
+fi
+echo "clang_tidy_changed: OK"

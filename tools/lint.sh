@@ -1,106 +1,48 @@
 #!/usr/bin/env bash
-# Repo lint: clang-tidy (when installed) plus a fast header-hygiene pass.
+# Repo lint: thin wrapper that builds and runs tools/iq_lint, the real
+# lint binary (header guards, banned RNG/clock/socket patterns, raw
+# std::mutex outside util/, unannotated guarded members, IQ_CHECK-free
+# ParallelFor reductions). See DESIGN.md §10 and tests/lint/ for the
+# fixture corpus that pins each check's behavior.
 #
-#   tools/lint.sh            # lint the whole tree
-#   tools/lint.sh --no-tidy  # header hygiene only
+#   tools/lint.sh                    # lint the tree, human-readable output
+#   tools/lint.sh --json=report.json # also write a machine-readable report
+#   tools/lint.sh --json=-           # JSON report to stdout
 #
-# Exits non-zero on any finding. CI runs this as its own lane.
+# Exits non-zero on any finding. CI runs this as its own lane and uploads
+# the JSON report as an artifact. clang-tidy is NOT run here anymore — see
+# tools/clang_tidy_changed.sh for the changed-files tidy pass.
 set -u
 
 cd "$(dirname "$0")/.."
-failures=0
-run_tidy=1
-[ "${1:-}" = "--no-tidy" ] && run_tidy=0
 
-note() { printf '%s\n' "$*"; }
-fail() { printf 'lint: %s\n' "$*" >&2; failures=$((failures + 1)); }
+json_flag=""
+for arg in "$@"; do
+  case "$arg" in
+    --json=*) json_flag="$arg" ;;
+    # Historical flag from the pre-iq_lint shell implementation; clang-tidy
+    # no longer runs here, so it is accepted and ignored.
+    --no-tidy) ;;
+    *) echo "usage: $0 [--json=PATH|-]" >&2; exit 2 ;;
+  esac
+done
 
-# ---------------------------------------------------------------- guards --
-# Every header must carry an include guard derived from its path:
-#   src/util/check.h        -> IQ_UTIL_CHECK_H_
-#   tests/test_world.h      -> IQ_TESTS_TEST_WORLD_H_
-#   bench/common/harness.h  -> IQ_BENCH_COMMON_HARNESS_H_
-expected_guard() {
-  local rel="${1#./}"
-  rel="${rel#src/}"
-  rel="$(printf '%s' "$rel" | tr 'a-z/.-' 'A-Z___')"
-  printf 'IQ_%s_\n' "$rel"
-}
-
-while IFS= read -r header; do
-  guard="$(expected_guard "$header")"
-  if ! grep -q "^#ifndef ${guard}\$" "$header"; then
-    fail "$header: missing or wrong include guard (expected ${guard})"
-  elif ! grep -q "^#define ${guard}\$" "$header"; then
-    fail "$header: #ifndef ${guard} without matching #define"
-  fi
-done < <(find src tests bench -name '*.h' -type f | sort)
-
-# ------------------------------------------------------- banned patterns --
-# All randomness must flow through the seedable util/random.h Rng so every
-# experiment is reproducible; C library rand() and ad-hoc std::mt19937 /
-# std::random_device seeds are banned outside util/random.* itself.
-banned='std::rand\b|[^_[:alnum:]]srand[[:space:]]*\(|std::random_device|std::mt19937|std::default_random_engine'
-hits="$(grep -rnE "$banned" src bench examples tests \
-        --include='*.cc' --include='*.cpp' --include='*.h' \
-        | grep -v '^src/util/random\.' || true)"
-if [ -n "$hits" ]; then
-  fail "banned RNG use (route randomness through util/random.h):"
-  printf '%s\n' "$hits" >&2
+# Reuse an existing configured build tree when there is one; otherwise
+# configure build/ from scratch. Either way (re)build the iq_lint target so
+# the binary always matches the checked-out lint sources.
+build_dir=""
+for d in build build/release build-debug; do
+  [ -f "$d/CMakeCache.txt" ] && { build_dir="$d"; break; }
+done
+if [ -z "$build_dir" ]; then
+  echo "lint: configuring build/ for iq_lint" >&2
+  cmake -B build -S . >/dev/null || exit 1
+  build_dir="build"
 fi
+cmake --build "$build_dir" --target iq_lint -j >/dev/null || exit 1
+lint_binary="$build_dir/tools/iq_lint"
 
-# All timing must flow through util/timer.h (WallTimer) or the observability
-# layer (src/obs/) so latency metrics stay consistent and mockable; raw
-# std::chrono clock reads anywhere else are banned.
-banned_clocks='std::chrono::steady_clock::now|std::chrono::high_resolution_clock|std::chrono::system_clock::now'
-clock_hits="$(grep -rnE "$banned_clocks" src bench examples tests \
-        --include='*.cc' --include='*.cpp' --include='*.h' \
-        | grep -vE '^src/util/timer\.h|^src/obs/' || true)"
-if [ -n "$clock_hits" ]; then
-  fail "raw std::chrono clock use (time through util/timer.h or src/obs/):"
-  printf '%s\n' "$clock_hits" >&2
+if [ -n "$json_flag" ]; then
+  exec "$lint_binary" --root=. "$json_flag"
 fi
-
-# All network I/O must stay inside the observability exporter: it is the one
-# sanctioned socket user (loopback-only, reviewed as a unit), and scattering
-# raw socket(2)/bind/accept/connect calls elsewhere would bypass that review.
-banned_sockets='::socket[[:space:]]*\(|::bind[[:space:]]*\(|::listen[[:space:]]*\(|::accept[[:space:]]*\(|::connect[[:space:]]*\('
-socket_hits="$(grep -rnE "$banned_sockets" src bench examples tests \
-        --include='*.cc' --include='*.cpp' --include='*.h' \
-        | grep -v '^src/obs/exporter\.cc' || true)"
-if [ -n "$socket_hits" ]; then
-  fail "raw socket use outside src/obs/exporter.cc (route through the exporter/HttpGetLocal):"
-  printf '%s\n' "$socket_hits" >&2
-fi
-
-# ------------------------------------------------------------ clang-tidy --
-if [ "$run_tidy" -eq 1 ]; then
-  if command -v clang-tidy >/dev/null 2>&1; then
-    compdb=""
-    for d in build/release build build/asan-ubsan; do
-      [ -f "$d/compile_commands.json" ] && { compdb="$d"; break; }
-    done
-    if [ -z "$compdb" ]; then
-      note "lint: configuring build/release for compile_commands.json"
-      cmake --preset release >/dev/null || fail "cmake --preset release failed"
-      compdb="build/release"
-    fi
-    if [ -f "$compdb/compile_commands.json" ]; then
-      note "lint: clang-tidy over src/ (compdb: $compdb)"
-      tidy_out="$(find src -name '*.cc' -type f | sort \
-                  | xargs clang-tidy -p "$compdb" --quiet 2>/dev/null)"
-      if printf '%s' "$tidy_out" | grep -q 'warning:\|error:'; then
-        printf '%s\n' "$tidy_out" >&2
-        fail "clang-tidy reported findings"
-      fi
-    fi
-  else
-    note "lint: clang-tidy not installed — skipping (header hygiene still enforced)"
-  fi
-fi
-
-if [ "$failures" -gt 0 ]; then
-  note "lint: FAILED ($failures problem(s))"
-  exit 1
-fi
-note "lint: OK"
+exec "$lint_binary" --root=.
