@@ -19,6 +19,16 @@
 //   --scrape-metrics=PATH  after the run, GET /metrics over loopback and
 //                          write the payload to PATH (starts an ephemeral
 //                          exporter when no --exporter-port= was given)
+//   --threads=LIST         comma-separated thread counts to run (default
+//                          0,1,2,4,8; 0 = serial fallback, always run first
+//                          so speedups have a baseline)
+//   --profile=PATH         after the timed reps of each cell, run one extra
+//                          rep under the contention profiler (obs/profile.h)
+//                          and write every window's ProfileReport — labeled
+//                          "<path>/threads=N" — to PATH as a JSON dump that
+//                          tools/iq_prof ingests. Profiling is OFF during
+//                          the timed reps, so this flag does not perturb the
+//                          reported seconds.
 //
 // Note on expectations: speedup > 1 needs real cores. On a single-core
 // machine the pooled paths measure the (small) coordination overhead
@@ -35,6 +45,8 @@
 #include "bench/common/harness.h"
 #include "obs/exporter.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
+#include "util/string_util.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -42,7 +54,14 @@ namespace iq {
 namespace bench {
 namespace {
 
-constexpr int kThreadCounts[] = {0, 1, 2, 4, 8};
+constexpr int kDefaultThreadCounts[] = {0, 1, 2, 4, 8};
+
+/// Shared knobs for one bench run: which thread counts to sweep, and (when
+/// --profile= is set) where the per-cell ProfileReports accumulate.
+struct RunConfig {
+  std::vector<int> thread_counts;
+  std::vector<ProfileReport>* profiles = nullptr;  // null: profiling off
+};
 
 struct Cell {
   int num_threads = 0;
@@ -66,6 +85,27 @@ double BestOf(int reps, const std::function<void()>& fn) {
   return best;
 }
 
+/// Times one (path, thread-count) cell: best-of over the timed reps with
+/// profiling off, then — when --profile= asked for it — one *extra* rep
+/// inside a ProfileSession whose report is labeled "<path>/threads=N" and
+/// published to the metrics registry. Keeping the profiled rep out of the
+/// timing keeps the seconds column comparable with and without the flag.
+double MeasureCell(const RunConfig& cfg, const std::string& path,
+                   int num_threads, int reps,
+                   const std::function<void()>& fn) {
+  const double best = BestOf(reps, fn);
+  if (cfg.profiles != nullptr) {
+    ProfileSession session;
+    session.Start();
+    fn();
+    ProfileReport report = session.Stop(
+        StrFormat("%s/threads=%d", path.c_str(), num_threads));
+    PublishProfileMetrics(report);
+    cfg.profiles->push_back(std::move(report));
+  }
+  return best;
+}
+
 void FillSpeedups(PathResult* result) {
   const double serial = result->cells.front().seconds;
   for (Cell& cell : result->cells) {
@@ -73,14 +113,15 @@ void FillSpeedups(PathResult* result) {
   }
 }
 
-PathResult BenchIndexBuild(const Workload& w, int reps) {
+PathResult BenchIndexBuild(const RunConfig& cfg, const Workload& w,
+                           int reps) {
   PathResult result{"index_build", {}};
-  for (int num_threads : kThreadCounts) {
+  for (int num_threads : cfg.thread_counts) {
     std::unique_ptr<ThreadPool> pool;
     if (num_threads > 0) pool = std::make_unique<ThreadPool>(num_threads);
     SubdomainIndexOptions options;
     options.pool = pool.get();
-    double seconds = BestOf(reps, [&] {
+    double seconds = MeasureCell(cfg, result.path, num_threads, reps, [&] {
       auto index =
           SubdomainIndex::Build(w.view.get(), w.queries.get(), options);
       IQ_CHECK(index.ok());
@@ -91,17 +132,18 @@ PathResult BenchIndexBuild(const Workload& w, int reps) {
   return result;
 }
 
-PathResult BenchGreedyMaxHit(const Workload& w, int reps) {
+PathResult BenchGreedyMaxHit(const RunConfig& cfg, const Workload& w,
+                             int reps) {
   // Fixed targets + fixed budget: every thread count runs the identical
   // search (the determinism contract makes the work content equal too).
   PathResult result{"greedy_max_hit", {}};
   const int num_targets = 8;
-  for (int num_threads : kThreadCounts) {
+  for (int num_threads : cfg.thread_counts) {
     std::unique_ptr<ThreadPool> pool;
     if (num_threads > 0) pool = std::make_unique<ThreadPool>(num_threads);
     IqOptions options;
     options.pool = pool.get();
-    double seconds = BestOf(reps, [&] {
+    double seconds = MeasureCell(cfg, result.path, num_threads, reps, [&] {
       for (int t = 0; t < num_targets; ++t) {
         auto ctx = IqContext::FromIndex(w.index.get(), t);
         IQ_CHECK(ctx.ok());
@@ -116,7 +158,7 @@ PathResult BenchGreedyMaxHit(const Workload& w, int reps) {
   return result;
 }
 
-PathResult BenchSolveBatch(int n, int m, int reps) {
+PathResult BenchSolveBatch(const RunConfig& cfg, int n, int m, int reps) {
   PathResult result{"solve_batch", {}};
   std::vector<BatchItem> items;
   for (int t = 0; t < n; t += std::max(1, n / 32)) {
@@ -128,7 +170,7 @@ PathResult BenchSolveBatch(int n, int m, int reps) {
     item.beta = 0.2;
     items.push_back(item);
   }
-  for (int num_threads : kThreadCounts) {
+  for (int num_threads : cfg.thread_counts) {
     Dataset data = MakeIndependent(n, PaperParams::kDim, 42);
     QueryGenOptions qopts;
     qopts.k_max = 50;
@@ -138,7 +180,7 @@ PathResult BenchSolveBatch(int n, int m, int reps) {
         IqEngine::Create(std::move(data), LinearForm::Identity(PaperParams::kDim),
                          MakeQueries(m, PaperParams::kDim, 43, qopts), eopts);
     IQ_CHECK(engine.ok());
-    double seconds = BestOf(reps, [&] {
+    double seconds = MeasureCell(cfg, result.path, num_threads, reps, [&] {
       auto batch = engine->SolveBatch(items);
       IQ_CHECK(batch.ok());
     });
@@ -190,10 +232,52 @@ Status WriteJson(const std::string& path,
   return Status::Ok();
 }
 
+/// The --profile= dump: run metadata plus every cell's ProfileReport, in
+/// the line-oriented JSON that tools/iq_prof re-ingests.
+Status WriteProfileDump(const std::string& path,
+                        const std::vector<ProfileReport>& profiles) {
+  std::string json = "{\"bench\":\"micro_parallel\",\"run\":" +
+                     RunMetadataJson(CollectRunMetadata(/*seed=*/42)) +
+                     ",\n\"profiles\": [";
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    json += i == 0 ? "\n" : ",\n";
+    json += profiles[i].ToJson();
+  }
+  json += profiles.empty() ? "]}\n" : "\n]}\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path);
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "profile dump (%zu windows) written to %s\n",
+               profiles.size(), path.c_str());
+  return Status::Ok();
+}
+
+/// Parses "--threads=0,2,8" into thread counts; rejects empty / negative
+/// entries. The serial cell (0) is the speedup baseline — when the list
+/// omits it, speedups are relative to the first listed count instead.
+Result<std::vector<int>> ParseThreadList(const std::string& list) {
+  std::vector<int> out;
+  for (std::string_view part : StrSplit(list, ',')) {
+    auto v = ParseInt(StrTrim(part));
+    if (!v.ok() || *v < 0 || *v > 256) {
+      return Status::InvalidArgument("bad --threads= entry: " +
+                                     std::string(part));
+    }
+    out.push_back(static_cast<int>(*v));
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument("--threads= list is empty");
+  }
+  return out;
+}
+
 int Main(int argc, char** argv) {
   int n = 4000, m = 800, reps = 3;
   int exporter_port = -1;
-  std::string json_path, scrape_path;
+  std::string json_path, scrape_path, profile_path, threads_list;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto intval = [&arg](const char* prefix, int* out) {
@@ -216,9 +300,31 @@ int Main(int argc, char** argv) {
       scrape_path = arg.substr(17);
       continue;
     }
+    if (arg.rfind("--profile=", 0) == 0) {
+      profile_path = arg.substr(10);
+      continue;
+    }
+    if (arg.rfind("--threads=", 0) == 0) {
+      threads_list = arg.substr(10);
+      continue;
+    }
     std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
     return 1;
   }
+
+  RunConfig cfg;
+  cfg.thread_counts.assign(std::begin(kDefaultThreadCounts),
+                           std::end(kDefaultThreadCounts));
+  if (!threads_list.empty()) {
+    auto parsed = ParseThreadList(threads_list);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    cfg.thread_counts = *parsed;
+  }
+  std::vector<ProfileReport> profiles;
+  if (!profile_path.empty()) cfg.profiles = &profiles;
 
   MetricsExporter exporter;
   if (exporter_port >= 0 || !scrape_path.empty()) {
@@ -235,13 +341,20 @@ int Main(int argc, char** argv) {
   Workload w = MakeLinearWorkload(SyntheticKind::kIndependent, n, m,
                                   PaperParams::kDim, 42);
   std::vector<PathResult> paths;
-  paths.push_back(BenchIndexBuild(w, reps));
-  paths.push_back(BenchGreedyMaxHit(w, reps));
-  paths.push_back(BenchSolveBatch(n / 4, m / 4, reps));
+  paths.push_back(BenchIndexBuild(cfg, w, reps));
+  paths.push_back(BenchGreedyMaxHit(cfg, w, reps));
+  paths.push_back(BenchSolveBatch(cfg, n / 4, m / 4, reps));
   PrintTable(paths);
 
   if (!json_path.empty()) {
     Status s = WriteJson(json_path, paths);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!profile_path.empty()) {
+    Status s = WriteProfileDump(profile_path, profiles);
     if (!s.ok()) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());
       return 1;

@@ -7,6 +7,8 @@
 #include "bench/common/micro_main.h"
 #include "opt/dykstra.h"
 #include "opt/hit_solver.h"
+#include "util/annotations.h"
+#include "util/prof.h"
 #include "util/random.h"
 
 namespace iq {
@@ -79,6 +81,39 @@ void BM_PenaltySolver(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PenaltySolver);
+
+// Overhead guard for the contention profiler (DESIGN.md §11): the
+// profiling-off uncontended Lock/Unlock pair must stay within noise of a
+// plain std::mutex — the only addition is one relaxed atomic load and a
+// predictable branch on each side. Tracked by tools/bench_regress.sh, so a
+// regression on this path (which sits under every engine call) fails the
+// bench gate even when the engine micros hide it in their noise.
+void BM_MutexProfileOverhead(benchmark::State& state) {
+  prof::SetEnabled(false);
+  Mutex mu(LockRank::kLeaf, "BM_MutexProfileOverhead");
+  int64_t x = 0;
+  for (auto _ : state) {
+    MutexLock lock(&mu);
+    benchmark::DoNotOptimize(++x);
+  }
+}
+BENCHMARK(BM_MutexProfileOverhead);
+
+// The same pair with profiling *on*: documents the uncontended slow-path
+// cost (try_lock + per-thread slot update) rather than gating it. Restores
+// the global off state so later benchmarks in the binary are unaffected.
+void BM_MutexProfileOverheadEnabled(benchmark::State& state) {
+  prof::SetEnabled(true);
+  Mutex mu(LockRank::kLeaf, "BM_MutexProfileOverheadEnabled");
+  int64_t x = 0;
+  for (auto _ : state) {
+    MutexLock lock(&mu);
+    benchmark::DoNotOptimize(++x);
+  }
+  prof::SetEnabled(false);
+  prof::Reset();
+}
+BENCHMARK(BM_MutexProfileOverheadEnabled);
 
 }  // namespace
 }  // namespace iq

@@ -371,7 +371,8 @@ Result<std::vector<IqResult>> IqEngine::SolveBatch(
                          item_timer.ElapsedSeconds());
           slots[static_cast<size_t>(i)] = std::move(r);
         }
-      });
+      },
+      "engine.solve_batch");
   EngineMetrics::Get().batch_items->Increment(
       static_cast<uint64_t>(items.size()));
   // Deterministic error policy: the lowest-index failure wins.

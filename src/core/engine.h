@@ -242,7 +242,7 @@ class IqEngine {
   /// The outermost lock in the tree's acquisition order (LockRank::kEngine,
   /// see util/lock_rank.h): it is held across whole solves, and the pool,
   /// event-log and metrics locks all nest inside it.
-  mutable Mutex mu_{LockRank::kEngine};
+  mutable Mutex mu_{LockRank::kEngine, "IqEngine::mu_"};
   // IQ_PT_GUARDED_BY extends the check to the pointees: dereferencing one
   // of these outside mu_ is flagged, not just reseating the pointer.
   std::unique_ptr<Dataset> dataset_ IQ_GUARDED_BY(mu_) IQ_PT_GUARDED_BY(mu_);

@@ -263,7 +263,8 @@ std::vector<Candidate> BuildCandidates(const IqContext& ctx,
           cand.step = std::move(sol->s);
           cand.step_cost = sol->cost;
         }
-      });
+      },
+      "greedy.candidate_solve");
   out.reserve(slots.size());
   for (Candidate& cand : slots) {
     if (cand.q >= 0) out.push_back(std::move(cand));
@@ -318,7 +319,8 @@ std::vector<Candidate> BuildCandidates(const IqContext& ctx,
                                 Add(p_cur, cand.step));
                             cand.hits = evaluator->HitsForCoeffs(c_cand);
                           }
-                        });
+                        },
+                        "greedy.candidate_eval");
     bd->eval_seconds += eval_timer.ElapsedSeconds();
     bd->candidates_evaluated += out.size();
     SearchMetrics::Get().eval_nanos->Record(eval_timer.ElapsedNanos());

@@ -117,7 +117,8 @@ Result<SubdomainIndex> SubdomainIndex::Build(const FunctionView* view,
           sigs[static_cast<size_t>(i)] =
               index.ComputeSignature(index.aug_w_[static_cast<size_t>(q)]);
         }
-      });
+      },
+      "index.build_rank");
 
   // Phase 2 (serial): attach in ascending query id, so subdomain ids are
   // assigned in first-encounter order exactly as the serial build does.
@@ -440,7 +441,8 @@ Status SubdomainIndex::OnObjectRemoved(int id) {
                               aug_w_[static_cast<size_t>(
                                   affected[static_cast<size_t>(i)])]);
                         }
-                      });
+                      },
+                      "index.maintenance_rerank");
   for (size_t i = 0; i < affected.size(); ++i) {
     AttachQueryToSubdomain(affected[i],
                            FindOrCreateSubdomain(std::move(sigs[i])));

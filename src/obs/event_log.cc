@@ -5,6 +5,7 @@
 #include <functional>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/string_util.h"
 
@@ -151,6 +152,13 @@ void EventLog::Record(Event e) {
     stripe.ring[static_cast<size_t>(stripe.next % kStripeCapacity)] =
         std::move(e);
     g_dropped.fetch_add(1, std::memory_order_relaxed);
+    // Mirrored onto the metrics registry so scrapers see ring overwrites
+    // without parsing /statusz. Registering while the stripe lock is held
+    // is rank-legal (kEventLogStripe < kMetricsRegistry); the static caches
+    // the pointer so steady-state drops are one extra relaxed increment.
+    static Counter* dropped_counter =
+        MetricsRegistry::Global().GetCounter("iq.eventlog.dropped");
+    dropped_counter->Increment();
   }
   ++stripe.next;
 }

@@ -132,7 +132,7 @@ class EventLog {
     /// All stripes share LockRank::kEventLogStripe: the log holds at most
     /// one stripe lock at a time (Record touches one stripe; Snapshot and
     /// Clear visit stripes strictly sequentially).
-    mutable Mutex mu{LockRank::kEventLogStripe};
+    mutable Mutex mu{LockRank::kEventLogStripe, "EventLog::stripe"};
     /// Ring storage; grows to kStripeCapacity then wraps.
     std::vector<Event> ring IQ_GUARDED_BY(mu);
     /// Events ever recorded into this stripe; `next % kStripeCapacity` is

@@ -22,6 +22,9 @@ namespace iq {
 ///   /healthz   "ok" — liveness probe.
 ///   /statusz   JSON snapshot: uptime, metrics (MetricsSnapshot::ToJson)
 ///              and event-log counts.
+///   /profilez  live scalability profile (obs/profile.h) as line-oriented
+///              JSON; a `"enabled": false` placeholder when contention
+///              profiling is off.
 ///
 /// One background thread accepts and serves connections sequentially —
 /// scrapes are rare and responses are small, so there is nothing to win
@@ -86,7 +89,7 @@ class MetricsExporter {
 
   /// Guards the Start/Stop lifecycle transitions (bind, thread launch,
   /// join, close), making concurrent Start/Stop calls safe and idempotent.
-  Mutex mu_{LockRank::kExporter};
+  Mutex mu_{LockRank::kExporter, "MetricsExporter::mu_"};
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
   std::atomic<int> port_{-1};

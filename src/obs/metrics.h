@@ -130,7 +130,7 @@ class MetricsRegistry {
   /// Registration/snapshot lock — a leaf in the engine's acquisition order:
   /// instrumented paths may register metrics lazily while holding any other
   /// lock in the tree (see util/lock_rank.h).
-  mutable Mutex mu_{LockRank::kMetricsRegistry};
+  mutable Mutex mu_{LockRank::kMetricsRegistry, "MetricsRegistry::mu_"};
   std::map<std::string, std::unique_ptr<Counter>> counters_
       IQ_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_ IQ_GUARDED_BY(mu_);

@@ -1,0 +1,567 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/string_util.h"
+
+namespace iq {
+namespace {
+
+/// Total length of the union of half-open intervals (merge-after-sort).
+uint64_t UnionLength(std::vector<std::pair<uint64_t, uint64_t>> spans) {
+  if (spans.empty()) return 0;
+  std::sort(spans.begin(), spans.end());
+  uint64_t total = 0;
+  uint64_t cur_begin = spans[0].first;
+  uint64_t cur_end = spans[0].second;
+  for (size_t i = 1; i < spans.size(); ++i) {
+    if (spans[i].first > cur_end) {
+      total += cur_end - cur_begin;
+      cur_begin = spans[i].first;
+      cur_end = spans[i].second;
+    } else {
+      cur_end = std::max(cur_end, spans[i].second);
+    }
+  }
+  return total + (cur_end - cur_begin);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) out += c;
+    }
+  }
+  return out;
+}
+
+std::string FormatNanos(uint64_t ns) {
+  if (ns >= 1000000000ULL) {
+    return StrFormat("%.2f s", static_cast<double>(ns) / 1e9);
+  }
+  if (ns >= 1000000ULL) {
+    return StrFormat("%.2f ms", static_cast<double>(ns) / 1e6);
+  }
+  if (ns >= 1000ULL) {
+    return StrFormat("%.2f us", static_cast<double>(ns) / 1e3);
+  }
+  return StrFormat("%llu ns", static_cast<unsigned long long>(ns));
+}
+
+/// Extracts the raw token after `"key":` on `line`; false when absent.
+/// Quoted values lose their quotes; bare values are trimmed at , } ] or
+/// end-of-line. Tolerant by construction — this is the iq_prof ingestion
+/// path and must survive hand-edited or truncated dumps.
+bool FindRawValue(const std::string& line, const char* key,
+                  std::string* out) {
+  std::string needle = StrFormat("\"%s\":", key);
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  size_t v = pos + needle.size();
+  while (v < line.size() && line[v] == ' ') ++v;
+  if (v >= line.size()) return false;
+  if (line[v] == '"') {
+    size_t e = line.find('"', v + 1);
+    if (e == std::string::npos) return false;
+    *out = line.substr(v + 1, e - v - 1);
+    return true;
+  }
+  size_t e = line.find_first_of(",}]", v);
+  if (e == std::string::npos) e = line.size();
+  *out = std::string(StrTrim(line.substr(v, e - v)));
+  return !out->empty();
+}
+
+uint64_t FindU64(const std::string& line, const char* key) {
+  std::string raw;
+  if (!FindRawValue(line, key, &raw)) return 0;
+  auto v = ParseInt(raw);
+  return v.ok() && *v >= 0 ? static_cast<uint64_t>(*v) : 0;
+}
+
+double FindDouble(const std::string& line, const char* key) {
+  std::string raw;
+  if (!FindRawValue(line, key, &raw)) return 0.0;
+  auto v = ParseDouble(raw);
+  return v.ok() ? *v : 0.0;
+}
+
+}  // namespace
+
+double ProfileReport::ProjectedSpeedup(int n) const {
+  if (n <= 0) return 0.0;
+  const double s = std::clamp(serial_fraction, 0.0, 1.0);
+  return 1.0 / (s + (1.0 - s) / static_cast<double>(n));
+}
+
+ProfileReport BuildProfileReport(const std::string& label,
+                                 uint64_t window_start_ns,
+                                 uint64_t window_end_ns) {
+  ProfileReport r;
+  r.label = label;
+  r.enabled = true;
+  r.window_nanos =
+      window_end_ns > window_start_ns ? window_end_ns - window_start_ns : 0;
+  r.dropped_records = prof::DroppedRecords();
+
+  for (const prof::MutexSiteStats& s : prof::SnapshotMutexSites()) {
+    MutexSiteReport m;
+    m.label = s.label != nullptr ? s.label : "(unlabeled)";
+    m.rank = LockRankName(s.rank);
+    m.acquisitions = s.acquisitions;
+    m.contended = s.contended;
+    m.wait_nanos = s.wait_nanos;
+    m.max_wait_nanos = s.max_wait_nanos;
+    m.held_nanos = s.held_nanos;
+    r.total_wait_nanos += s.wait_nanos;
+    r.mutexes.push_back(std::move(m));
+  }
+  std::sort(r.mutexes.begin(), r.mutexes.end(),
+            [](const MutexSiteReport& a, const MutexSiteReport& b) {
+              if (a.wait_nanos != b.wait_nanos) {
+                return a.wait_nanos > b.wait_nanos;
+              }
+              return a.label < b.label;
+            });
+
+  struct SiteAccum {
+    std::set<uint64_t> calls;
+    std::vector<uint64_t> durations;
+    std::vector<std::pair<uint64_t, uint64_t>> spans;
+    int64_t items = 0;
+    uint64_t busy = 0;
+  };
+  std::map<std::string, SiteAccum> sites;
+  std::vector<std::pair<uint64_t, uint64_t>> all_spans;
+  for (const prof::ChunkSpan& c : prof::SnapshotChunkSpans()) {
+    // Clip to the window; spans entirely outside it belong to another run.
+    const uint64_t b = std::max(c.start_ns, window_start_ns);
+    const uint64_t e = std::min(c.end_ns, window_end_ns);
+    if (e <= b) continue;
+    SiteAccum& acc = sites[c.site != nullptr ? c.site : "(unlabeled)"];
+    acc.calls.insert(c.call_id);
+    acc.durations.push_back(e - b);
+    acc.spans.emplace_back(b, e);
+    acc.items += c.items;
+    acc.busy += e - b;
+    all_spans.emplace_back(b, e);
+  }
+  r.coverage_nanos = UnionLength(std::move(all_spans));
+  for (auto& [site, acc] : sites) {
+    ParallelSiteReport p;
+    p.site = site;
+    p.calls = acc.calls.size();
+    p.chunks = acc.durations.size();
+    p.items = acc.items;
+    p.busy_nanos = acc.busy;
+    p.coverage_nanos = UnionLength(std::move(acc.spans));
+    std::sort(acc.durations.begin(), acc.durations.end());
+    p.median_chunk_nanos = acc.durations[acc.durations.size() / 2];
+    p.max_chunk_nanos = acc.durations.back();
+    p.imbalance = p.median_chunk_nanos > 0
+                      ? static_cast<double>(p.max_chunk_nanos) /
+                            static_cast<double>(p.median_chunk_nanos)
+                      : 1.0;
+    r.parallel_sites.push_back(std::move(p));
+  }
+  std::sort(r.parallel_sites.begin(), r.parallel_sites.end(),
+            [](const ParallelSiteReport& a, const ParallelSiteReport& b) {
+              if (a.busy_nanos != b.busy_nanos) {
+                return a.busy_nanos > b.busy_nanos;
+              }
+              return a.site < b.site;
+            });
+  r.serial_fraction =
+      r.window_nanos > 0
+          ? std::clamp(1.0 - static_cast<double>(r.coverage_nanos) /
+                                 static_cast<double>(r.window_nanos),
+                       0.0, 1.0)
+          : 1.0;
+
+  std::map<uint32_t, std::vector<prof::WorkerEvent>> by_worker;
+  for (const prof::WorkerEvent& e : prof::SnapshotWorkerEvents()) {
+    by_worker[e.worker].push_back(e);
+  }
+  for (auto& [id, events] : by_worker) {
+    std::sort(events.begin(), events.end(),
+              [](const prof::WorkerEvent& a, const prof::WorkerEvent& b) {
+                return a.t_ns < b.t_ns;
+              });
+    WorkerReport w;
+    w.worker = id;
+    for (size_t i = 0; i < events.size(); ++i) {
+      const uint64_t b = std::max(events[i].t_ns, window_start_ns);
+      const uint64_t e = std::min(
+          i + 1 < events.size() ? events[i + 1].t_ns : window_end_ns,
+          window_end_ns);
+      if (e <= b) continue;
+      if (events[i].state == prof::WorkerState::kRunning) {
+        w.running_nanos += e - b;
+      } else {
+        w.idle_nanos += e - b;
+      }
+    }
+    r.workers.push_back(w);
+  }
+  return r;
+}
+
+std::string ProfileReport::ToJson() const {
+  std::string out = "{\n";
+  out += StrFormat("  \"profile_label\": \"%s\",\n",
+                   JsonEscape(label).c_str());
+  out += StrFormat("  \"enabled\": %s,\n", enabled ? "true" : "false");
+  out += StrFormat("  \"window_nanos\": %llu,\n",
+                   static_cast<unsigned long long>(window_nanos));
+  out += StrFormat("  \"coverage_nanos\": %llu,\n",
+                   static_cast<unsigned long long>(coverage_nanos));
+  out += StrFormat("  \"serial_fraction\": %.6f,\n", serial_fraction);
+  out += StrFormat("  \"total_wait_nanos\": %llu,\n",
+                   static_cast<unsigned long long>(total_wait_nanos));
+  out += StrFormat("  \"dropped_records\": %llu,\n",
+                   static_cast<unsigned long long>(dropped_records));
+  for (int n : {2, 4, 8, 16}) {
+    out += StrFormat("  \"projected_speedup_%d\": %.3f,\n", n,
+                     ProjectedSpeedup(n));
+  }
+  out += "  \"mutexes\": [";
+  for (size_t i = 0; i < mutexes.size(); ++i) {
+    const MutexSiteReport& m = mutexes[i];
+    out += StrFormat(
+        "%s\n    {\"mutex\": \"%s\", \"rank\": \"%s\", \"acquisitions\": "
+        "%llu, \"contended\": %llu, \"wait_nanos\": %llu, "
+        "\"max_wait_nanos\": %llu, \"held_nanos\": %llu}",
+        i == 0 ? "" : ",", JsonEscape(m.label).c_str(),
+        JsonEscape(m.rank).c_str(),
+        static_cast<unsigned long long>(m.acquisitions),
+        static_cast<unsigned long long>(m.contended),
+        static_cast<unsigned long long>(m.wait_nanos),
+        static_cast<unsigned long long>(m.max_wait_nanos),
+        static_cast<unsigned long long>(m.held_nanos));
+  }
+  out += mutexes.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"parallel_sites\": [";
+  for (size_t i = 0; i < parallel_sites.size(); ++i) {
+    const ParallelSiteReport& p = parallel_sites[i];
+    out += StrFormat(
+        "%s\n    {\"site\": \"%s\", \"calls\": %llu, \"chunks\": %llu, "
+        "\"items\": %lld, \"busy_nanos\": %llu, \"site_coverage_nanos\": "
+        "%llu, \"median_chunk_nanos\": %llu, \"max_chunk_nanos\": %llu, "
+        "\"imbalance\": %.3f}",
+        i == 0 ? "" : ",", JsonEscape(p.site).c_str(),
+        static_cast<unsigned long long>(p.calls),
+        static_cast<unsigned long long>(p.chunks),
+        static_cast<long long>(p.items),
+        static_cast<unsigned long long>(p.busy_nanos),
+        static_cast<unsigned long long>(p.coverage_nanos),
+        static_cast<unsigned long long>(p.median_chunk_nanos),
+        static_cast<unsigned long long>(p.max_chunk_nanos), p.imbalance);
+  }
+  out += parallel_sites.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"workers\": [";
+  for (size_t i = 0; i < workers.size(); ++i) {
+    const WorkerReport& w = workers[i];
+    out += StrFormat(
+        "%s\n    {\"worker\": %u, \"running_nanos\": %llu, "
+        "\"idle_nanos\": %llu}",
+        i == 0 ? "" : ",", w.worker,
+        static_cast<unsigned long long>(w.running_nanos),
+        static_cast<unsigned long long>(w.idle_nanos));
+  }
+  out += workers.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+void ProfileSession::Start() {
+  prof::SetEnabled(false);
+  prof::Reset();
+  prof::SetEnabled(true);
+  start_ns_ = prof::EnabledSinceNanos();
+  active_ = true;
+}
+
+ProfileReport ProfileSession::Stop(const std::string& label) {
+  const uint64_t end_ns = prof::NowNanos();
+  prof::SetEnabled(false);
+  active_ = false;
+  return BuildProfileReport(label, start_ns_, end_ns);
+}
+
+std::string CurrentProfileJson() {
+  if (!prof::Enabled()) {
+    ProfileReport r;
+    r.label = "live";
+    r.enabled = false;
+    return r.ToJson();
+  }
+  return BuildProfileReport("live", prof::EnabledSinceNanos(),
+                            prof::NowNanos())
+      .ToJson();
+}
+
+std::string ChromeTraceJson() {
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const prof::ChunkSpan& c : prof::SnapshotChunkSpans()) {
+    out += StrFormat(
+        "%s\n{\"name\": \"%s\", \"cat\": \"parallel_for\", \"ph\": \"X\", "
+        "\"pid\": 0, \"tid\": %u, \"ts\": %.3f, \"dur\": %.3f, "
+        "\"args\": {\"items\": %lld, \"call\": %llu}}",
+        first ? "" : ",",
+        JsonEscape(c.site != nullptr ? c.site : "(unlabeled)").c_str(),
+        c.worker, static_cast<double>(c.start_ns) / 1e3,
+        static_cast<double>(c.end_ns - c.start_ns) / 1e3,
+        static_cast<long long>(c.items),
+        static_cast<unsigned long long>(c.call_id));
+    first = false;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void PublishProfileMetrics(const ProfileReport& report) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  std::map<std::string, uint64_t> wait_by_rank;
+  for (const MutexSiteReport& m : report.mutexes) {
+    wait_by_rank[m.rank] += m.wait_nanos;
+  }
+  for (const auto& [rank, wait] : wait_by_rank) {
+    reg.GetGauge(StrFormat("iq.lock.wait_nanos{rank=%s}", rank.c_str()))
+        ->Set(static_cast<int64_t>(wait));
+  }
+  for (const ParallelSiteReport& p : report.parallel_sites) {
+    reg.GetGauge(
+           StrFormat("iq.pool.chunk_imbalance{site=%s}", p.site.c_str()))
+        ->Set(static_cast<int64_t>(std::llround(p.imbalance * 1000.0)));
+  }
+}
+
+std::vector<ProfileReport> ParseProfileReports(const std::string& text) {
+  std::vector<ProfileReport> reports;
+  ProfileReport* cur = nullptr;
+  std::string raw;
+  for (std::string_view line_view : StrSplit(text, '\n')) {
+    const std::string line(line_view);
+    if (FindRawValue(line, "profile_label", &raw)) {
+      reports.emplace_back();
+      cur = &reports.back();
+      cur->label = raw;
+      cur->serial_fraction = 1.0;
+      continue;
+    }
+    if (cur == nullptr) continue;
+    if (FindRawValue(line, "mutex", &raw)) {
+      MutexSiteReport m;
+      m.label = raw;
+      if (FindRawValue(line, "rank", &raw)) m.rank = raw;
+      m.acquisitions = FindU64(line, "acquisitions");
+      m.contended = FindU64(line, "contended");
+      m.wait_nanos = FindU64(line, "wait_nanos");
+      m.max_wait_nanos = FindU64(line, "max_wait_nanos");
+      m.held_nanos = FindU64(line, "held_nanos");
+      cur->mutexes.push_back(std::move(m));
+      continue;
+    }
+    if (FindRawValue(line, "site", &raw)) {
+      ParallelSiteReport p;
+      p.site = raw;
+      p.calls = FindU64(line, "calls");
+      p.chunks = FindU64(line, "chunks");
+      p.items = static_cast<int64_t>(FindU64(line, "items"));
+      p.busy_nanos = FindU64(line, "busy_nanos");
+      p.coverage_nanos = FindU64(line, "site_coverage_nanos");
+      p.median_chunk_nanos = FindU64(line, "median_chunk_nanos");
+      p.max_chunk_nanos = FindU64(line, "max_chunk_nanos");
+      p.imbalance = FindDouble(line, "imbalance");
+      cur->parallel_sites.push_back(std::move(p));
+      continue;
+    }
+    if (FindRawValue(line, "worker", &raw)) {
+      WorkerReport w;
+      auto id = ParseInt(raw);
+      w.worker = id.ok() && *id >= 0 ? static_cast<uint32_t>(*id) : 0;
+      w.running_nanos = FindU64(line, "running_nanos");
+      w.idle_nanos = FindU64(line, "idle_nanos");
+      cur->workers.push_back(w);
+      continue;
+    }
+    if (FindRawValue(line, "enabled", &raw)) cur->enabled = raw == "true";
+    if (line.find("\"window_nanos\":") != std::string::npos) {
+      cur->window_nanos = FindU64(line, "window_nanos");
+    }
+    if (line.find("\"coverage_nanos\":") != std::string::npos &&
+        line.find("site_coverage") == std::string::npos) {
+      cur->coverage_nanos = FindU64(line, "coverage_nanos");
+    }
+    if (line.find("\"serial_fraction\":") != std::string::npos) {
+      cur->serial_fraction = FindDouble(line, "serial_fraction");
+    }
+    if (line.find("\"total_wait_nanos\":") != std::string::npos) {
+      cur->total_wait_nanos = FindU64(line, "total_wait_nanos");
+    }
+    if (line.find("\"dropped_records\":") != std::string::npos) {
+      cur->dropped_records = FindU64(line, "dropped_records");
+    }
+  }
+  return reports;
+}
+
+std::string ProfileVerdict(const ProfileReport& r) {
+  if (!r.enabled || r.window_nanos == 0) {
+    return "no profile data captured (profiling disabled or empty window)";
+  }
+  const double window = static_cast<double>(r.window_nanos);
+  const double wait_share =
+      static_cast<double>(r.total_wait_nanos) / window;
+  if (wait_share >= 0.05 && !r.mutexes.empty()) {
+    const MutexSiteReport& top = r.mutexes.front();
+    return StrFormat(
+        "lock contention dominates: %s (rank %s) waited %s across %llu "
+        "acquisitions — %.1f%% of the window blocked on locks",
+        top.label.c_str(), top.rank.c_str(),
+        FormatNanos(top.wait_nanos).c_str(),
+        static_cast<unsigned long long>(top.acquisitions),
+        100.0 * wait_share);
+  }
+  const ParallelSiteReport* worst_imbalance = nullptr;
+  for (const ParallelSiteReport& p : r.parallel_sites) {
+    if (p.chunks >= 4 &&
+        static_cast<double>(p.coverage_nanos) / window >= 0.2 &&
+        (worst_imbalance == nullptr ||
+         p.imbalance > worst_imbalance->imbalance)) {
+      worst_imbalance = &p;
+    }
+  }
+  if (worst_imbalance != nullptr && worst_imbalance->imbalance >= 2.0) {
+    return StrFormat(
+        "chunk imbalance at %s: max/median chunk duration %.2f — one "
+        "straggler chunk serializes the tail of each call",
+        worst_imbalance->site.c_str(), worst_imbalance->imbalance);
+  }
+  if (r.serial_fraction >= 0.25) {
+    const char* biggest = r.parallel_sites.empty()
+                              ? "(none)"
+                              : r.parallel_sites.front().site.c_str();
+    return StrFormat(
+        "serial fraction %.2f is the ceiling: parallel regions cover only "
+        "%.1f%% of the window (largest: %s), capping speedup at x%.2f on 8 "
+        "threads regardless of contention",
+        r.serial_fraction, 100.0 * (1.0 - r.serial_fraction), biggest,
+        r.ProjectedSpeedup(8));
+  }
+  return StrFormat(
+      "no dominant serialization: parallel coverage %.1f%% of the window, "
+      "lock wait %.2f%%",
+      100.0 * (1.0 - r.serial_fraction), 100.0 * wait_share);
+}
+
+std::string FormatSerializationReport(
+    const std::vector<ProfileReport>& reports, int top_n) {
+  if (reports.empty()) return "iq_prof: no profiles found in input\n";
+  std::string out =
+      StrFormat("iq_prof serialization report — %zu profile%s\n",
+                reports.size(), reports.size() == 1 ? "" : "s");
+  for (const ProfileReport& r : reports) {
+    out += StrFormat(
+        "\nprofile %s: window %s, parallel coverage %.1f%% "
+        "(serial fraction %.3f)%s\n",
+        r.label.c_str(), FormatNanos(r.window_nanos).c_str(),
+        100.0 * (1.0 - r.serial_fraction), r.serial_fraction,
+        r.dropped_records > 0
+            ? StrFormat(" [TRUNCATED: %llu records dropped]",
+                        static_cast<unsigned long long>(r.dropped_records))
+                  .c_str()
+            : "");
+    out += StrFormat(
+        "  projected speedup (Amdahl): x%.2f @2  x%.2f @4  x%.2f @8  "
+        "x%.2f @16\n",
+        r.ProjectedSpeedup(2), r.ProjectedSpeedup(4), r.ProjectedSpeedup(8),
+        r.ProjectedSpeedup(16));
+    if (!r.mutexes.empty()) {
+      out += "  top mutexes by wait:\n";
+      int shown = 0;
+      for (const MutexSiteReport& m : r.mutexes) {
+        if (shown++ >= top_n) break;
+        out += StrFormat(
+            "    %d. %-28s (%s)  wait %s / %llu acq (%llu contended, "
+            "max %s), held %s\n",
+            shown, m.label.c_str(), m.rank.c_str(),
+            FormatNanos(m.wait_nanos).c_str(),
+            static_cast<unsigned long long>(m.acquisitions),
+            static_cast<unsigned long long>(m.contended),
+            FormatNanos(m.max_wait_nanos).c_str(),
+            FormatNanos(m.held_nanos).c_str());
+      }
+    }
+    if (!r.parallel_sites.empty()) {
+      out += "  parallel sites:\n";
+      int shown = 0;
+      for (const ParallelSiteReport& p : r.parallel_sites) {
+        if (shown++ >= top_n) break;
+        out += StrFormat(
+            "    %-28s %llu calls / %llu chunks / %lld items, busy %s, "
+            "imbalance %.2f (max %s / med %s)\n",
+            p.site.c_str(), static_cast<unsigned long long>(p.calls),
+            static_cast<unsigned long long>(p.chunks),
+            static_cast<long long>(p.items),
+            FormatNanos(p.busy_nanos).c_str(), p.imbalance,
+            FormatNanos(p.max_chunk_nanos).c_str(),
+            FormatNanos(p.median_chunk_nanos).c_str());
+      }
+    }
+    if (!r.workers.empty()) {
+      uint64_t running = 0;
+      uint64_t idle = 0;
+      for (const WorkerReport& w : r.workers) {
+        running += w.running_nanos;
+        idle += w.idle_nanos;
+      }
+      const double denom = static_cast<double>(running + idle);
+      out += StrFormat(
+          "  pool workers: %zu, busy %.1f%% / idle %.1f%% of tracked time\n",
+          r.workers.size(), denom > 0 ? 100.0 * running / denom : 0.0,
+          denom > 0 ? 100.0 * idle / denom : 0.0);
+    }
+  }
+  out += StrFormat("\nverdict: %s\n", ProfileVerdict(reports.back()).c_str());
+  return out;
+}
+
+std::string SerializationReportJson(
+    const std::vector<ProfileReport>& reports) {
+  std::string out = "{\"iq_prof\": {\n";
+  out += StrFormat("\"num_profiles\": %zu,\n", reports.size());
+  const std::string verdict = reports.empty()
+                                  ? "no profiles found in input"
+                                  : ProfileVerdict(reports.back());
+  out += StrFormat("\"verdict\": \"%s\",\n", JsonEscape(verdict).c_str());
+  out += "\"profiles\": [";
+  for (size_t i = 0; i < reports.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\n";
+    out += reports[i].ToJson();
+  }
+  out += reports.empty() ? "]\n" : "\n]\n";
+  out += "}}\n";
+  return out;
+}
+
+}  // namespace iq

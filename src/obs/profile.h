@@ -1,0 +1,158 @@
+#ifndef IQ_OBS_PROFILE_H_
+#define IQ_OBS_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/lock_rank.h"
+#include "util/prof.h"
+
+// Scalability-profile aggregation (DESIGN.md §11). util/prof.h captures the
+// raw material — per-thread mutex slots, ParallelFor chunk spans, worker
+// state timelines — and this module turns one capture window into a
+// ProfileReport answering the question the flat micro_parallel speedup
+// raises: *where does the wall-clock go when threads are added?*
+//
+//   * per-mutex-site wait/held totals, ranked — lock contention;
+//   * per-ParallelFor-site coverage, chunk counts and imbalance
+//     (max / median chunk duration) — parallel-region health;
+//   * a serial-fraction estimate (1 - union(chunk spans)/window) and the
+//     Amdahl speedup it projects at 2/4/8/16 threads — the structural
+//     ceiling no amount of threads moves.
+//
+// Reports export three ways: line-oriented JSON (ToJson — tools/iq_prof
+// re-ingests it with ParseProfileReports), Chrome-trace spans
+// (ChromeTraceJson, load in chrome://tracing or Perfetto), and gauges on the
+// /metrics endpoint (PublishProfileMetrics). The exporter serves the live
+// report at /profilez.
+
+namespace iq {
+
+/// One mutex construction site, aggregated over the window.
+struct MutexSiteReport {
+  std::string label;      // construction-site label ("IqEngine::mu_")
+  std::string rank;       // LockRankName(rank)
+  uint64_t acquisitions = 0;
+  uint64_t contended = 0;
+  uint64_t wait_nanos = 0;
+  uint64_t max_wait_nanos = 0;
+  uint64_t held_nanos = 0;
+};
+
+/// One ParallelFor call site, aggregated over the window.
+struct ParallelSiteReport {
+  std::string site;       // call-site label ("engine.solve_batch")
+  uint64_t calls = 0;     // distinct ParallelFor invocations
+  uint64_t chunks = 0;    // executed chunks
+  int64_t items = 0;      // total items across chunks
+  uint64_t busy_nanos = 0;        // sum of chunk durations (cpu-seconds-ish)
+  uint64_t coverage_nanos = 0;    // union of this site's spans (wall clock)
+  uint64_t median_chunk_nanos = 0;
+  uint64_t max_chunk_nanos = 0;
+  /// max / median chunk duration; 1.0 = perfectly even, large = one straggler
+  /// chunk serializes the call's tail.
+  double imbalance = 1.0;
+};
+
+/// One pool worker's busy/idle split over the window.
+struct WorkerReport {
+  uint32_t worker = 0;
+  uint64_t running_nanos = 0;
+  uint64_t idle_nanos = 0;
+};
+
+/// Aggregated view of one capture window.
+struct ProfileReport {
+  std::string label;          // caller-chosen window name ("threads=4")
+  bool enabled = true;        // false: placeholder from a disabled process
+  uint64_t window_nanos = 0;  // wall-clock length of the window
+  uint64_t coverage_nanos = 0;   // union of ALL chunk spans in the window
+  double serial_fraction = 1.0;  // 1 - coverage/window (1.0 = no parallelism)
+  uint64_t total_wait_nanos = 0;  // sum of mutex wait over all sites
+  uint64_t dropped_records = 0;   // capture-buffer overflow (see util/prof.h)
+  std::vector<MutexSiteReport> mutexes;         // sorted by wait desc
+  std::vector<ParallelSiteReport> parallel_sites;  // sorted by busy desc
+  std::vector<WorkerReport> workers;            // sorted by worker id
+
+  /// Amdahl projection from serial_fraction: 1 / (s + (1-s)/n).
+  double ProjectedSpeedup(int n) const;
+
+  /// Line-oriented JSON: every record on its own line with distinctive keys
+  /// ("profile_label", "mutex", "site", "worker"), so ParseProfileReports
+  /// can re-ingest it with a tolerant line scanner — no JSON library in the
+  /// tree. The output is nonetheless valid JSON.
+  std::string ToJson() const;
+};
+
+/// Builds a report from the current util/prof.h capture buffers over
+/// [window_start_ns, window_end_ns] on the capture clock. Records outside
+/// the window are clipped (spans) or included as-is (mutex slots are
+/// cumulative since the last Reset — callers Reset at window start).
+ProfileReport BuildProfileReport(const std::string& label,
+                                 uint64_t window_start_ns,
+                                 uint64_t window_end_ns);
+
+/// Start/stop wrapper the benches use: Start() resets capture and enables
+/// profiling; Stop(label) disables it and aggregates the window. Not
+/// thread-safe — one session at a time, owned by the driver (main thread).
+class ProfileSession {
+ public:
+  void Start();
+  ProfileReport Stop(const std::string& label);
+  bool active() const { return active_; }
+
+ private:
+  bool active_ = false;
+  uint64_t start_ns_ = 0;
+};
+
+/// The live report the exporter serves at /profilez: the window is
+/// [EnabledSinceNanos(), now] while profiling is on; a `"enabled": false`
+/// placeholder report otherwise. Always valid JSON with a "profile_label"
+/// line, so scrapers need no special empty case.
+std::string CurrentProfileJson();
+
+/// Chrome-trace (chrome://tracing / Perfetto) JSON of the raw capture:
+/// one complete event ("ph":"X") per ParallelFor chunk, tid = worker id.
+std::string ChromeTraceJson();
+
+/// Publishes a report's headline numbers as gauges on the global metrics
+/// registry, using embedded-label names the exporter renders as Prometheus
+/// labels (label blocks are `{key=value}` — no quotes — see
+/// RenderPrometheusText):
+///   iq.lock.wait_nanos{rank=kEngine}       total wait per lock rank
+///   iq.pool.chunk_imbalance{site=...}      imbalance in thousandths
+///                                          (gauges are integers; 2500 = 2.5x)
+void PublishProfileMetrics(const ProfileReport& report);
+
+// ---- ingestion + reporting (the tools/iq_prof core, testable in-process) --
+
+/// Parses every ProfileReport found in `text` — a single ToJson() report, a
+/// /profilez scrape, or a micro_parallel --profile= dump with a "profiles"
+/// array. Tolerant line scanner: unknown lines are skipped, a
+/// "profile_label" line starts a new report.
+std::vector<ProfileReport> ParseProfileReports(const std::string& text);
+
+/// Names the dominant serialization mechanism in one report: lock
+/// contention (top mutex by wait when wait is a meaningful window share),
+/// chunk imbalance, or — the common case on this workload — serial-fraction
+/// ceiling. One sentence, suitable for pasting into DESIGN.md.
+std::string ProfileVerdict(const ProfileReport& report);
+
+/// Human-readable ranked serialization report over one or more windows
+/// (typically one per thread count): per-window serial fraction and Amdahl
+/// projections, top `top_n` mutexes by wait, parallel sites with imbalance,
+/// worker busy/idle split, and a final verdict from the last window.
+std::string FormatSerializationReport(
+    const std::vector<ProfileReport>& reports, int top_n);
+
+/// Machine form of the same: {"iq_prof": {"num_profiles": N, "verdict":
+/// "...", "profiles": [...]}} — consumed by tools/check_metrics.sh
+/// --profile and CI.
+std::string SerializationReportJson(
+    const std::vector<ProfileReport>& reports);
+
+}  // namespace iq
+
+#endif  // IQ_OBS_PROFILE_H_

@@ -72,7 +72,7 @@ class TraceCollector {
     /// Uncontended in steady state: only the owning thread records, and the
     /// lock is shared with readers only while a flush is running (which
     /// holds the registry lock first — hence the higher rank).
-    Mutex mu{LockRank::kTraceBuffer};
+    Mutex mu{LockRank::kTraceBuffer, "TraceBuffer::mu"};
     /// Assigned once at registration, under the collector's mu_; read-only
     /// afterwards.  // iq-lint: allow(unguarded-member)
     int tid = 0;  // iq-lint: allow(unguarded-member)
@@ -86,7 +86,7 @@ class TraceCollector {
 
   ThreadBuffer* BufferForThisThread();
 
-  mutable Mutex mu_{LockRank::kTraceRegistry};
+  mutable Mutex mu_{LockRank::kTraceRegistry, "TraceCollector::mu_"};
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_ IQ_GUARDED_BY(mu_);
   int next_tid_ IQ_GUARDED_BY(mu_) = 1;
   std::atomic<bool> enabled_{false};

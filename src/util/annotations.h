@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "util/lock_rank.h"
+#include "util/prof.h"
 
 // Clang -Wthread-safety annotations (no-ops on other compilers), plus the
 // annotated iq::Mutex / iq::MutexLock wrappers the engine's mutable state is
@@ -55,17 +56,24 @@
 
 namespace iq {
 
-/// std::mutex with thread-safety-analysis annotations and a deadlock-
-/// detecting lock rank (util/lock_rank.h). In Debug builds every Lock()
-/// checks the calling thread's held-rank stack *before* blocking and aborts
-/// on any non-increasing acquisition; Release builds compile the check out
-/// and Lock() is exactly std::mutex::lock().
+/// std::mutex with thread-safety-analysis annotations, a deadlock-detecting
+/// lock rank (util/lock_rank.h) and optional contention profiling
+/// (util/prof.h). In Debug builds every Lock() checks the calling thread's
+/// held-rank stack *before* blocking and aborts on any non-increasing
+/// acquisition. With profiling off (the default) the only addition over
+/// std::mutex::lock() is one relaxed atomic load and a predictable branch;
+/// with profiling on, an uncontended Lock() is a try_lock plus a slot
+/// update, and only a genuinely contended Lock() pays for wait timing.
 class IQ_CAPABILITY("mutex") Mutex {
  public:
   /// Mutexes outside the engine's documented acquisition order default to
-  /// LockRank::kLeaf; everything inside the tree names its rank.
+  /// LockRank::kLeaf; everything inside the tree names its rank. `label`
+  /// identifies the construction site in profile reports ("IqEngine::mu_");
+  /// it must be a string literal / static string, and defaults to the rank
+  /// name when omitted.
   Mutex() = default;
-  explicit Mutex(LockRank rank) : rank_(rank) {}
+  explicit Mutex(LockRank rank, const char* label = nullptr)
+      : rank_(rank), label_(label) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
@@ -73,10 +81,18 @@ class IQ_CAPABILITY("mutex") Mutex {
 #ifndef NDEBUG
     lock_rank_internal::OnAcquire(this, rank_);
 #endif
+    if (prof::Enabled()) {
+      LockProfiled();
+      return;
+    }
     mu_.lock();
   }
   void Unlock() IQ_RELEASE() {
-    mu_.unlock();
+    if (prof::Enabled()) {
+      UnlockProfiled();
+    } else {
+      mu_.unlock();
+    }
 #ifndef NDEBUG
     lock_rank_internal::OnRelease(this);
 #endif
@@ -89,10 +105,16 @@ class IQ_CAPABILITY("mutex") Mutex {
 #ifndef NDEBUG
     if (ok) lock_rank_internal::OnAcquire(this, rank_);
 #endif
+    if (ok && prof::Enabled()) {
+      prof::internal::OnAcquired(this, rank_, label_, /*wait_nanos=*/0);
+    }
     return ok;
   }
 
   LockRank rank() const { return rank_; }
+  /// Construction-site profile label; null when defaulted (profiling then
+  /// falls back to the rank name).
+  const char* label() const { return label_; }
 
  private:
   friend class CondVar;
@@ -103,8 +125,14 @@ class IQ_CAPABILITY("mutex") Mutex {
   /// owns the slot) and MutexLockPair's ordered double acquisition.
   std::mutex& native() { return mu_; }
 
+  /// Cold profiled paths, out-of-line in util/prof.cc: contended Lock()
+  /// timing and held-time close-out.
+  void LockProfiled();
+  void UnlockProfiled();
+
   std::mutex mu_;
   LockRank rank_ = LockRank::kLeaf;
+  const char* label_ = nullptr;
 };
 
 /// RAII lock; the scoped capability makes lock scope visible to the
@@ -182,10 +210,17 @@ class CondVar {
 
   /// Atomically releases `mu` and blocks; re-acquires before returning.
   /// Spurious wake-ups happen — always re-test the condition in a loop.
+  /// When contention profiling is on, the blocked interval is excluded from
+  /// `mu`'s held-time accounting (the waiter does not hold the lock while
+  /// parked, and an idle pool worker must not read as a lock hog).
   void Wait(Mutex& mu) IQ_REQUIRES(mu) {
+    if (prof::Enabled()) prof::internal::OnCondWaitBegin(&mu);
     std::unique_lock<std::mutex> native(mu.native(), std::adopt_lock);
     cv_.wait(native);
     native.release();
+    if (prof::Enabled()) {
+      prof::internal::OnCondWaitEnd(&mu, mu.rank(), mu.label());
+    }
   }
 
   void NotifyOne() { cv_.notify_one(); }

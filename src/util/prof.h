@@ -1,0 +1,142 @@
+#ifndef IQ_UTIL_PROF_H_
+#define IQ_UTIL_PROF_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/lock_rank.h"
+
+// Scalability-profiling capture layer (DESIGN.md §11). This is the *raw*
+// side of the contention / critical-path profiler: lock-free per-thread
+// recording of
+//
+//   * mutex acquisition outcomes — wait time on contended Lock() calls and
+//     held time, keyed by (LockRank, construction-site label);
+//   * ThreadPool worker state transitions (running / idle);
+//   * per-ParallelFor chunk spans (start/end ns, item count, worker id,
+//     call id).
+//
+// It lives in util because iq::Mutex and ThreadPool (both util) are the
+// instrumented objects and util may not depend on obs. The aggregation into
+// a ProfileReport — per-rank wait totals, serial-fraction estimates, chunk
+// imbalance — is src/obs/profile.h, which sits above this and reads the
+// snapshots.
+//
+// Cost discipline: everything here is behind one process-global flag.
+// With profiling off (the default) the only residue on the hot path is a
+// single relaxed atomic load + predictable branch in Mutex::Lock/Unlock
+// (bench/micro_solver.cc BM_MutexProfileOverhead gates the regression at
+// <2%). With profiling on, an *uncontended* Lock() is a try_lock plus one
+// slot update; only a contended Lock() pays for a timer. Capture storage is
+// fixed-size and lock-free (claimed with atomic counters), so recording
+// never takes a lock and never allocates — a profiler that serializes the
+// paths it measures would be useless here.
+
+namespace iq {
+namespace prof {
+
+/// Process-global profiling switch. Zero-initialized before any dynamic
+/// initializer runs, so mutexes constructed during static init see a
+/// consistent "off".
+extern std::atomic<bool> g_enabled;
+
+inline bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+/// Turns capture on/off. Enabling bumps the capture epoch (stale per-thread
+/// hold records from a previous window are discarded lazily) and stamps the
+/// window start readable via EnabledSinceNanos().
+void SetEnabled(bool on);
+
+/// Capture-clock timestamp of the most recent SetEnabled(true); 0 when
+/// profiling was never enabled.
+uint64_t EnabledSinceNanos();
+
+/// Monotonic nanoseconds on the capture clock (a process-local epoch; all
+/// records in a snapshot share it).
+uint64_t NowNanos();
+
+/// Drops all captured data (mutex slots, chunk spans, worker events).
+/// Callers must ensure no capture is concurrently active (disable first, or
+/// own every recording thread) — the benches and ProfileSession do.
+void Reset();
+
+// ---- snapshots (merged across threads; safe while capture is running) ----
+
+/// Accumulated outcomes for one mutex construction site.
+struct MutexSiteStats {
+  LockRank rank = LockRank::kLeaf;
+  const char* label = nullptr;  // static string; never null in a snapshot
+  uint64_t acquisitions = 0;    // profiled Lock()/TryLock() successes
+  uint64_t contended = 0;       // of which blocked on another holder
+  uint64_t wait_nanos = 0;      // total time blocked acquiring
+  uint64_t max_wait_nanos = 0;  // worst single wait
+  uint64_t held_nanos = 0;      // total time held (CondVar waits excluded)
+};
+std::vector<MutexSiteStats> SnapshotMutexSites();
+
+/// One executed ParallelFor chunk.
+struct ChunkSpan {
+  const char* site = nullptr;  // ParallelFor call-site label
+  uint64_t call_id = 0;        // distinct per ParallelFor invocation
+  uint32_t worker = 0;         // pool worker id; 0 = the calling thread
+  int64_t items = 0;           // end - begin of the chunk
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+};
+std::vector<ChunkSpan> SnapshotChunkSpans();
+
+enum class WorkerState : uint8_t { kIdle = 0, kRunning = 1 };
+
+/// One worker state transition (the busy/idle timeline).
+struct WorkerEvent {
+  uint32_t worker = 0;
+  WorkerState state = WorkerState::kIdle;
+  uint64_t t_ns = 0;
+};
+std::vector<WorkerEvent> SnapshotWorkerEvents();
+
+/// Spans/events that did not fit the fixed capture buffers since the last
+/// Reset (reported so a truncated profile cannot read as a complete one).
+uint64_t DroppedRecords();
+
+// ---- capture hooks (called by iq::Mutex / ThreadPool; not user API) ----
+
+namespace internal {
+
+/// Records a profiled acquisition: wait_nanos == 0 means the fast
+/// uncontended try_lock path. Pushes a hold record for held-time tracking.
+void OnAcquired(const void* mu, LockRank rank, const char* label,
+                uint64_t wait_nanos);
+
+/// Ends the hold record pushed by OnAcquired (no-op when the acquisition
+/// was not profiled, e.g. profiling toggled on mid-hold).
+void OnReleased(const void* mu);
+
+/// CondVar::Wait bracket: the waiter releases the mutex for the duration,
+/// so held-time accounting pauses at Begin and resumes at End.
+void OnCondWaitBegin(const void* mu);
+void OnCondWaitEnd(const void* mu, LockRank rank, const char* label);
+
+/// Assigns the calling thread a stable nonzero worker id (ThreadPool calls
+/// this from each worker's entry). Idempotent.
+void AssignPoolWorkerId();
+
+/// The calling thread's worker id; 0 for non-pool threads.
+uint32_t WorkerId();
+
+/// Appends a state transition for the calling worker to the timeline.
+void RecordWorkerState(WorkerState state);
+
+/// Claims a call id for one ParallelFor invocation.
+uint64_t NextParallelForCallId();
+
+/// Appends one executed chunk span.
+void RecordChunkSpan(const char* site, uint64_t call_id, int64_t items,
+                     uint64_t start_ns, uint64_t end_ns);
+
+}  // namespace internal
+}  // namespace prof
+}  // namespace iq
+
+#endif  // IQ_UTIL_PROF_H_

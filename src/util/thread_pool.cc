@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "util/check.h"
+#include "util/prof.h"
 #include "util/timer.h"
 
 namespace iq {
@@ -43,24 +44,59 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::WorkerLoop() {
   t_in_pool_worker = true;
+  prof::internal::AssignPoolWorkerId();
   for (;;) {
     std::function<void()> task;
     {
       MutexLock lock(&mu_);
-      while (!stopping_ && queue_.empty()) work_cv_.Wait(mu_);
+      if (!stopping_ && queue_.empty()) {
+        if (prof::Enabled()) {
+          prof::internal::RecordWorkerState(prof::WorkerState::kIdle);
+        }
+        while (!stopping_ && queue_.empty()) work_cv_.Wait(mu_);
+      }
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+    }
+    if (prof::Enabled()) {
+      prof::internal::RecordWorkerState(prof::WorkerState::kRunning);
     }
     task();
   }
 }
 
+namespace {
+
+/// Runs one chunk, recording a span when profiling is on. Factored out so
+/// the pool dispatch path and the serial fallback attribute work to `site`
+/// identically.
+inline void RunChunkMaybeProfiled(
+    const std::function<void(int64_t, int64_t)>& body, int64_t begin,
+    int64_t end, const char* site, uint64_t call_id) {
+  if (!prof::Enabled()) {
+    body(begin, end);
+    return;
+  }
+  const uint64_t t0 = prof::NowNanos();
+  body(begin, end);
+  prof::internal::RecordChunkSpan(site, call_id, end - begin, t0,
+                                  prof::NowNanos());
+}
+
+}  // namespace
+
 void ThreadPool::ParallelFor(
-    int64_t n, const std::function<void(int64_t, int64_t)>& body) {
+    int64_t n, const std::function<void(int64_t, int64_t)>& body,
+    const char* site) {
   if (n <= 0) return;
   if (t_in_pool_worker || n == 1) {
-    body(0, n);  // nested or trivial: run inline on the current thread
+    // Nested or trivial: run inline on the current thread. Still one span —
+    // nested parallel regions must stay visible in the profile.
+    RunChunkMaybeProfiled(body, 0, n, site,
+                          prof::Enabled()
+                              ? prof::internal::NextParallelForCallId()
+                              : 0);
     return;
   }
   const int64_t workers = static_cast<int64_t>(workers_.size());
@@ -73,22 +109,24 @@ void ThreadPool::ParallelFor(
   struct CallState {
     std::atomic<int64_t> next{0};
     std::atomic<bool> failed{false};
-    Mutex err_mu{LockRank::kPoolError};
+    Mutex err_mu{LockRank::kPoolError, "ParallelFor::err_mu"};
     std::exception_ptr error IQ_GUARDED_BY(err_mu);  // first failure
-    Mutex done_mu{LockRank::kPoolDone};
+    Mutex done_mu{LockRank::kPoolDone, "ParallelFor::done_mu"};
     CondVar done_cv;
     int pending IQ_GUARDED_BY(done_mu) = 0;  // outstanding pool tasks
   };
   CallState state;
 
-  auto run_chunks = [&state, &body, n, chunk] {
+  const uint64_t call_id =
+      prof::Enabled() ? prof::internal::NextParallelForCallId() : 0;
+  auto run_chunks = [&state, &body, n, chunk, site, call_id] {
     for (;;) {
       int64_t begin = state.next.fetch_add(chunk, std::memory_order_relaxed);
       if (begin >= n) return;
       if (state.failed.load(std::memory_order_acquire)) return;
       int64_t end = std::min<int64_t>(n, begin + chunk);
       try {
-        body(begin, end);
+        RunChunkMaybeProfiled(body, begin, end, site, call_id);
       } catch (...) {
         MutexLock lock(&state.err_mu);
         if (!state.error) state.error = std::current_exception();
@@ -135,13 +173,19 @@ void ThreadPool::ParallelFor(
 }
 
 void ParallelForOrSerial(ThreadPool* pool, int64_t n,
-                         const std::function<void(int64_t, int64_t)>& body) {
+                         const std::function<void(int64_t, int64_t)>& body,
+                         const char* site) {
   if (n <= 0) return;
   if (pool == nullptr) {
-    body(0, n);
+    // Serial fallback records one covering span so a serial run's profile
+    // still shows the parallelizable-region coverage (the Amdahl ceiling).
+    RunChunkMaybeProfiled(body, 0, n, site,
+                          prof::Enabled()
+                              ? prof::internal::NextParallelForCallId()
+                              : 0);
     return;
   }
-  pool->ParallelFor(n, body);
+  pool->ParallelFor(n, body, site);
 }
 
 }  // namespace iq

@@ -44,8 +44,12 @@ class ThreadPool {
   /// chunk completed. The first exception thrown by any chunk is captured
   /// and rethrown on the caller (remaining chunks are drained, not run).
   /// Called from a pool worker, runs body(0, n) inline (see class comment).
+  /// `site` names the call site in profile reports (util/prof.h) — a static
+  /// string like "greedy.candidate_solve"; pass nullptr for unattributed
+  /// call sites (tests).
   void ParallelFor(int64_t n,
-                   const std::function<void(int64_t, int64_t)>& body);
+                   const std::function<void(int64_t, int64_t)>& body,
+                   const char* site = nullptr);
 
   /// True when the current thread is a worker of any ThreadPool.
   static bool InWorker();
@@ -65,7 +69,7 @@ class ThreadPool {
   /// Task-queue lock. Dispatchers may already hold the engine lock
   /// (LockRank::kEngine < kPoolQueue); workers acquire it with nothing
   /// held.
-  Mutex mu_{LockRank::kPoolQueue};
+  Mutex mu_{LockRank::kPoolQueue, "ThreadPool::mu_"};
   CondVar work_cv_;
   std::deque<std::function<void()>> queue_ IQ_GUARDED_BY(mu_);
   bool stopping_ IQ_GUARDED_BY(mu_) = false;
@@ -77,9 +81,13 @@ class ThreadPool {
 /// Serial-fallback dispatch: runs `body` over [0, n) on the pool when one is
 /// provided, inline on the caller otherwise. This is the single entry point
 /// the engine's hot paths use, so `EngineOptions::num_threads == 0` (no
-/// pool) preserves the exact pre-parallel code path.
+/// pool) preserves the exact pre-parallel code path. With profiling on, the
+/// serial path records a single chunk span for `site` too, so a serial run's
+/// report still shows which wall-clock fraction the parallelizable regions
+/// cover (the Amdahl ceiling, measurable even on one core).
 void ParallelForOrSerial(ThreadPool* pool, int64_t n,
-                         const std::function<void(int64_t, int64_t)>& body);
+                         const std::function<void(int64_t, int64_t)>& body,
+                         const char* site = nullptr);
 
 }  // namespace iq
 

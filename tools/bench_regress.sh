@@ -46,6 +46,14 @@ new = json.load(open(new_path))
 old_tracked = old.get("tracked", {})
 new_tracked = new.get("tracked", {})
 
+# Legacy reports (schema v1) stored hardware_concurrency as the global
+# run.num_threads, which says nothing about how any individual benchmark
+# ran. Drop it before looking at the run block: since schema v2 each
+# tracked entry carries its own num_threads, and that is the value that
+# must match for a p50 comparison to mean anything.
+for run in (old.get("run") or {}, new.get("run") or {}):
+    run.pop("num_threads", None)
+
 regressed, missing = [], []
 print(f"comparing {old_path} ({old.get('run', {}).get('git_sha', '?')}) -> "
       f"{new_path} ({new.get('run', {}).get('git_sha', '?')}), "
@@ -62,7 +70,15 @@ for key in sorted(old_tracked):
     ratio = nv / ov
     verdict = "REGRESSED" if ratio > 1 + threshold else "ok"
     unit = old_tracked[key].get("unit", "")
-    print(f"  {verdict:9s} {key}  {ov:.4g} -> {nv:.4g} {unit} ({ratio - 1:+.1%})")
+    ot = old_tracked[key].get("num_threads")
+    nt = new_tracked[key].get("num_threads")
+    note = ""
+    if ot is not None and nt is not None and ot != nt:
+        # Different thread counts: the ratio is apples-to-oranges, so say so
+        # loudly rather than fail or silently pass.
+        note = f" [num_threads {ot} -> {nt}: not comparable]"
+    print(f"  {verdict:9s} {key}  {ov:.4g} -> {nv:.4g} {unit} "
+          f"({ratio - 1:+.1%}){note}")
     if verdict == "REGRESSED":
         regressed.append(key)
 for key in sorted(set(new_tracked) - set(old_tracked)):
@@ -109,8 +125,13 @@ echo "== micro_parallel (${PAR_ARGS[*]}) =="
 python3 - "$TMP" "$OUT" <<'PYEOF'
 import json, os, sys
 
+# Schema v2: every tracked entry records the thread count that benchmark
+# actually ran with (google-benchmark's per-benchmark "threads" field, or
+# the micro_parallel cell's thread count). The run block keeps the
+# machine's core count under the honest name "host_cpus" — the old global
+# "num_threads" conflated the two and compare mode now ignores it.
 tmp, out = sys.argv[1], sys.argv[2]
-merged = {"schema": "iq-bench-regress-v1", "run": None, "tracked": {}}
+merged = {"schema": "iq-bench-regress-v2", "run": None, "tracked": {}}
 
 for name in ("micro_ese", "micro_solver", "micro_rtree"):
     report = json.load(open(os.path.join(tmp, name + ".json")))
@@ -119,7 +140,7 @@ for name in ("micro_ese", "micro_solver", "micro_rtree"):
         merged["run"] = {
             "git_sha": ctx.get("git_sha", "unknown"),
             "build_type": ctx.get("build_type", "unknown"),
-            "num_threads": int(ctx.get("num_threads") or 0),
+            "host_cpus": int(ctx.get("num_threads") or 0),
         }
     for bench in report.get("benchmarks", []):
         if bench.get("aggregate_name") != "median":
@@ -128,13 +149,19 @@ for name in ("micro_ese", "micro_solver", "micro_rtree"):
         merged["tracked"][f"{name}/{base}"] = {
             "p50": bench["real_time"],
             "unit": bench.get("time_unit", "ns"),
+            "num_threads": int(bench.get("threads") or 1),
         }
 
 par = json.load(open(os.path.join(tmp, "micro_parallel.json")))
 for path in par.get("paths", []):
     for cell in path.get("cells", []):
         key = f"micro_parallel/{path['path']}/threads={cell['threads']}"
-        merged["tracked"][key] = {"p50": cell["seconds"], "unit": "s"}
+        merged["tracked"][key] = {
+            "p50": cell["seconds"],
+            "unit": "s",
+            # 0 is the serial fallback: no pool, one thread of execution.
+            "num_threads": max(1, int(cell["threads"])),
+        }
 
 with open(out, "w") as f:
     json.dump(merged, f, indent=1, sort_keys=True)

@@ -4,7 +4,7 @@
 # the paper-critical counters must exist and be non-zero, otherwise the
 # instrumentation has silently rotted.
 #
-#   tools/check_metrics.sh [--pool|--exporter] path/to/metrics.json
+#   tools/check_metrics.sh [--pool|--exporter|--profile] path/to/metrics.json
 #
 # --pool additionally requires the parallel-execution counters
 # (iq.pool.tasks etc.) to have moved — pass it for snapshots produced by a
@@ -16,23 +16,79 @@
 # a JSON snapshot: the required counters must be present and non-zero under
 # their Prometheus names, every sample line must be preceded by # HELP and
 # # TYPE lines, and histograms must expose _bucket/_sum/_count series.
+#
+# --profile validates an iq_prof --json= machine report (DESIGN.md §11):
+# at least one profile with a label and a window, every serial_fraction in
+# [0, 1], and a non-empty verdict sentence.
 set -u
 
 check_pool=0
 check_exporter=0
+check_profile=0
 if [ "${1:-}" = "--pool" ]; then
   check_pool=1
   shift
 elif [ "${1:-}" = "--exporter" ]; then
   check_exporter=1
   shift
+elif [ "${1:-}" = "--profile" ]; then
+  check_profile=1
+  shift
 fi
 if [ $# -ne 1 ] || [ ! -f "$1" ]; then
-  echo "usage: $0 [--pool|--exporter] metrics.json" >&2
+  echo "usage: $0 [--pool|--exporter|--profile] metrics.json" >&2
   exit 2
 fi
 json="$1"
 failures=0
+
+if [ "$check_profile" -eq 1 ]; then
+  # iq_prof machine report, not a metrics snapshot.
+  num_profiles="$(grep -oE '"num_profiles": [0-9]+' "$json" \
+                  | grep -oE '[0-9]+$' || true)"
+  if [ -z "$num_profiles" ] || [ "$num_profiles" -eq 0 ]; then
+    echo "check_metrics: no profiles in $json" >&2
+    failures=$((failures + 1))
+  else
+    echo "check_metrics: $num_profiles profile(s)"
+  fi
+  labels="$(grep -c '"profile_label":' "$json" || true)"
+  if [ -z "$num_profiles" ] || [ "$labels" -ne "$num_profiles" ]; then
+    echo "check_metrics: profile_label count ($labels) !=" \
+         "num_profiles ($num_profiles)" >&2
+    failures=$((failures + 1))
+  fi
+  windows="$(grep -c '"window_nanos":' "$json" || true)"
+  if [ "$windows" -eq 0 ]; then
+    echo "check_metrics: no window_nanos fields — reports are empty" >&2
+    failures=$((failures + 1))
+  fi
+  # Every serial fraction must be a sane ratio in [0, 1].
+  bad_fraction=0
+  for f in $(grep -oE '"serial_fraction": [0-9.eE+-]+' "$json" \
+             | sed 's/.*: //'); do
+    ok="$(awk -v x="$f" 'BEGIN { print (x >= 0 && x <= 1) ? 1 : 0 }')"
+    if [ "$ok" -ne 1 ]; then
+      echo "check_metrics: serial_fraction $f outside [0, 1]" >&2
+      bad_fraction=1
+    fi
+  done
+  failures=$((failures + bad_fraction))
+  verdict="$(grep -oE '"verdict": "[^"]+"' "$json" || true)"
+  if [ -z "$verdict" ]; then
+    echo "check_metrics: verdict missing — iq_prof must name the" \
+         "serialization point" >&2
+    failures=$((failures + 1))
+  else
+    echo "check_metrics: $verdict"
+  fi
+  if [ "$failures" -gt 0 ]; then
+    echo "check_metrics: FAILED ($failures problem(s))" >&2
+    exit 1
+  fi
+  echo "check_metrics: OK (profile report)"
+  exit 0
+fi
 
 if [ "$check_exporter" -eq 1 ]; then
   # Prometheus text-exposition payload, not a JSON snapshot.

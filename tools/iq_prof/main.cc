@@ -1,0 +1,105 @@
+// iq_prof — ranked serialization report from scalability profiles
+// (DESIGN.md §11). Ingests profile JSON produced by obs/profile.h — a
+// `bench/micro_parallel --profile=` dump, a saved /profilez scrape, or a
+// live scrape via --scrape= — and prints which mechanism (lock contention,
+// chunk imbalance, or plain serial fraction) eats the parallel speedup.
+//
+// Usage:
+//   iq_prof <dump.json>            read profiles from a file
+//   iq_prof --scrape=PORT          scrape 127.0.0.1:PORT/profilez
+//   iq_prof --json=OUT <input>     also write the machine report to OUT
+//   iq_prof --top=N                mutex/site rows per profile (default 5)
+//
+// All the report logic lives in obs/profile.{h,cc} (testable in-process);
+// this binary is argument parsing and I/O.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/exporter.h"
+#include "obs/profile.h"
+#include "util/string_util.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--scrape=PORT] [--json=OUT] [--top=N] "
+               "[dump.json]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input_path;
+  std::string json_out;
+  int scrape_port = -1;
+  int top_n = 5;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (iq::StrStartsWith(arg, "--scrape=")) {
+      auto port = iq::ParseInt(arg.substr(strlen("--scrape=")));
+      if (!port.ok() || *port <= 0 || *port > 65535) return Usage(argv[0]);
+      scrape_port = static_cast<int>(*port);
+    } else if (iq::StrStartsWith(arg, "--json=")) {
+      json_out = arg.substr(strlen("--json="));
+    } else if (iq::StrStartsWith(arg, "--top=")) {
+      auto n = iq::ParseInt(arg.substr(strlen("--top=")));
+      if (!n.ok() || *n <= 0) return Usage(argv[0]);
+      top_n = static_cast<int>(*n);
+    } else if (iq::StrStartsWith(arg, "--")) {
+      return Usage(argv[0]);
+    } else if (input_path.empty()) {
+      input_path = arg;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (input_path.empty() == (scrape_port < 0)) {
+    // Exactly one input source: a file or a scrape.
+    return Usage(argv[0]);
+  }
+
+  std::string text;
+  if (scrape_port > 0) {
+    auto body = iq::HttpGetLocal(scrape_port, "/profilez");
+    if (!body.ok()) {
+      std::fprintf(stderr, "iq_prof: scrape failed: %s\n",
+                   body.status().message().c_str());
+      return 1;
+    }
+    text = *body;
+  } else {
+    std::ifstream in(input_path);
+    if (!in) {
+      std::fprintf(stderr, "iq_prof: cannot open %s\n", input_path.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+
+  const std::vector<iq::ProfileReport> reports =
+      iq::ParseProfileReports(text);
+  if (reports.empty()) {
+    std::fprintf(stderr, "iq_prof: no profiles found in input\n");
+    return 1;
+  }
+  std::fputs(iq::FormatSerializationReport(reports, top_n).c_str(), stdout);
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    if (!out) {
+      std::fprintf(stderr, "iq_prof: cannot write %s\n", json_out.c_str());
+      return 1;
+    }
+    out << iq::SerializationReportJson(reports);
+  }
+  return 0;
+}
