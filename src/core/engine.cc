@@ -23,6 +23,7 @@ struct EngineMetrics {
   Counter* queries_reranked;        // maintenance re-ranks during Apply
   Counter* queries_reused;          // cached assignments kept during Apply
   Counter* affected_subspaces;      // subdomains touched during Apply
+  Gauge* epoch;                     // currently published epoch id
 
   static EngineMetrics& Get() {
     static EngineMetrics m = [] {
@@ -38,6 +39,7 @@ struct EngineMetrics {
       em.queries_reused = reg.GetCounter("iq.engine.apply.queries_reused");
       em.affected_subspaces =
           reg.GetCounter("iq.engine.apply.affected_subspaces");
+      em.epoch = reg.GetGauge("iq.index.epoch");
       return em;
     }();
     return m;
@@ -46,8 +48,8 @@ struct EngineMetrics {
 
 /// Solves one improvement query against a read-only (index, view, queries)
 /// snapshot. Shared by the single-target MinCost/MaxHit entry points and the
-/// SolveBatch workers; takes raw pointers so pool workers can run it without
-/// holding the engine mutex (the dispatching call holds it for them).
+/// SolveBatch workers; takes raw pointers into a pinned epoch, so workers
+/// run it with no lock at all — the pin keeps the epoch immutable.
 Result<IqResult> SolveOne(const SubdomainIndex* index,
                           const FunctionView* view, const QuerySet* queries,
                           const BatchItem& item, IqScheme scheme) {
@@ -86,9 +88,11 @@ Result<IqResult> SolveOne(const SubdomainIndex* index,
 }
 
 /// Flight-recorder tail of every solve path: one solve_end event carrying
-/// the per-call EvalBreakdown (success) or the failure status (error).
+/// the per-call EvalBreakdown (success) or the failure status (error), plus
+/// the epoch the solve was pinned to.
 void RecordSolveEnd(const char* op, IqScheme scheme, int target,
-                    const Result<IqResult>& r, double seconds) {
+                    const Result<IqResult>& r, double seconds,
+                    uint64_t epoch) {
   Event e;
   if (r.ok()) {
     const EvalBreakdown& b = r->breakdown;
@@ -96,13 +100,55 @@ void RecordSolveEnd(const char* op, IqScheme scheme, int target,
                            r->cost, r->hits_before, r->hits_after,
                            b.iterations, b.candidates_generated,
                            b.candidates_evaluated, b.queries_rescored,
-                           b.queries_reused, seconds);
+                           b.queries_reused, seconds, epoch);
   } else {
     e = EventLog::SolveEnd(op, IqSchemeName(scheme), target, /*ok=*/false,
-                           0.0, 0, 0, 0, 0, 0, 0, 0, seconds);
+                           0.0, 0, 0, 0, 0, 0, 0, 0, seconds, epoch);
     e.note = r.status().ToString();
   }
   EventLog::Global().Record(std::move(e));
+}
+
+/// The object's rank under query q, computed against one pinned epoch (the
+/// snapshot analogue of the old mutex-guarded helper).
+Result<int> RankUnderQueryOn(const EpochHandle& snap, int object, int q) {
+  const Dataset& dataset = snap.dataset();
+  const QuerySet& queries = snap.queries();
+  if (object < 0 || object >= dataset.size() || !dataset.is_active(object)) {
+    return Status::InvalidArgument("object is not active");
+  }
+  if (q < 0 || q >= queries.size() || !queries.is_active(q)) {
+    return Status::InvalidArgument("query is not active");
+  }
+  const Vec& w = snap.index().aug_weights(q);
+  double score = snap.view().Score(object, w);
+  int rank = 1;
+  for (int i = 0; i < dataset.size(); ++i) {
+    if (i == object || !dataset.is_active(i)) continue;
+    double s = snap.view().Score(i, w);
+    if (s < score || (s == score && i < object)) ++rank;
+  }
+  return rank;
+}
+
+Result<std::vector<std::pair<int, int>>> ReverseKRanksOn(
+    const EpochHandle& snap, int object, int k) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  const QuerySet& queries = snap.queries();
+  std::vector<std::pair<int, int>> ranked;  // (rank, query) for sorting
+  for (int q = 0; q < queries.size(); ++q) {
+    if (!queries.is_active(q)) continue;
+    IQ_ASSIGN_OR_RETURN(int rank, RankUnderQueryOn(snap, object, q));
+    ranked.emplace_back(rank, q);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  if (static_cast<int>(ranked.size()) > k) {
+    ranked.resize(static_cast<size_t>(k));
+  }
+  std::vector<std::pair<int, int>> out;
+  out.reserve(ranked.size());
+  for (const auto& [rank, q] : ranked) out.emplace_back(q, rank);
+  return out;
 }
 
 }  // namespace
@@ -129,19 +175,22 @@ Result<IqEngine> IqEngine::Create(Dataset dataset, LinearForm form,
   if (options.num_threads < 0) {
     return Status::InvalidArgument("num_threads must be >= 0");
   }
-  auto dataset_ptr = std::make_unique<Dataset>(std::move(dataset));
-  auto queries_ptr = std::make_unique<QuerySet>(form.num_weights());
+  auto dataset_ptr = std::make_shared<Dataset>(std::move(dataset));
+  auto queries_ptr = std::make_shared<QuerySet>(form.num_weights());
   for (TopKQuery& q : queries) {
     auto added = queries_ptr->Add(std::move(q));
     if (!added.ok()) return added.status();
   }
   auto view_ptr =
-      std::make_unique<FunctionView>(dataset_ptr.get(), std::move(form));
+      std::make_shared<FunctionView>(dataset_ptr.get(), std::move(form));
   std::unique_ptr<ThreadPool> pool;
   if (options.num_threads > 0) {
     pool = std::make_unique<ThreadPool>(options.num_threads);
   }
   options.index.pool = pool.get();
+  // Engine epochs start at 1 (0 is reserved for standalone indexes), so a
+  // scraped iq.index.epoch gauge is nonzero from the first build on.
+  options.index.epoch = 1;
   IQ_ASSIGN_OR_RETURN(
       SubdomainIndex index,
       SubdomainIndex::Build(view_ptr.get(), queries_ptr.get(),
@@ -151,22 +200,32 @@ Result<IqEngine> IqEngine::Create(Dataset dataset, LinearForm form,
     exporter = std::make_unique<MetricsExporter>();
     IQ_RETURN_IF_ERROR(exporter->Start(options.exporter_port));
   }
-  return IqEngine(std::move(dataset_ptr), std::move(queries_ptr),
-                  std::move(view_ptr),
-                  std::make_unique<SubdomainIndex>(std::move(index)),
-                  std::move(pool), std::move(exporter),
+  auto snapshot = std::make_shared<const EpochSnapshot>(
+      /*epoch_arg=*/1, dataset_ptr, queries_ptr, view_ptr,
+      std::make_shared<const SubdomainIndex>(std::move(index)));
+  return IqEngine(std::move(snapshot), std::move(pool), std::move(exporter),
                   std::move(options.event_dump_path));
 }
 
+IqEngine::IqEngine(std::shared_ptr<const EpochSnapshot> snapshot,
+                   std::unique_ptr<ThreadPool> pool,
+                   std::unique_ptr<MetricsExporter> exporter,
+                   std::string event_dump_path)
+    : pool_(std::move(pool)),
+      exporter_(std::move(exporter)),
+      event_dump_path_(std::move(event_dump_path)) {
+  EngineMetrics::Get().epoch->Set(static_cast<int64_t>(snapshot->epoch));
+  epoch_.store(std::move(snapshot), std::memory_order_release);
+}
+
 IqEngine::IqEngine(IqEngine&& other) noexcept {
-  // Lock the source: a move racing a reader on `other` must wait for that
-  // reader instead of tearing its state out from under it. (Destroying a
+  // Lock the source: a move racing a writer on `other` must wait for that
+  // writer instead of tearing its state out from under it. Readers are
+  // unaffected — their pinned epochs survive the move. (Destroying a
   // locked-by-others engine is still the caller's bug, as with any object.)
   MutexLock lock(&other.mu_);
-  dataset_ = std::move(other.dataset_);
-  queries_ = std::move(other.queries_);
-  view_ = std::move(other.view_);
-  index_ = std::move(other.index_);
+  epoch_.store(other.epoch_.exchange(nullptr, std::memory_order_acq_rel),
+               std::memory_order_release);
   pool_ = std::move(other.pool_);
   exporter_ = std::move(other.exporter_);
   event_dump_path_ = std::move(other.event_dump_path_);
@@ -175,16 +234,14 @@ IqEngine::IqEngine(IqEngine&& other) noexcept {
 
 IqEngine& IqEngine::operator=(IqEngine&& other) noexcept {
   if (this != &other) {
-    // Both engines' state moves, so both engine-rank locks must be held.
-    // MutexLockPair imposes address order internally (two threads
+    // Both engines' writer state moves, so both engine-rank locks must be
+    // held. MutexLockPair imposes address order internally (two threads
     // cross-assigning cannot deadlock) and is the only path the Debug
     // deadlock detector admits for a same-rank double acquisition —
     // hand-rolling the ordering here again would abort under Debug.
     MutexLockPair lock(&mu_, &other.mu_);
-    dataset_ = std::move(other.dataset_);
-    queries_ = std::move(other.queries_);
-    view_ = std::move(other.view_);
-    index_ = std::move(other.index_);
+    epoch_.store(other.epoch_.exchange(nullptr, std::memory_order_acq_rel),
+                 std::memory_order_release);
     pool_ = std::move(other.pool_);
     exporter_ = std::move(other.exporter_);
     event_dump_path_ = std::move(other.event_dump_path_);
@@ -194,102 +251,60 @@ IqEngine& IqEngine::operator=(IqEngine&& other) noexcept {
 }
 
 int IqEngine::HitCount(int object) const {
-  MutexLock lock(&mu_);
-  return index_->HitCount(object);
+  EpochHandle snap = Snapshot();
+  return snap.index().HitCount(object);
 }
 
 std::vector<int> IqEngine::HitSet(int object) const {
-  MutexLock lock(&mu_);
-  return HitSetLocked(object);
+  EpochHandle snap = Snapshot();
+  return snap.index().HitSet(object);
 }
 
 std::vector<int> IqEngine::ReverseTopK(int object) const {
-  MutexLock lock(&mu_);
-  return HitSetLocked(object);
-}
-
-std::vector<int> IqEngine::HitSetLocked(int object) const {
-  return index_->HitSet(object);
+  EpochHandle snap = Snapshot();
+  return snap.index().HitSet(object);
 }
 
 Result<std::vector<ScoredObject>> IqEngine::TopK(const Vec& weights,
                                                  int k) const {
   IQ_TRACE_SCOPE("IqEngine::TopK");
-  MutexLock lock(&mu_);
-  if (static_cast<int>(weights.size()) != view_->form().num_weights()) {
+  EpochHandle snap = Snapshot();
+  const Dataset& dataset = snap.dataset();
+  const FunctionView& view = snap.view();
+  if (static_cast<int>(weights.size()) != view.form().num_weights()) {
     return Status::InvalidArgument("weight vector length mismatch");
   }
-  std::vector<bool> mask(static_cast<size_t>(dataset_->size()));
-  for (int i = 0; i < dataset_->size(); ++i) {
-    mask[static_cast<size_t>(i)] = dataset_->is_active(i);
+  std::vector<bool> mask(static_cast<size_t>(dataset.size()));
+  for (int i = 0; i < dataset.size(); ++i) {
+    mask[static_cast<size_t>(i)] = dataset.is_active(i);
   }
-  return TopKScan(view_->rows(), &mask, view_->form().AugmentWeights(weights),
-                  k);
+  return TopKScan(view.rows(), &mask, view.form().AugmentWeights(weights), k);
 }
 
 Result<int> IqEngine::RankUnderQuery(int object, int q) const {
-  MutexLock lock(&mu_);
-  return RankUnderQueryLocked(object, q);
-}
-
-Result<int> IqEngine::RankUnderQueryLocked(int object, int q) const {
-  if (object < 0 || object >= dataset_->size() ||
-      !dataset_->is_active(object)) {
-    return Status::InvalidArgument("object is not active");
-  }
-  if (q < 0 || q >= queries_->size() || !queries_->is_active(q)) {
-    return Status::InvalidArgument("query is not active");
-  }
-  const Vec& w = index_->aug_weights(q);
-  double score = view_->Score(object, w);
-  int rank = 1;
-  for (int i = 0; i < dataset_->size(); ++i) {
-    if (i == object || !dataset_->is_active(i)) continue;
-    double s = view_->Score(i, w);
-    if (s < score || (s == score && i < object)) ++rank;
-  }
-  return rank;
+  return RankUnderQueryOn(Snapshot(), object, q);
 }
 
 Result<std::vector<std::pair<int, int>>> IqEngine::ReverseKRanks(
     int object, int k) const {
-  MutexLock lock(&mu_);
-  return ReverseKRanksLocked(object, k);
-}
-
-Result<std::vector<std::pair<int, int>>> IqEngine::ReverseKRanksLocked(
-    int object, int k) const {
-  if (k < 1) return Status::InvalidArgument("k must be >= 1");
-  std::vector<std::pair<int, int>> ranked;  // (rank, query) for sorting
-  for (int q = 0; q < queries_->size(); ++q) {
-    if (!queries_->is_active(q)) continue;
-    IQ_ASSIGN_OR_RETURN(int rank, RankUnderQueryLocked(object, q));
-    ranked.emplace_back(rank, q);
-  }
-  std::sort(ranked.begin(), ranked.end());
-  if (static_cast<int>(ranked.size()) > k) {
-    ranked.resize(static_cast<size_t>(k));
-  }
-  std::vector<std::pair<int, int>> out;
-  out.reserve(ranked.size());
-  for (const auto& [rank, q] : ranked) out.emplace_back(q, rank);
-  return out;
+  return ReverseKRanksOn(Snapshot(), object, k);
 }
 
 Result<int> IqEngine::BestWorkloadRank(int object) const {
-  MutexLock lock(&mu_);
-  if (queries_->num_active() == 0) {
+  EpochHandle snap = Snapshot();
+  if (snap.queries().num_active() == 0) {
     return Status::FailedPrecondition("no active queries");
   }
-  IQ_ASSIGN_OR_RETURN(auto best, ReverseKRanksLocked(object, 1));
+  IQ_ASSIGN_OR_RETURN(auto best, ReverseKRanksOn(snap, object, 1));
   return best[0].second;
 }
 
 Result<IqResult> IqEngine::MinCost(int target, int tau,
-                                   const IqOptions& options, IqScheme scheme) {
+                                   const IqOptions& options,
+                                   IqScheme scheme) const {
   IQ_TRACE_SCOPE("IqEngine::MinCost");
   ScopedTimer latency(EngineMetrics::Get().min_cost_nanos);
-  MutexLock lock(&mu_);
+  EpochHandle snap = Snapshot();
   BatchItem item;
   item.kind = BatchItem::Kind::kMinCost;
   item.target = target;
@@ -298,48 +313,63 @@ Result<IqResult> IqEngine::MinCost(int target, int tau,
   // Single-target calls parallelize *inside* the search (candidate
   // generation + ESE evaluation); see SolveBatch for across-target fan-out.
   item.options.pool = pool_.get();
-  EventLog::Global().Record(
-      EventLog::SolveStart("MinCost", IqSchemeName(scheme), target, tau, 0.0));
-  Result<IqResult> r =
-      SolveOne(index_.get(), view_.get(), queries_.get(), item, scheme);
+  EventLog::Global().Record(EventLog::SolveStart(
+      "MinCost", IqSchemeName(scheme), target, tau, 0.0, snap.epoch()));
+  Result<IqResult> r = SolveOne(snap.index_ptr(), snap.view_ptr(),
+                                snap.queries_ptr(), item, scheme);
   RecordSolveEnd("MinCost", scheme, target, r,
-                 static_cast<double>(latency.ElapsedNanos()) / 1e9);
+                 static_cast<double>(latency.ElapsedNanos()) / 1e9,
+                 snap.epoch());
   NoteOutcome(r.ok() ? Status::Ok() : r.status());
   return r;
 }
 
 Result<IqResult> IqEngine::MaxHit(int target, double beta,
-                                  const IqOptions& options, IqScheme scheme) {
+                                  const IqOptions& options,
+                                  IqScheme scheme) const {
   IQ_TRACE_SCOPE("IqEngine::MaxHit");
   ScopedTimer latency(EngineMetrics::Get().max_hit_nanos);
-  MutexLock lock(&mu_);
+  EpochHandle snap = Snapshot();
   BatchItem item;
   item.kind = BatchItem::Kind::kMaxHit;
   item.target = target;
   item.beta = beta;
   item.options = options;
   item.options.pool = pool_.get();
-  EventLog::Global().Record(
-      EventLog::SolveStart("MaxHit", IqSchemeName(scheme), target, 0, beta));
-  Result<IqResult> r =
-      SolveOne(index_.get(), view_.get(), queries_.get(), item, scheme);
+  EventLog::Global().Record(EventLog::SolveStart(
+      "MaxHit", IqSchemeName(scheme), target, 0, beta, snap.epoch()));
+  Result<IqResult> r = SolveOne(snap.index_ptr(), snap.view_ptr(),
+                                snap.queries_ptr(), item, scheme);
   RecordSolveEnd("MaxHit", scheme, target, r,
-                 static_cast<double>(latency.ElapsedNanos()) / 1e9);
+                 static_cast<double>(latency.ElapsedNanos()) / 1e9,
+                 snap.epoch());
   NoteOutcome(r.ok() ? Status::Ok() : r.status());
   return r;
 }
 
 Result<std::vector<IqResult>> IqEngine::SolveBatch(
-    const std::vector<BatchItem>& items, IqScheme scheme) {
+    const std::vector<BatchItem>& items, IqScheme scheme) const {
+  return SolveBatchOn(Snapshot(), items, scheme);
+}
+
+Result<std::vector<IqResult>> IqEngine::SolveBatchOn(
+    const EpochHandle& snap, const std::vector<BatchItem>& items,
+    IqScheme scheme) const {
   IQ_TRACE_SCOPE("IqEngine::SolveBatch");
   ScopedTimer latency(EngineMetrics::Get().solve_batch_nanos);
-  MutexLock lock(&mu_);
-  // Raw read-only snapshot for the workers. Holding mu_ across the whole
-  // parallel region keeps every mutator (AddObject, ApplyStrategy, ...)
-  // blocked out, so the workers' lock-free reads cannot race a write.
-  const SubdomainIndex* index = index_.get();
-  const FunctionView* view = view_.get();
-  const QuerySet* queries = queries_.get();
+  if (!snap.valid()) {
+    return NoteOutcome(
+        Status::InvalidArgument("SolveBatchOn requires a pinned epoch"));
+  }
+  // Raw read-only pointers into the pinned epoch for the workers. The pin
+  // (held by the caller for SolveBatchOn, by our Snapshot() temporary for
+  // SolveBatch) keeps the epoch immutable and alive for the whole parallel
+  // region; concurrent mutators publish *newer* epochs and never touch this
+  // one, so the workers' lock-free reads cannot race a write.
+  const SubdomainIndex* index = snap.index_ptr();
+  const FunctionView* view = snap.view_ptr();
+  const QuerySet* queries = snap.queries_ptr();
+  const uint64_t epoch = snap.epoch();
   // Flight-recorder saturation signal: far more items than workers means
   // the batch will queue behind itself for most of the call.
   if (pool_ != nullptr &&
@@ -364,11 +394,11 @@ Result<std::vector<IqResult>> IqEngine::SolveBatch(
           // concurrent appends cheap — see tests/event_log_test.cc).
           EventLog::Global().Record(EventLog::SolveStart(
               "SolveBatch", IqSchemeName(scheme), item.target,
-              min_cost ? item.tau : 0, min_cost ? 0.0 : item.beta));
+              min_cost ? item.tau : 0, min_cost ? 0.0 : item.beta, epoch));
           WallTimer item_timer;
           Result<IqResult> r = SolveOne(index, view, queries, item, scheme);
           RecordSolveEnd("SolveBatch", scheme, item.target, r,
-                         item_timer.ElapsedSeconds());
+                         item_timer.ElapsedSeconds(), epoch);
           slots[static_cast<size_t>(i)] = std::move(r);
         }
       },
@@ -387,104 +417,169 @@ Result<std::vector<IqResult>> IqEngine::SolveBatch(
 
 Result<MultiIqResult> IqEngine::MultiMinCost(
     const std::vector<int>& targets, int tau,
-    const std::vector<IqOptions>& options) {
-  MutexLock lock(&mu_);
-  return CombinatorialMinCostIq(*index_, targets, tau, options);
+    const std::vector<IqOptions>& options) const {
+  EpochHandle snap = Snapshot();
+  return CombinatorialMinCostIq(snap.index(), targets, tau, options);
 }
 
 Result<MultiIqResult> IqEngine::MultiMaxHit(
     const std::vector<int>& targets, double beta,
-    const std::vector<IqOptions>& options) {
-  MutexLock lock(&mu_);
-  return CombinatorialMaxHitIq(*index_, targets, beta, options);
+    const std::vector<IqOptions>& options) const {
+  EpochHandle snap = Snapshot();
+  return CombinatorialMaxHitIq(snap.index(), targets, beta, options);
+}
+
+IqEngine::Delta IqEngine::BeginDelta(DeltaKind kind) {
+  // Writers serialize on mu_, so the loaded snapshot *is* the latest one
+  // and stays the latest until this writer publishes or bails.
+  std::shared_ptr<const EpochSnapshot> cur = CurrentEpoch();
+  Delta delta;
+  delta.epoch = cur->epoch + 1;
+  if (kind == DeltaKind::kObjects) {
+    auto dataset = std::make_shared<Dataset>(*cur->dataset);
+    auto view = std::make_shared<FunctionView>(*cur->view, dataset.get());
+    delta.mutable_dataset = dataset.get();
+    delta.mutable_view = view.get();
+    delta.dataset = std::move(dataset);
+    delta.view = std::move(view);
+    delta.queries = cur->queries;
+  } else {
+    auto queries = std::make_shared<QuerySet>(*cur->queries);
+    delta.mutable_queries = queries.get();
+    delta.queries = std::move(queries);
+    delta.dataset = cur->dataset;
+    delta.view = cur->view;
+  }
+  // The index clone shares every subdomain cell and the R-tree with the
+  // current epoch; the maintenance hooks below copy-on-write only the cells
+  // the §4.3 affected-subspace computation touches. The new epoch id is set
+  // before the hooks run so their flight-recorder events carry it.
+  delta.index = std::make_shared<SubdomainIndex>(
+      cur->index->CloneCow(delta.view.get(), delta.queries.get(),
+                           delta.epoch));
+  return delta;
+}
+
+void IqEngine::PublishLocked(Delta delta) {
+  EngineMetrics::Get().epoch->Set(static_cast<int64_t>(delta.epoch));
+  auto snapshot = std::make_shared<const EpochSnapshot>(
+      delta.epoch, std::move(delta.dataset), std::move(delta.queries),
+      std::move(delta.view),
+      std::shared_ptr<const SubdomainIndex>(std::move(delta.index)));
+  // Linearization point: readers pinning after this store see the new
+  // epoch; the superseded snapshot retires when its last pin drops.
+  epoch_.store(std::move(snapshot), std::memory_order_release);
 }
 
 Result<int> IqEngine::AddQuery(TopKQuery q) {
   MutexLock lock(&mu_);
-  IQ_ASSIGN_OR_RETURN(int id, queries_->Add(std::move(q)));
-  IQ_RETURN_IF_ERROR(index_->OnQueryAdded(id));
+  Delta delta = BeginDelta(DeltaKind::kQueries);
+  IQ_ASSIGN_OR_RETURN(int id, delta.mutable_queries->Add(std::move(q)));
+  // An error discards the whole delta: the published epoch never saw any of
+  // this mutation (atomicity the old in-place update could not offer).
+  IQ_RETURN_IF_ERROR(delta.index->OnQueryAdded(id));
+  PublishLocked(std::move(delta));
   return id;
 }
 
 Status IqEngine::RemoveQuery(int q) {
   MutexLock lock(&mu_);
-  IQ_RETURN_IF_ERROR(queries_->Remove(q));
-  return index_->OnQueryRemoved(q);
+  Delta delta = BeginDelta(DeltaKind::kQueries);
+  IQ_RETURN_IF_ERROR(delta.mutable_queries->Remove(q));
+  IQ_RETURN_IF_ERROR(delta.index->OnQueryRemoved(q));
+  PublishLocked(std::move(delta));
+  return Status::Ok();
 }
 
 Result<int> IqEngine::AddObject(Vec attrs) {
   MutexLock lock(&mu_);
-  if (static_cast<int>(attrs.size()) != dataset_->dim()) {
+  if (static_cast<int>(attrs.size()) != CurrentEpoch()->dataset->dim()) {
     return Status::InvalidArgument("attribute dimension mismatch");
   }
-  int id = dataset_->Add(std::move(attrs));
-  view_->AppendRow(id);
-  IQ_RETURN_IF_ERROR(index_->OnObjectAdded(id));
+  Delta delta = BeginDelta(DeltaKind::kObjects);
+  int id = delta.mutable_dataset->Add(std::move(attrs));
+  delta.mutable_view->AppendRow(id);
+  IQ_RETURN_IF_ERROR(delta.index->OnObjectAdded(id));
+  PublishLocked(std::move(delta));
   return id;
 }
 
 Status IqEngine::RemoveObject(int id) {
   MutexLock lock(&mu_);
-  IQ_RETURN_IF_ERROR(dataset_->Remove(id));
-  return index_->OnObjectRemoved(id);
+  Delta delta = BeginDelta(DeltaKind::kObjects);
+  IQ_RETURN_IF_ERROR(delta.mutable_dataset->Remove(id));
+  IQ_RETURN_IF_ERROR(delta.index->OnObjectRemoved(id));
+  PublishLocked(std::move(delta));
+  return Status::Ok();
 }
 
 Status IqEngine::ApplyStrategy(int target, const Vec& strategy) {
   IQ_TRACE_SCOPE("IqEngine::ApplyStrategy");
   ScopedTimer latency(EngineMetrics::Get().apply_strategy_nanos);
   MutexLock lock(&mu_);
+  Delta delta = BeginDelta(DeltaKind::kObjects);
   uint64_t reranked = 0, reused = 0, affected = 0;
-  Status st =
-      ApplyStrategyLocked(target, strategy, &reranked, &reused, &affected);
+  Status st = ApplyStrategyOnDelta(delta, target, strategy, &reranked,
+                                   &reused, &affected);
   EventLog::Global().Record(EventLog::ApplyStrategy(
       target, st.ok(), reranked, reused, static_cast<int64_t>(affected),
-      static_cast<double>(latency.ElapsedNanos()) / 1e9));
+      static_cast<double>(latency.ElapsedNanos()) / 1e9, delta.epoch));
+  if (st.ok()) {
+    PublishLocked(std::move(delta));
+  }
+  // On failure the delta is simply dropped here: the engine stays exactly
+  // at the previous epoch (the old in-place path could leave the target
+  // removed when a late step failed).
   return NoteOutcome(std::move(st));
 }
 
-Status IqEngine::ApplyStrategyLocked(int target, const Vec& strategy,
-                                     uint64_t* reranked_out,
-                                     uint64_t* reused_out,
-                                     uint64_t* affected_out) {
-  if (target < 0 || target >= dataset_->size() ||
-      !dataset_->is_active(target)) {
+Status IqEngine::ApplyStrategyOnDelta(Delta& delta, int target,
+                                      const Vec& strategy,
+                                      uint64_t* reranked_out,
+                                      uint64_t* reused_out,
+                                      uint64_t* affected_out) {
+  Dataset& dataset = *delta.mutable_dataset;
+  SubdomainIndex& index = *delta.index;
+  if (target < 0 || target >= dataset.size() || !dataset.is_active(target)) {
     return Status::InvalidArgument("target is not an active object");
   }
-  if (static_cast<int>(strategy.size()) != dataset_->dim()) {
+  if (static_cast<int>(strategy.size()) != dataset.dim()) {
     return Status::InvalidArgument("strategy dimension mismatch");
   }
-  Vec improved = Add(dataset_->attrs(target), strategy);
-  const size_t reranks_before = index_->maintenance_rerank_events();
-  const size_t affected_before = index_->maintenance_affected_subdomains();
+  Vec improved = Add(dataset.attrs(target), strategy);
+  const size_t reranks_before = index.maintenance_rerank_events();
+  const size_t affected_before = index.maintenance_affected_subdomains();
   // Update order matters: the index patches signatures by treating the
   // change as remove + add, so the dataset/view must change in between.
-  IQ_RETURN_IF_ERROR(dataset_->Remove(target));
-  IQ_RETURN_IF_ERROR(index_->OnObjectRemoved(target));
-  IQ_RETURN_IF_ERROR(dataset_->SetAttrsIncludingInactive(target, improved));
-  IQ_RETURN_IF_ERROR(dataset_->Reactivate(target));
-  view_->RefreshRow(target);
-  IQ_RETURN_IF_ERROR(index_->OnObjectAdded(target));
+  IQ_RETURN_IF_ERROR(dataset.Remove(target));
+  IQ_RETURN_IF_ERROR(index.OnObjectRemoved(target));
+  IQ_RETURN_IF_ERROR(dataset.SetAttrsIncludingInactive(target, improved));
+  IQ_RETURN_IF_ERROR(dataset.Reactivate(target));
+  delta.mutable_view->RefreshRow(target);
+  IQ_RETURN_IF_ERROR(index.OnObjectAdded(target));
   // ESE reuse accounting (§4.3): the remove+add maintenance re-ranked only
   // the queries whose subdomain boundary involved the target; everyone else
   // kept their cached assignment. The delta is capped at the active query
   // count because the two phases can re-rank the same query twice.
-  const uint64_t m_active = static_cast<uint64_t>(queries_->num_active());
+  const uint64_t m_active =
+      static_cast<uint64_t>(delta.queries->num_active());
   uint64_t reranked = static_cast<uint64_t>(
-      index_->maintenance_rerank_events() - reranks_before);
+      index.maintenance_rerank_events() - reranks_before);
   if (reranked > m_active) reranked = m_active;
   const uint64_t affected = static_cast<uint64_t>(
-      index_->maintenance_affected_subdomains() - affected_before);
+      index.maintenance_affected_subdomains() - affected_before);
   EngineMetrics::Get().queries_reranked->Increment(reranked);
   EngineMetrics::Get().queries_reused->Increment(m_active - reranked);
   EngineMetrics::Get().affected_subspaces->Increment(affected);
   *reranked_out = reranked;
   *reused_out = m_active - reranked;
   *affected_out = affected;
-  // Debug-mode ESE cross-check: a stale cached ranking must abort here
-  // rather than silently produce wrong H(p+s) counts downstream.
+  // Debug-mode ESE cross-check, run on the not-yet-published clone: a stale
+  // cached ranking must abort here rather than silently publish an epoch
+  // with wrong H(p+s) counts.
   const uint64_t ticket = apply_ticket_++;
-  IQ_DCHECK_OK(CrossCheckSampledSubdomain(*index_, ticket));
-  IQ_DCHECK_OK(CrossCheckEse(*index_, target));
+  IQ_DCHECK_OK(CrossCheckSampledSubdomain(index, ticket));
+  IQ_DCHECK_OK(CrossCheckEse(index, target));
   return Status::Ok();
 }
 
@@ -503,8 +598,8 @@ MetricsSnapshot IqEngine::GetStatsSnapshot() const {
 }
 
 Status IqEngine::CheckInvariants() const {
-  MutexLock lock(&mu_);
-  return index_->CheckInvariants();
+  EpochHandle snap = Snapshot();
+  return snap.index().CheckInvariants();
 }
 
 }  // namespace iq

@@ -1,6 +1,7 @@
 #ifndef IQ_CORE_ENGINE_H_
 #define IQ_CORE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <utility>
@@ -9,6 +10,7 @@
 #include <string>
 
 #include "core/combinatorial.h"
+#include "core/epoch.h"
 #include "core/exhaustive.h"
 #include "core/iq_algorithms.h"
 #include "obs/exporter.h"
@@ -74,13 +76,19 @@ struct BatchItem {
 /// exposes improvement queries plus live data maintenance. This is the
 /// public API the examples and the DBMS integration build on.
 ///
-/// Thread safety: every member function serializes on an internal mutex, so
-/// interleaving dataset updates (§4.3) with query evaluation from multiple
-/// threads is safe, and the locking discipline is compiler-verified under
-/// clang -Wthread-safety. The unguarded structural accessors (dataset(),
-/// queries(), view(), index()) return references into guarded state and are
-/// only safe while no other thread mutates the engine; the planned
-/// parallel-evaluation PR will introduce shared/exclusive locking here.
+/// Thread safety — epoch snapshots (DESIGN.md §12): the engine's entire
+/// logical state lives in an immutable EpochSnapshot published through an
+/// atomic pointer. Readers (HitCount, TopK, the rank operators, MinCost,
+/// MaxHit, SolveBatch, CheckInvariants) pin the current epoch via
+/// Snapshot() and never take the engine mutex — they proceed lock-free
+/// while writers mutate concurrently, and every answer is consistent as of
+/// one epoch. Writers (AddQuery, RemoveQuery, AddObject, RemoveObject,
+/// ApplyStrategy) serialize on the internal mutex only to build a
+/// copy-on-write delta against the current epoch and publish the next one;
+/// a failed update discards the unpublished delta, leaving the engine
+/// exactly at the previous epoch. Superseded epochs are retired when their
+/// last pinned reader drops them. The locking discipline is
+/// compiler-verified under clang -Wthread-safety.
 class IqEngine {
  public:
   /// All queries share one utility `form` (use LinearForm::Identity(dim) for
@@ -93,87 +101,97 @@ class IqEngine {
   /// Moves lock `other.mu_` (and, for assignment, both engine mutexes via
   /// the ranked MutexLockPair, which imposes address order internally) for
   /// the duration of the member transfer, so a move racing a concurrent
-  /// reader on `other` is a blocked wait instead of a torn read. The move
-  /// *constructor* keeps an IQ_NO_THREAD_SAFETY_ANALYSIS escape only
-  /// because it writes this' members before the object is published —
-  /// there is no lock of `this` to hold yet; assignment is fully analyzed.
+  /// *writer* on `other` is a blocked wait instead of a torn transfer.
+  /// (Concurrent readers hold pinned epochs, which stay valid across the
+  /// move; new reads on the moved-from engine are the caller's bug, as with
+  /// any moved-from object.) The move *constructor* keeps an
+  /// IQ_NO_THREAD_SAFETY_ANALYSIS escape only because it writes this'
+  /// members before the object is published — there is no lock of `this` to
+  /// hold yet; assignment is fully analyzed.
   IqEngine(IqEngine&& other) noexcept IQ_NO_THREAD_SAFETY_ANALYSIS;
   IqEngine& operator=(IqEngine&& other) noexcept;
   IqEngine(const IqEngine&) = delete;
   IqEngine& operator=(const IqEngine&) = delete;
 
-  // Unsynchronized structural access; see the class comment.
-  const Dataset& dataset() const IQ_NO_THREAD_SAFETY_ANALYSIS {
-    return *dataset_;
-  }
-  const QuerySet& queries() const IQ_NO_THREAD_SAFETY_ANALYSIS {
-    return *queries_;
-  }
-  const FunctionView& view() const IQ_NO_THREAD_SAFETY_ANALYSIS {
-    return *view_;
-  }
-  const SubdomainIndex& index() const IQ_NO_THREAD_SAFETY_ANALYSIS {
-    return *index_;
+  /// Pins the currently published epoch (DESIGN.md §12). The returned
+  /// handle keeps that epoch's dataset/queries/view/index immutable and
+  /// alive for the handle's lifetime, no matter how many updates other
+  /// threads apply meanwhile. Lock-free; never blocks behind a writer.
+  EpochHandle Snapshot() const {
+    return EpochHandle(epoch_.load(std::memory_order_acquire));
   }
 
+  /// Structural access into the *current* epoch. The references are stable
+  /// only until the next successful mutation publishes a new epoch and the
+  /// old one retires — callers that overlap reads with updates should pin
+  /// an epoch via Snapshot() instead.
+  const Dataset& dataset() const { return *CurrentEpoch()->dataset; }
+  const QuerySet& queries() const { return *CurrentEpoch()->queries; }
+  const FunctionView& view() const { return *CurrentEpoch()->view; }
+  const SubdomainIndex& index() const { return *CurrentEpoch()->index; }
+
   /// Number of queries currently hit by an object (reverse top-k count).
-  int HitCount(int object) const IQ_EXCLUDES(mu_);
-  std::vector<int> HitSet(int object) const IQ_EXCLUDES(mu_);
+  int HitCount(int object) const;
+  std::vector<int> HitSet(int object) const;
 
   /// Evaluates one ad-hoc top-k query (weights in the utility's original
   /// weight space).
-  Result<std::vector<ScoredObject>> TopK(const Vec& weights, int k) const
-      IQ_EXCLUDES(mu_);
+  Result<std::vector<ScoredObject>> TopK(const Vec& weights, int k) const;
 
   // ---- Related rank-aware operators (paper §2) ----
 
   /// Reverse top-k (Vlachou et al.): the queries whose top-k contains the
   /// object — identical to HitSet, provided under the literature name.
-  std::vector<int> ReverseTopK(int object) const IQ_EXCLUDES(mu_);
+  std::vector<int> ReverseTopK(int object) const;
 
   /// The object's rank under query q: 1 + number of active competitors
   /// scoring strictly better (ties resolved by id, matching TopKScan).
-  Result<int> RankUnderQuery(int object, int q) const IQ_EXCLUDES(mu_);
+  Result<int> RankUnderQuery(int object, int q) const;
 
   /// Reverse k-ranks (Zhang et al.): the k queries where the object ranks
   /// best, as (query id, rank) pairs ordered by ascending rank.
   Result<std::vector<std::pair<int, int>>> ReverseKRanks(int object,
-                                                         int k) const
-      IQ_EXCLUDES(mu_);
+                                                         int k) const;
 
   /// The best rank the object achieves across the current workload (a
   /// workload-restricted analogue of the maximum rank query of Mouratidis
   /// et al., which optimizes over all possible utility functions).
-  Result<int> BestWorkloadRank(int object) const IQ_EXCLUDES(mu_);
+  Result<int> BestWorkloadRank(int object) const;
 
   // ---- Improvement queries ----
   Result<IqResult> MinCost(int target, int tau, const IqOptions& options = {},
-                           IqScheme scheme = IqScheme::kEfficient)
-      IQ_EXCLUDES(mu_);
+                           IqScheme scheme = IqScheme::kEfficient) const;
   Result<IqResult> MaxHit(int target, double beta,
                           const IqOptions& options = {},
-                          IqScheme scheme = IqScheme::kEfficient)
-      IQ_EXCLUDES(mu_);
+                          IqScheme scheme = IqScheme::kEfficient) const;
   Result<MultiIqResult> MultiMinCost(const std::vector<int>& targets, int tau,
                                      const std::vector<IqOptions>& options)
-      IQ_EXCLUDES(mu_);
+      const;
   Result<MultiIqResult> MultiMaxHit(const std::vector<int>& targets,
                                     double beta,
                                     const std::vector<IqOptions>& options)
-      IQ_EXCLUDES(mu_);
+      const;
 
-  /// Solves many independent improvement queries over the shared read-only
-  /// index, fanning the items out over the engine pool
-  /// (EngineOptions::num_threads; serial when 0). The engine mutex is held
-  /// for the whole batch, so updates serialize against it exactly like a
-  /// single MinCost/MaxHit call; worker threads only read the index.
-  /// Results come back in item order. Determinism contract: equal inputs
-  /// yield byte-identical results for every num_threads value, and the
-  /// first (lowest-index) failing item's error is returned — see
-  /// tests/parallel_diff_test.cc.
+  /// Solves many independent improvement queries against one pinned epoch,
+  /// fanning the items out over the engine pool (EngineOptions::num_threads;
+  /// serial when 0). The whole batch reads the epoch current at entry —
+  /// updates landing mid-batch publish newer epochs but never perturb the
+  /// running batch. Results come back in item order. Determinism contract:
+  /// equal inputs against an equal epoch yield byte-identical results for
+  /// every num_threads value, and the first (lowest-index) failing item's
+  /// error is returned — see tests/parallel_diff_test.cc.
   Result<std::vector<IqResult>> SolveBatch(
       const std::vector<BatchItem>& items,
-      IqScheme scheme = IqScheme::kEfficient) IQ_EXCLUDES(mu_);
+      IqScheme scheme = IqScheme::kEfficient) const;
+
+  /// SolveBatch against an explicitly pinned epoch: the caller chooses the
+  /// snapshot (e.g. one pinned before a burst of updates) instead of the
+  /// engine pinning the current one. The determinism oracle in
+  /// tests/parallel_diff_test.cc uses this to prove a batch is a pure
+  /// function of its epoch even while writers churn the engine.
+  Result<std::vector<IqResult>> SolveBatchOn(
+      const EpochHandle& snap, const std::vector<BatchItem>& items,
+      IqScheme scheme = IqScheme::kEfficient) const;
 
   /// The engine's worker pool; nullptr when num_threads was 0.
   ThreadPool* pool() const { return pool_.get(); }
@@ -204,58 +222,75 @@ class IqEngine {
   // ---- Correctness tooling ----
 
   /// Deep validation of the engine's cached state (the subdomain index and
-  /// its R-tree); see SubdomainIndex::CheckInvariants.
-  Status CheckInvariants() const IQ_EXCLUDES(mu_);
+  /// its R-tree) against the pinned current epoch; see
+  /// SubdomainIndex::CheckInvariants.
+  Status CheckInvariants() const;
 
  private:
-  IqEngine(std::unique_ptr<Dataset> dataset, std::unique_ptr<QuerySet> queries,
-           std::unique_ptr<FunctionView> view,
-           std::unique_ptr<SubdomainIndex> index,
+  /// A writer's in-flight copy-on-write delta (DESIGN.md §12): the next
+  /// epoch's four parts, sharing everything with the current epoch except
+  /// the owners this mutation touches. Built and mutated only under mu_;
+  /// either published wholesale or discarded wholesale.
+  struct Delta {
+    uint64_t epoch = 0;
+    std::shared_ptr<const Dataset> dataset;
+    std::shared_ptr<const QuerySet> queries;
+    std::shared_ptr<const FunctionView> view;
+    std::shared_ptr<SubdomainIndex> index;
+    // Mutable aliases into the parts this delta copied (null for shared,
+    // untouched parts).
+    Dataset* mutable_dataset = nullptr;
+    QuerySet* mutable_queries = nullptr;
+    FunctionView* mutable_view = nullptr;
+  };
+  /// Which owners the mutation touches: object mutations copy the dataset
+  /// and rebind the view; query mutations copy the query set. The index is
+  /// always CloneCow'd (cells shared until a maintenance hook touches them).
+  enum class DeltaKind { kObjects, kQueries };
+
+  IqEngine(std::shared_ptr<const EpochSnapshot> snapshot,
            std::unique_ptr<ThreadPool> pool,
            std::unique_ptr<MetricsExporter> exporter,
-           std::string event_dump_path)
-      : dataset_(std::move(dataset)),
-        queries_(std::move(queries)),
-        view_(std::move(view)),
-        index_(std::move(index)),
-        pool_(std::move(pool)),
-        exporter_(std::move(exporter)),
-        event_dump_path_(std::move(event_dump_path)) {}
+           std::string event_dump_path);
+
+  /// The published snapshot; readers' single acquire load.
+  std::shared_ptr<const EpochSnapshot> CurrentEpoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  Delta BeginDelta(DeltaKind kind) IQ_REQUIRES(mu_);
+  /// Atomic publish of the delta as the next epoch: the swap is the linear-
+  /// ization point of the mutation; the superseded epoch retires when its
+  /// last pin drops. Also advances the iq.index.epoch gauge.
+  void PublishLocked(Delta delta) IQ_REQUIRES(mu_);
 
   /// Flight-recorder post-mortem hook: on a non-OK status, records an error
   /// event and (when EngineOptions::event_dump_path is set) dumps the event
   /// ring as JSONL there. Always returns `st` so call sites can tail-call.
   Status NoteOutcome(Status st) const;
 
-  std::vector<int> HitSetLocked(int object) const IQ_REQUIRES(mu_);
-  /// ApplyStrategy body; reports the §4.3 reuse accounting of this call
-  /// (queries re-ranked / kept, subdomains touched) for the event log.
-  Status ApplyStrategyLocked(int target, const Vec& strategy,
-                             uint64_t* reranked_out, uint64_t* reused_out,
-                             uint64_t* affected_out) IQ_REQUIRES(mu_);
-  Result<int> RankUnderQueryLocked(int object, int q) const IQ_REQUIRES(mu_);
-  Result<std::vector<std::pair<int, int>>> ReverseKRanksLocked(int object,
-                                                               int k) const
-      IQ_REQUIRES(mu_);
+  /// ApplyStrategy body, operating on the writer's delta; reports the §4.3
+  /// reuse accounting of this call (queries re-ranked / kept, subdomains
+  /// touched) for the event log.
+  Status ApplyStrategyOnDelta(Delta& delta, int target, const Vec& strategy,
+                              uint64_t* reranked_out, uint64_t* reused_out,
+                              uint64_t* affected_out) IQ_REQUIRES(mu_);
 
-  /// Serializes dataset/workload updates against query evaluation (§4.3).
-  /// The outermost lock in the tree's acquisition order (LockRank::kEngine,
-  /// see util/lock_rank.h): it is held across whole solves, and the pool,
-  /// event-log and metrics locks all nest inside it.
+  /// Serializes writers (§4.3 maintenance + ApplyStrategy): held while a
+  /// delta is built against the current epoch and swapped in as the next
+  /// one. Readers never take it — they pin epochs via Snapshot() — so the
+  /// outermost rank in the lock tree (LockRank::kEngine, util/lock_rank.h)
+  /// now covers only the writer side; the pool, event-log and metrics locks
+  /// still nest inside it.
   mutable Mutex mu_{LockRank::kEngine, "IqEngine::mu_"};
-  // IQ_PT_GUARDED_BY extends the check to the pointees: dereferencing one
-  // of these outside mu_ is flagged, not just reseating the pointer.
-  std::unique_ptr<Dataset> dataset_ IQ_GUARDED_BY(mu_) IQ_PT_GUARDED_BY(mu_);
-  std::unique_ptr<QuerySet> queries_ IQ_GUARDED_BY(mu_)
-      IQ_PT_GUARDED_BY(mu_);
-  std::unique_ptr<FunctionView> view_ IQ_GUARDED_BY(mu_)
-      IQ_PT_GUARDED_BY(mu_);
-  std::unique_ptr<SubdomainIndex> index_ IQ_GUARDED_BY(mu_)
-      IQ_PT_GUARDED_BY(mu_);
+  /// The published epoch (DESIGN.md §12). Readers load-acquire and pin;
+  /// the writer (under mu_) store-releases the next snapshot. Internally
+  /// synchronized, hence not mu_-guarded.
+  std::atomic<std::shared_ptr<const EpochSnapshot>>
+      epoch_;  // iq-lint: allow(unguarded-member)
   /// Worker pool (DESIGN.md §8). Not guarded: set once at Create, then
-  /// immutable; the pool object is internally synchronized. Workers never
-  /// take mu_ — the dispatching engine call already holds it for the whole
-  /// parallel region.
+  /// immutable; the pool object is internally synchronized. Workers only
+  /// read pinned epochs and never take mu_.
   std::unique_ptr<ThreadPool> pool_;  // iq-lint: allow(unguarded-member)
   /// Live /metrics endpoint (DESIGN.md §9). Not guarded: set once at
   /// Create, then immutable; the exporter is internally synchronized and

@@ -1,0 +1,45 @@
+#include "core/epoch.h"
+
+#include "obs/metrics.h"
+
+namespace iq {
+namespace {
+
+/// Cached registry pointers; construction/destruction accounting only.
+struct EpochMetrics {
+  Gauge* epochs_live;      // snapshots currently alive (published + pinned)
+  Counter* epochs_retired; // snapshots destroyed since process start
+
+  static EpochMetrics& Get() {
+    static EpochMetrics m = [] {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      EpochMetrics em;
+      em.epochs_live = reg.GetGauge("iq.index.epochs_live");
+      em.epochs_retired = reg.GetCounter("iq.index.epochs_retired");
+      return em;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+EpochSnapshot::EpochSnapshot(uint64_t epoch_arg,
+                             std::shared_ptr<const Dataset> dataset_arg,
+                             std::shared_ptr<const QuerySet> queries_arg,
+                             std::shared_ptr<const FunctionView> view_arg,
+                             std::shared_ptr<const SubdomainIndex> index_arg)
+    : epoch(epoch_arg),
+      dataset(std::move(dataset_arg)),
+      queries(std::move(queries_arg)),
+      view(std::move(view_arg)),
+      index(std::move(index_arg)) {
+  EpochMetrics::Get().epochs_live->Add(1);
+}
+
+EpochSnapshot::~EpochSnapshot() {
+  EpochMetrics::Get().epochs_live->Add(-1);
+  EpochMetrics::Get().epochs_retired->Increment();
+}
+
+}  // namespace iq

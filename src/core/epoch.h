@@ -1,0 +1,82 @@
+#ifndef IQ_CORE_EPOCH_H_
+#define IQ_CORE_EPOCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "core/subdomain_index.h"
+
+namespace iq {
+
+/// One published, immutable version of the engine's logical state
+/// (DESIGN.md §12): the dataset, the query workload, the
+/// objects-as-functions view and the subdomain index, all frozen as of one
+/// successful mutation. The four parts are internally consistent — the view
+/// points at *this* snapshot's dataset, the index at this snapshot's view
+/// and queries — so any read computed against a snapshot is equivalent to a
+/// serial read of the engine at the moment epoch `epoch` was published.
+///
+/// Lifecycle: the writer (serialized on IqEngine::mu_) builds the next
+/// snapshot as a copy-on-write delta against the current one, publishes it
+/// with an atomic pointer swap, and never touches it again. Readers pin a
+/// snapshot through EpochHandle (a shared_ptr ref, no hazard pointers) and
+/// read without any lock. A superseded epoch is retired — destroyed, and
+/// counted in iq.index.epochs_retired — when the engine's publish pointer
+/// and the last pinned reader have both dropped it. Shared subdomain cells
+/// inside the index outlive the snapshot if a newer epoch still shares them.
+struct EpochSnapshot {
+  EpochSnapshot(uint64_t epoch_arg, std::shared_ptr<const Dataset> dataset_arg,
+                std::shared_ptr<const QuerySet> queries_arg,
+                std::shared_ptr<const FunctionView> view_arg,
+                std::shared_ptr<const SubdomainIndex> index_arg);
+  /// Retirement: updates iq.index.epochs_live / iq.index.epochs_retired.
+  ~EpochSnapshot();
+
+  EpochSnapshot(const EpochSnapshot&) = delete;
+  EpochSnapshot& operator=(const EpochSnapshot&) = delete;
+
+  const uint64_t epoch;
+  const std::shared_ptr<const Dataset> dataset;
+  const std::shared_ptr<const QuerySet> queries;
+  const std::shared_ptr<const FunctionView> view;
+  const std::shared_ptr<const SubdomainIndex> index;
+};
+
+/// A reader's pin on one epoch (DESIGN.md §12). Holding a handle keeps the
+/// snapshot — and therefore every answer computed from it — stable while
+/// writers publish newer epochs concurrently. Copyable (both copies pin the
+/// same epoch); dropping the last handle to a superseded epoch retires it.
+/// Obtain one from IqEngine::Snapshot(); a default-constructed handle is
+/// empty (valid() == false) and must not be dereferenced.
+class EpochHandle {
+ public:
+  EpochHandle() = default;
+  explicit EpochHandle(std::shared_ptr<const EpochSnapshot> snap)
+      : snap_(std::move(snap)) {}
+
+  bool valid() const { return snap_ != nullptr; }
+  uint64_t epoch() const { return snap_->epoch; }
+
+  const Dataset& dataset() const { return *snap_->dataset; }
+  const QuerySet& queries() const { return *snap_->queries; }
+  const FunctionView& view() const { return *snap_->view; }
+  const SubdomainIndex& index() const { return *snap_->index; }
+
+  /// Raw pointers for APIs that take snapshot pointers (SolveOne and the
+  /// evaluators); only valid while this handle (or another pin on the same
+  /// epoch) is alive.
+  const SubdomainIndex* index_ptr() const { return snap_->index.get(); }
+  const FunctionView* view_ptr() const { return snap_->view.get(); }
+  const QuerySet* queries_ptr() const { return snap_->queries.get(); }
+
+  /// Drops the pin early (before the handle goes out of scope).
+  void reset() { snap_.reset(); }
+
+ private:
+  std::shared_ptr<const EpochSnapshot> snap_;
+};
+
+}  // namespace iq
+
+#endif  // IQ_CORE_EPOCH_H_

@@ -20,9 +20,12 @@ namespace iq {
 /// Ese (the proposed Algorithm 2), Rta (reverse top-k baseline), and
 /// BruteForce (index-free re-evaluation).
 ///
-/// Concurrency: evaluators are externally synchronized — they own no lock
-/// and are created, driven and destroyed under their owner's mutex (the
-/// engine's mu_, or a single test thread). SupportsConcurrentEval() widens
+/// Concurrency: evaluators are externally synchronized — they own no lock.
+/// They wrap *immutable* inputs: in the engine they are created, driven and
+/// destroyed within one solve against a pinned epoch (IqEngine::Snapshot(),
+/// DESIGN.md §12), whose index/view/queries cannot change underneath them;
+/// standalone users provide the same stability with a single test thread or
+/// their own lock. SupportsConcurrentEval() widens
 /// that contract per subclass: when it returns true, HitsForCoeffs only
 /// reads construction-time state and keeps its bookkeeping in the atomic
 /// counters below, so the parallel candidate-evaluation path may share one

@@ -22,6 +22,16 @@ class FunctionView {
   /// `dataset` must outlive the view.
   FunctionView(const Dataset* dataset, LinearForm form);
 
+  /// Rebinding copy: duplicates `other`'s form and coefficient matrix but
+  /// points at `dataset` (a copy of the original dataset). The epoch-snapshot
+  /// layer (DESIGN.md §12) uses this to give each published epoch a view
+  /// bound to that epoch's own dataset clone.
+  FunctionView(const FunctionView& other, const Dataset* dataset)
+      : dataset_(dataset),
+        form_(other.form_),
+        is_identity_(other.is_identity_),
+        coeffs_(other.coeffs_) {}
+
   const Dataset& dataset() const { return *dataset_; }
   const LinearForm& form() const { return form_; }
 

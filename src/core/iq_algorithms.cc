@@ -87,6 +87,10 @@ struct SearchMetrics {
 
 Result<IqContext> IqContext::FromIndex(const SubdomainIndex* index,
                                        int target) {
+  // The context caches raw pointers into the index's view/queries: callers
+  // must keep them stable for the context's lifetime. Engine solves do so
+  // by pinning the owning epoch (IqEngine::Snapshot(), DESIGN.md §12) for
+  // the whole solve; standalone callers own the index outright.
   if (index == nullptr) return Status::InvalidArgument("null index");
   const Dataset& data = index->view().dataset();
   if (target < 0 || target >= data.size() || !data.is_active(target)) {

@@ -25,6 +25,7 @@ struct IndexMetrics {
   Counter* cells_visited;         // subdomains scanned in OnObjectRemoved
   Counter* cells_skipped;         // subdomains pruned by the Bloom filter
   Counter* parallel_rank_batches; // ranking rounds fanned out over a pool
+  Counter* cow_cells_cloned;      // cells copied-on-write for a new epoch
   Gauge* num_subdomains;
   Histogram* build_nanos;
 
@@ -39,6 +40,7 @@ struct IndexMetrics {
       im.cells_skipped = reg.GetCounter("iq.index.cells_skipped");
       im.parallel_rank_batches =
           reg.GetCounter("iq.index.parallel_rank_batches");
+      im.cow_cells_cloned = reg.GetCounter("iq.index.cow_cells_cloned");
       im.num_subdomains = reg.GetGauge("iq.index.num_subdomains");
       im.build_nanos = reg.GetHistogram("iq.index.build_nanos");
       return im;
@@ -81,6 +83,7 @@ Result<SubdomainIndex> SubdomainIndex::Build(const FunctionView* view,
   kappa = std::max(kappa, 2);
   index.kappa_ = kappa;
   index.pool_ = options.pool;
+  index.epoch_ = options.epoch;
 
   const int m = queries->size();
   index.aug_w_.resize(static_cast<size_t>(m));
@@ -131,7 +134,7 @@ Result<SubdomainIndex> SubdomainIndex::Build(const FunctionView* view,
     ids.push_back(q);
   }
 
-  index.rtree_ = std::make_unique<RTree>(RTree::BulkLoad(
+  index.rtree_ = std::make_shared<RTree>(RTree::BulkLoad(
       view->form().num_slots(), points, ids, options.rtree_max_entries));
 
   index.build_seconds_ = timer.ElapsedSeconds();
@@ -139,8 +142,53 @@ Result<SubdomainIndex> SubdomainIndex::Build(const FunctionView* view,
   IndexMetrics::Get().num_subdomains->Set(index.num_occupied_);
   EventLog::Global().Record(EventLog::IndexBuild(
       static_cast<int>(active.size()), index.num_occupied_,
-      index.build_seconds_));
+      index.build_seconds_, index.epoch_));
   return index;
+}
+
+SubdomainIndex SubdomainIndex::CloneCow(const FunctionView* view,
+                                        const QuerySet* queries,
+                                        uint64_t epoch) const {
+  SubdomainIndex copy;
+  copy.view_ = view;
+  copy.queries_ = queries;
+  copy.kappa_ = kappa_;
+  copy.pool_ = pool_;
+  copy.epoch_ = epoch;
+  copy.aug_w_ = aug_w_;
+  copy.sd_of_ = sd_of_;
+  // Cells and the R-tree are shared, not copied: MutableCell/MutableRTree
+  // clone them lazily when (and only when) a maintenance hook touches them.
+  copy.subdomains_ = subdomains_;
+  copy.rtree_ = rtree_;
+  copy.free_subdomains_ = free_subdomains_;
+  copy.num_occupied_ = num_occupied_;
+  copy.signature_to_sd_ = signature_to_sd_;
+  copy.sig_member_count_ = sig_member_count_;
+  // The Bloom filter is append-only and small; an eager copy keeps the
+  // frozen parent's filter untouched when the clone adds boundary pairs.
+  copy.boundary_bloom_ = std::make_unique<BloomFilter>(*boundary_bloom_);
+  copy.build_seconds_ = build_seconds_;
+  copy.knn_shortcut_hits_ = knn_shortcut_hits_;
+  copy.maintenance_rerank_events_ = maintenance_rerank_events_;
+  copy.maintenance_affected_subdomains_ = maintenance_affected_subdomains_;
+  return copy;
+}
+
+SubdomainIndex::Subdomain& SubdomainIndex::MutableCell(int sd) {
+  std::shared_ptr<Subdomain>& cell = subdomains_[static_cast<size_t>(sd)];
+  if (cell.use_count() > 1) {
+    cell = std::make_shared<Subdomain>(*cell);
+    IndexMetrics::Get().cow_cells_cloned->Increment();
+  }
+  return *cell;
+}
+
+RTree& SubdomainIndex::MutableRTree() {
+  if (rtree_.use_count() > 1) {
+    rtree_ = std::make_shared<RTree>(rtree_->Clone());
+  }
+  return *rtree_;
 }
 
 std::vector<int> SubdomainIndex::ComputeSignature(const Vec& aug_w) const {
@@ -197,9 +245,9 @@ int SubdomainIndex::FindOrCreateSubdomain(std::vector<int> signature) {
     free_subdomains_.pop_back();
   } else {
     sd = static_cast<int>(subdomains_.size());
-    subdomains_.emplace_back();
+    subdomains_.push_back(std::make_shared<Subdomain>());
   }
-  Subdomain& s = subdomains_[static_cast<size_t>(sd)];
+  Subdomain& s = MutableCell(sd);
   s.signature = std::move(signature);
   s.query_ids.clear();
   s.occupied = true;
@@ -214,21 +262,21 @@ int SubdomainIndex::FindOrCreateSubdomain(std::vector<int> signature) {
 
 void SubdomainIndex::AttachQueryToSubdomain(int q, int sd) {
   sd_of_[static_cast<size_t>(q)] = sd;
-  subdomains_[static_cast<size_t>(sd)].query_ids.push_back(q);
+  MutableCell(sd).query_ids.push_back(q);
 }
 
 void SubdomainIndex::DetachQueryFromSubdomain(int q) {
   int sd = sd_of_[static_cast<size_t>(q)];
   if (sd < 0) return;
-  auto& list = subdomains_[static_cast<size_t>(sd)].query_ids;
+  auto& list = MutableCell(sd).query_ids;
   list.erase(std::remove(list.begin(), list.end(), q), list.end());
   sd_of_[static_cast<size_t>(q)] = -1;
   ReleaseSubdomainIfEmpty(sd);
 }
 
 void SubdomainIndex::ReleaseSubdomainIfEmpty(int sd) {
-  Subdomain& s = subdomains_[static_cast<size_t>(sd)];
-  if (!s.occupied || !s.query_ids.empty()) return;
+  if (!Cell(sd).occupied || !Cell(sd).query_ids.empty()) return;
+  Subdomain& s = MutableCell(sd);
   signature_to_sd_.erase(SignatureKey(s.signature));
   for (int obj : s.signature) {
     --sig_member_count_[static_cast<size_t>(obj)];
@@ -250,7 +298,7 @@ std::vector<int> SubdomainIndex::SignatureMembers() const {
 double SubdomainIndex::KthScoreExcluding(int q, int target) const {
   const int sd = sd_of_[static_cast<size_t>(q)];
   IQ_DCHECK(sd >= 0);
-  const std::vector<int>& sig = subdomains_[static_cast<size_t>(sd)].signature;
+  const std::vector<int>& sig = Cell(sd).signature;
   const int k = queries_->query(q).k;
   const Vec& w = aug_w_[static_cast<size_t>(q)];
   int seen = 0;
@@ -314,7 +362,7 @@ Status SubdomainIndex::OnQueryAdded(int q) {
     (void)dist;
     int cand = sd_of_[static_cast<size_t>(nbr)];
     if (cand < 0) continue;
-    if (SignatureMatches(w, subdomains_[static_cast<size_t>(cand)].signature)) {
+    if (SignatureMatches(w, Cell(cand).signature)) {
       sd = cand;
       ++knn_shortcut_hits_;
       IndexMetrics::Get().signature_cache_hits->Increment();
@@ -325,9 +373,9 @@ Status SubdomainIndex::OnQueryAdded(int q) {
     sd = FindOrCreateSubdomain(ComputeSignature(w));
   }
   AttachQueryToSubdomain(q, sd);
-  rtree_->Insert(w, q);
+  MutableRTree().Insert(w, q);
   EventLog::Global().Record(
-      EventLog::IndexMaintenance("OnQueryAdded", q, /*ok=*/true));
+      EventLog::IndexMaintenance("OnQueryAdded", q, /*ok=*/true, epoch_));
   return Status::Ok();
 }
 
@@ -336,10 +384,10 @@ Status SubdomainIndex::OnQueryRemoved(int q) {
       sd_of_[static_cast<size_t>(q)] < 0) {
     return Status::NotFound("query is not indexed");
   }
-  rtree_->Remove(aug_w_[static_cast<size_t>(q)], q);
+  MutableRTree().Remove(aug_w_[static_cast<size_t>(q)], q);
   DetachQueryFromSubdomain(q);
   EventLog::Global().Record(
-      EventLog::IndexMaintenance("OnQueryRemoved", q, /*ok=*/true));
+      EventLog::IndexMaintenance("OnQueryRemoved", q, /*ok=*/true, epoch_));
   return Status::Ok();
 }
 
@@ -359,8 +407,7 @@ Status SubdomainIndex::OnObjectAdded(int id) {
     if (!queries_->is_active(q)) continue;
     int sd = sd_of_[static_cast<size_t>(q)];
     const Vec& w = aug_w_[static_cast<size_t>(q)];
-    const std::vector<int>& sig =
-        subdomains_[static_cast<size_t>(sd)].signature;
+    const std::vector<int>& sig = Cell(sd).signature;
     double score_new = Dot(c, w);
     bool enters;
     if (static_cast<int>(sig.size()) < kappa_) {
@@ -394,7 +441,7 @@ Status SubdomainIndex::OnObjectAdded(int id) {
   maintenance_affected_subdomains_ += touched_sds.size();
   IndexMetrics::Get().num_subdomains->Set(num_occupied_);
   EventLog::Global().Record(
-      EventLog::IndexMaintenance("OnObjectAdded", id, /*ok=*/true));
+      EventLog::IndexMaintenance("OnObjectAdded", id, /*ok=*/true, epoch_));
   return Status::Ok();
 }
 
@@ -409,7 +456,7 @@ Status SubdomainIndex::OnObjectRemoved(int id) {
   std::vector<int> affected;
   uint64_t visited = 0, skipped = 0, affected_cells = 0;
   for (int sd = 0; sd < static_cast<int>(subdomains_.size()); ++sd) {
-    const Subdomain& s = subdomains_[static_cast<size_t>(sd)];
+    const Subdomain& s = Cell(sd);
     if (!s.occupied) continue;
     if (!boundary_bloom_->MayContain(BloomFilter::KeyFromPair(id, sd))) {
       ++skipped;
@@ -451,7 +498,7 @@ Status SubdomainIndex::OnObjectRemoved(int id) {
   maintenance_affected_subdomains_ += affected_cells;
   IndexMetrics::Get().num_subdomains->Set(num_occupied_);
   EventLog::Global().Record(
-      EventLog::IndexMaintenance("OnObjectRemoved", id, /*ok=*/true));
+      EventLog::IndexMaintenance("OnObjectRemoved", id, /*ok=*/true, epoch_));
   return Status::Ok();
 }
 
@@ -494,12 +541,11 @@ Status SubdomainIndex::CheckInvariants() const {
       continue;
     }
     if (sd < 0 || sd >= static_cast<int>(subdomains_.size()) ||
-        !subdomains_[static_cast<size_t>(sd)].occupied) {
+        !Cell(sd).occupied) {
       return Status::Internal("active query " + std::to_string(q) +
                               " is not assigned to an occupied subdomain");
     }
-    const std::vector<int>& members =
-        subdomains_[static_cast<size_t>(sd)].query_ids;
+    const std::vector<int>& members = Cell(sd).query_ids;
     if (std::find(members.begin(), members.end(), q) == members.end()) {
       return Status::Internal("query " + std::to_string(q) +
                               " claims subdomain " + std::to_string(sd) +
@@ -511,7 +557,7 @@ Status SubdomainIndex::CheckInvariants() const {
   int occupied = 0;
   std::vector<int> member_recount(sig_member_count_.size(), 0);
   for (int sd = 0; sd < static_cast<int>(subdomains_.size()); ++sd) {
-    const Subdomain& s = subdomains_[static_cast<size_t>(sd)];
+    const Subdomain& s = Cell(sd);
     if (!s.occupied) continue;
     ++occupied;
     if (s.query_ids.empty()) {
@@ -561,7 +607,7 @@ Status SubdomainIndex::CheckInvariants() const {
   // recompute at each cell's representative query, plus the cheaper
   // signature-match scan at every other member query.
   for (int sd = 0; sd < static_cast<int>(subdomains_.size()); ++sd) {
-    const Subdomain& s = subdomains_[static_cast<size_t>(sd)];
+    const Subdomain& s = Cell(sd);
     if (!s.occupied) continue;
     int rep = s.query_ids.front();
     std::vector<int> fresh = ComputeSignature(aug_w_[static_cast<size_t>(rep)]);
@@ -603,7 +649,7 @@ Status SubdomainIndex::CheckInvariants() const {
 }
 
 void SubdomainIndex::TestOnlyCorruptSignature(int sd) {
-  Subdomain& s = subdomains_[static_cast<size_t>(sd)];
+  Subdomain& s = MutableCell(sd);
   IQ_CHECK(s.occupied && s.signature.size() >= 2)
       << "corruption hook needs an occupied subdomain with >= 2 members";
   std::swap(s.signature[0], s.signature[1]);
@@ -613,10 +659,10 @@ size_t SubdomainIndex::MemoryBytes() const {
   size_t bytes = sizeof(SubdomainIndex);
   for (const Vec& w : aug_w_) bytes += w.capacity() * sizeof(double);
   bytes += sd_of_.capacity() * sizeof(int);
-  for (const Subdomain& s : subdomains_) {
-    bytes += sizeof(Subdomain);
-    bytes += s.signature.capacity() * sizeof(int);
-    bytes += s.query_ids.capacity() * sizeof(int);
+  for (const auto& s : subdomains_) {
+    bytes += sizeof(Subdomain) + sizeof(std::shared_ptr<Subdomain>);
+    bytes += s->signature.capacity() * sizeof(int);
+    bytes += s->query_ids.capacity() * sizeof(int);
   }
   bytes += sig_member_count_.capacity() * sizeof(int);
   if (rtree_ != nullptr) bytes += rtree_->MemoryBytes();

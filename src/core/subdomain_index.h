@@ -1,6 +1,7 @@
 #ifndef IQ_CORE_SUBDOMAIN_INDEX_H_
 #define IQ_CORE_SUBDOMAIN_INDEX_H_
 
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -31,6 +32,9 @@ struct SubdomainIndexOptions {
   /// query-id order, so cell ids and contents match the serial build
   /// exactly. The pool must outlive the index. nullptr = serial.
   ThreadPool* pool = nullptr;
+  /// Epoch id stamped onto the built index and its flight-recorder events
+  /// (DESIGN.md §12). IqEngine starts at 1; standalone indexes keep 0.
+  uint64_t epoch = 0;
 };
 
 /// The paper's query index (§4.1): query points grouped by subdomain and
@@ -47,14 +51,18 @@ struct SubdomainIndexOptions {
 ///    add/remove object (signature patching; a Bloom filter over
 ///    (object, subdomain) boundary membership prunes the removal scan).
 ///
-/// Concurrency: externally synchronized. The index owns no lock; its owner
-/// serializes every maintenance hook against every read (IqEngine holds
-/// `mu_` across both — see util/lock_rank.h). The one sanctioned exception
-/// is the concurrent-read window IqEngine::SolveBatch opens: while no
-/// maintenance hook runs, the const query-time surface (KthScoreExcluding,
-/// HitThresholds, Hits, the R-tree searches) is safe to call from many
-/// threads because it only reads build-time state. The mutable members
-/// below carry IQ_GUARDED_BY_CALLER markers naming that contract; the
+/// Concurrency: externally synchronized, frozen-after-publish (DESIGN.md
+/// §12). The index owns no lock. In the engine's epoch architecture every
+/// published index is immutable: readers pin the owning EpochSnapshot (via
+/// IqEngine::Snapshot()) and call the const query-time surface
+/// (KthScoreExcluding, HitThresholds, Hits, the R-tree searches) from any
+/// number of threads with no lock at all. The On*() maintenance hooks run
+/// only on an *unpublished* clone — CloneCow() shares the subdomain cells
+/// and the R-tree with the parent epoch and the hooks copy-on-write the
+/// cells they touch — and only under the writer's serialization
+/// (IqEngine::mu_). Standalone (non-engine) indexes keep the old contract:
+/// one owner serializes hooks against reads. The mutable members below
+/// carry IQ_GUARDED_BY_CALLER markers naming the writer lock; the
 /// annotations are documentation, not compiler-enforced, because the
 /// guarding mutex lives in another class.
 class SubdomainIndex {
@@ -69,22 +77,36 @@ class SubdomainIndex {
   SubdomainIndex(SubdomainIndex&&) = default;
   SubdomainIndex& operator=(SubdomainIndex&&) = default;
 
+  /// Copy-on-write clone for the next epoch (DESIGN.md §12): the subdomain
+  /// cells and the R-tree are *shared* with this index (cheap pointer
+  /// copies), the O(m) per-query tables and the Bloom filter are copied, and
+  /// `view`/`queries` rebind the clone to the next epoch's own owners. The
+  /// clone's maintenance hooks then clone any cell they touch before
+  /// mutating it (the §4.3 affected-subspace computation decides which),
+  /// counted by iq.index.cow_cells_cloned — untouched cells stay shared
+  /// across arbitrarily many epochs. `this` must be treated as frozen while
+  /// any clone of it is alive.
+  SubdomainIndex CloneCow(const FunctionView* view, const QuerySet* queries,
+                          uint64_t epoch) const;
+
   const FunctionView& view() const { return *view_; }
   const QuerySet& queries() const { return *queries_; }
   const RTree& rtree() const { return *rtree_; }
 
   int kappa() const { return kappa_; }
+  /// Epoch id this index was built or cloned for (0 = standalone).
+  uint64_t epoch() const { return epoch_; }
   /// Number of non-empty subdomains.
   int num_subdomains() const { return num_occupied_; }
   /// Subdomain id of query q (-1 when the query is inactive).
   int subdomain_of(int q) const { return sd_of_[static_cast<size_t>(q)]; }
   /// Ordered ids of the top-κ objects shared by every query in `sd`.
   const std::vector<int>& signature(int sd) const {
-    return subdomains_[static_cast<size_t>(sd)].signature;
+    return subdomains_[static_cast<size_t>(sd)]->signature;
   }
   /// Query ids currently assigned to `sd`.
   const std::vector<int>& subdomain_queries(int sd) const {
-    return subdomains_[static_cast<size_t>(sd)].query_ids;
+    return subdomains_[static_cast<size_t>(sd)]->query_ids;
   }
   /// Augmented weight vector of query q (bias slot included).
   const Vec& aug_weights(int q) const {
@@ -176,25 +198,43 @@ class SubdomainIndex {
   void AttachQueryToSubdomain(int q, int sd);
   void ReleaseSubdomainIfEmpty(int sd);
 
+  const Subdomain& Cell(int sd) const {
+    return *subdomains_[static_cast<size_t>(sd)];
+  }
+  /// Copy-on-write access to cell `sd`: when the cell is shared with a
+  /// published epoch (use_count > 1) it is cloned first, so the epoch keeps
+  /// its frozen copy. Only the serialized writer calls this; a concurrent
+  /// reader can drop a retired epoch's reference (making the count fall),
+  /// never raise it, so a count of 1 proves exclusive ownership.
+  Subdomain& MutableCell(int sd);
+  /// Same discipline for the shared R-tree (query add/remove only).
+  RTree& MutableRTree();
+
   const FunctionView* view_ = nullptr;
   const QuerySet* queries_ = nullptr;
   int kappa_ = 0;
   /// Non-owning; see SubdomainIndexOptions::pool. Survives engine moves
   /// because the pool object itself never relocates.
   ThreadPool* pool_ = nullptr;
+  /// Epoch id (DESIGN.md §12); tags flight-recorder events.
+  uint64_t epoch_ = 0;
 
   // Subdomain structure: written by Build and the On*() maintenance hooks,
-  // read by everything. The owner's lock separates those phases.
+  // read by everything. The writer's lock separates clone construction from
+  // the publish; published epochs are frozen (see the class comment). Cells
+  // and the R-tree are shared_ptrs shared across epochs, mutated only
+  // through the COW accessors above.
   std::vector<Vec> aug_w_ IQ_GUARDED_BY_CALLER(IqEngine::mu_);
   std::vector<int> sd_of_ IQ_GUARDED_BY_CALLER(IqEngine::mu_);
-  std::vector<Subdomain> subdomains_ IQ_GUARDED_BY_CALLER(IqEngine::mu_);
+  std::vector<std::shared_ptr<Subdomain>> subdomains_
+      IQ_GUARDED_BY_CALLER(IqEngine::mu_);
   std::vector<int> free_subdomains_ IQ_GUARDED_BY_CALLER(IqEngine::mu_);
   int num_occupied_ IQ_GUARDED_BY_CALLER(IqEngine::mu_) = 0;
   std::unordered_map<std::string, int> signature_to_sd_
       IQ_GUARDED_BY_CALLER(IqEngine::mu_);
   // sig_member_count_[obj] = number of subdomains whose signature holds obj.
   std::vector<int> sig_member_count_ IQ_GUARDED_BY_CALLER(IqEngine::mu_);
-  std::unique_ptr<RTree> rtree_ IQ_GUARDED_BY_CALLER(IqEngine::mu_);
+  std::shared_ptr<RTree> rtree_ IQ_GUARDED_BY_CALLER(IqEngine::mu_);
   std::unique_ptr<BloomFilter> boundary_bloom_
       IQ_GUARDED_BY_CALLER(IqEngine::mu_);
 

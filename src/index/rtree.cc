@@ -57,6 +57,29 @@ RTree::RTree(int dim, int max_entries)
       min_entries_(std::max(2, max_entries / 3)),
       root_(std::make_unique<Node>(dim)) {}
 
+std::unique_ptr<RTree::Node> RTree::CloneNode(const Node& src, Node* parent) {
+  auto node = std::make_unique<Node>(src.mbr.dim());
+  node->is_leaf = src.is_leaf;
+  node->mbr = src.mbr;
+  node->parent = parent;
+  if (src.is_leaf) {
+    node->entries = src.entries;
+  } else {
+    node->children.reserve(src.children.size());
+    for (const auto& child : src.children) {
+      node->children.push_back(CloneNode(*child, node.get()));
+    }
+  }
+  return node;
+}
+
+RTree RTree::Clone() const {
+  RTree copy(dim_, max_entries_);
+  copy.root_ = CloneNode(*root_, nullptr);
+  copy.size_ = size_;
+  return copy;
+}
+
 void RTree::Insert(const Vec& point, int id) {
   IQ_DCHECK(static_cast<int>(point.size()) == dim_);
   Node* leaf = ChooseLeaf(point);

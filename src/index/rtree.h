@@ -41,6 +41,12 @@ class RTree {
   static RTree BulkLoad(int dim, const std::vector<Vec>& points,
                         const std::vector<int>& ids, int max_entries = 16);
 
+  /// Deep structural copy: an independent tree with identical node layout,
+  /// MBRs and entries. The epoch-snapshot layer (DESIGN.md §12) clones the
+  /// query R-tree before a query add/remove mutates it, so readers pinned to
+  /// the previous epoch keep traversing the original untouched.
+  RTree Clone() const;
+
   void Insert(const Vec& point, int id);
 
   /// Removes one entry matching (point, id). Returns false if absent.
@@ -91,6 +97,8 @@ class RTree {
     Vec point;
     int id;
   };
+
+  static std::unique_ptr<Node> CloneNode(const Node& src, Node* parent);
 
   Node* ChooseLeaf(const Vec& point);
   void SplitNode(Node* node);

@@ -79,8 +79,9 @@ std::string Event::ToJson() const {
   switch (type) {
     case EventType::kSolveStart:
       out += StrFormat(",\"scheme\":\"%s\",\"target\":%d,\"tau\":%d,"
-                       "\"beta\":%.6g",
-                       scheme != nullptr ? scheme : "?", target, tau, beta);
+                       "\"beta\":%.6g,\"epoch\":%llu",
+                       scheme != nullptr ? scheme : "?", target, tau, beta,
+                       static_cast<unsigned long long>(epoch));
       break;
     case EventType::kSolveEnd:
       out += StrFormat(
@@ -95,24 +96,30 @@ std::string Event::ToJson() const {
           static_cast<unsigned long long>(candidates_evaluated),
           static_cast<unsigned long long>(queries_rescored),
           static_cast<unsigned long long>(queries_reused), seconds);
+      out += StrFormat(",\"epoch\":%llu",
+                       static_cast<unsigned long long>(epoch));
       break;
     case EventType::kApplyStrategy:
       out += StrFormat(
           ",\"target\":%d,\"ok\":%s,\"queries_reranked\":%llu,"
           "\"queries_reused\":%llu,\"affected_subspaces\":%lld,"
-          "\"seconds\":%.6g",
+          "\"seconds\":%.6g,\"epoch\":%llu",
           target, ok ? "true" : "false",
           static_cast<unsigned long long>(queries_rescored),
           static_cast<unsigned long long>(queries_reused),
-          static_cast<long long>(n), seconds);
+          static_cast<long long>(n), seconds,
+          static_cast<unsigned long long>(epoch));
       break;
     case EventType::kIndexBuild:
       out += StrFormat(",\"num_queries\":%d,\"num_subdomains\":%d,"
-                       "\"seconds\":%.6g",
-                       num_queries, num_subdomains, seconds);
+                       "\"seconds\":%.6g,\"epoch\":%llu",
+                       num_queries, num_subdomains, seconds,
+                       static_cast<unsigned long long>(epoch));
       break;
     case EventType::kIndexMaintenance:
-      out += StrFormat(",\"id\":%d,\"ok\":%s", target, ok ? "true" : "false");
+      out += StrFormat(",\"id\":%d,\"ok\":%s,\"epoch\":%llu", target,
+                       ok ? "true" : "false",
+                       static_cast<unsigned long long>(epoch));
       break;
     case EventType::kPoolSaturation:
       out += StrFormat(",\"work_units\":%lld,\"num_threads\":%d",
@@ -210,7 +217,7 @@ uint64_t EventLog::dropped_count() const {
 }
 
 Event EventLog::SolveStart(const char* op, const char* scheme, int target,
-                           int tau, double beta) {
+                           int tau, double beta, uint64_t epoch) {
   Event e;
   e.type = EventType::kSolveStart;
   e.op = op;
@@ -218,6 +225,7 @@ Event EventLog::SolveStart(const char* op, const char* scheme, int target,
   e.target = target;
   e.tau = tau;
   e.beta = beta;
+  e.epoch = epoch;
   return e;
 }
 
@@ -227,7 +235,7 @@ Event EventLog::SolveEnd(const char* op, const char* scheme, int target,
                          uint64_t candidates_generated,
                          uint64_t candidates_evaluated,
                          uint64_t queries_rescored, uint64_t queries_reused,
-                         double seconds) {
+                         double seconds, uint64_t epoch) {
   Event e;
   e.type = EventType::kSolveEnd;
   e.op = op;
@@ -243,12 +251,13 @@ Event EventLog::SolveEnd(const char* op, const char* scheme, int target,
   e.queries_rescored = queries_rescored;
   e.queries_reused = queries_reused;
   e.seconds = seconds;
+  e.epoch = epoch;
   return e;
 }
 
 Event EventLog::ApplyStrategy(int target, bool ok, uint64_t queries_reranked,
                               uint64_t queries_reused, int64_t affected,
-                              double seconds) {
+                              double seconds, uint64_t epoch) {
   Event e;
   e.type = EventType::kApplyStrategy;
   e.op = "ApplyStrategy";
@@ -258,26 +267,30 @@ Event EventLog::ApplyStrategy(int target, bool ok, uint64_t queries_reranked,
   e.queries_reused = queries_reused;
   e.n = affected;
   e.seconds = seconds;
+  e.epoch = epoch;
   return e;
 }
 
 Event EventLog::IndexBuild(int num_queries, int num_subdomains,
-                           double seconds) {
+                           double seconds, uint64_t epoch) {
   Event e;
   e.type = EventType::kIndexBuild;
   e.op = "Build";
   e.num_queries = num_queries;
   e.num_subdomains = num_subdomains;
   e.seconds = seconds;
+  e.epoch = epoch;
   return e;
 }
 
-Event EventLog::IndexMaintenance(const char* op, int id, bool ok) {
+Event EventLog::IndexMaintenance(const char* op, int id, bool ok,
+                                 uint64_t epoch) {
   Event e;
   e.type = EventType::kIndexMaintenance;
   e.op = op;
   e.target = id;
   e.ok = ok;
+  e.epoch = epoch;
   return e;
 }
 

@@ -69,6 +69,10 @@ struct Event {
   int num_subdomains = 0;         // index_build
   int64_t n = 0;                  // generic size: batch items, work units
   int num_threads = 0;            // pool_saturation
+  /// Index epoch the event concerns (DESIGN.md §12): the pinned epoch of a
+  /// solve, the epoch an IndexBuild produced, or the epoch a maintenance
+  /// hook was building. 0 = pre-epoch / standalone index.
+  uint64_t epoch = 0;             // solve_* / index_build / index_maintenance
   /// Free-form detail (error messages); copied, JSON-escaped on dump.
   std::string note;
 
@@ -111,18 +115,20 @@ class EventLog {
 
   // ---- factory helpers (fill the per-kind field subset) ----
   static Event SolveStart(const char* op, const char* scheme, int target,
-                          int tau, double beta);
+                          int tau, double beta, uint64_t epoch = 0);
   static Event SolveEnd(const char* op, const char* scheme, int target,
                         bool ok, double cost, int hits_before, int hits_after,
                         int iterations, uint64_t candidates_generated,
                         uint64_t candidates_evaluated,
                         uint64_t queries_rescored, uint64_t queries_reused,
-                        double seconds);
+                        double seconds, uint64_t epoch = 0);
   static Event ApplyStrategy(int target, bool ok, uint64_t queries_reranked,
                              uint64_t queries_reused, int64_t affected,
-                             double seconds);
-  static Event IndexBuild(int num_queries, int num_subdomains, double seconds);
-  static Event IndexMaintenance(const char* op, int id, bool ok);
+                             double seconds, uint64_t epoch = 0);
+  static Event IndexBuild(int num_queries, int num_subdomains, double seconds,
+                          uint64_t epoch = 0);
+  static Event IndexMaintenance(const char* op, int id, bool ok,
+                                uint64_t epoch = 0);
   static Event PoolSaturation(const char* op, int64_t work_units,
                               int num_threads);
   static Event Error(const char* op, std::string note);

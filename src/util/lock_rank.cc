@@ -118,3 +118,22 @@ int HeldCount() { return t_held.size; }
 
 }  // namespace lock_rank_internal
 }  // namespace iq
+
+#if defined(__SANITIZE_THREAD__)
+// libstdc++ 12's std::atomic<std::shared_ptr> (_Sp_atomic) guards its plain
+// _M_ptr member with a spin-lock bit in the control-block word, but the
+// load() path releases that bit with memory_order_relaxed. The lock bit
+// gives real mutual exclusion (reads and writes of _M_ptr never overlap in
+// time), yet the relaxed unlock leaves no happens-before edge in TSan's
+// model, so every epoch-pointer load racing a publish is reported as a
+// data race inside _Sp_atomic. The publish->pin direction does carry a
+// release/acquire edge (store unlocks with release, load locks with
+// acquire), so snapshot contents stay fully checked; only the library's
+// own internal pointer word needs suppressing. This TU is pulled into
+// every binary via the ranked-mutex runtime, so the suppression rides
+// along with any TSan build.
+extern "C" const char* __tsan_default_suppressions();
+extern "C" const char* __tsan_default_suppressions() {
+  return "race:_Sp_atomic\n";
+}
+#endif

@@ -25,8 +25,12 @@ namespace iq {
 /// sync when adding a rank. Gaps are deliberate — new subsystems slot in
 /// without renumbering.
 enum class LockRank : int {
-  /// IqEngine::mu_ — the outermost lock: held across whole solves, batch
-  /// fan-outs and §4.3 maintenance, with every other lock acquired inside.
+  /// IqEngine::mu_ — the outermost lock. Since the epoch-snapshot refactor
+  /// (DESIGN.md §12) it serializes only the *writer* side — COW delta
+  /// construction plus the publish swap of §4.3 maintenance and
+  /// ApplyStrategy; readers pin epochs lock-free — but it can still hold
+  /// every other lock inside (the maintenance hooks fan out over the pool
+  /// and record events/metrics).
   kEngine = 100,
   /// ThreadPool::mu_ — the task-queue lock, taken to enqueue helper tasks
   /// and by workers to dequeue (possibly while the dispatcher holds

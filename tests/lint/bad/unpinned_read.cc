@@ -1,0 +1,15 @@
+// Fixture: reads the engine's subdomain index through the structural
+// accessor with no pin in sight. The two HitCount calls may answer from
+// two different epochs under concurrent updates (linted as a fake
+// src/core/ file by lint_tool_test.cc).
+#include "core/engine.h"
+
+namespace iq {
+
+int CountHitsTwice(const IqEngine& engine, int target) {
+  int first = engine.index().HitCount(target);
+  int second = engine.index().HitCount(target);
+  return first == second ? first : -1;
+}
+
+}  // namespace iq

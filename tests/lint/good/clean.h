@@ -19,8 +19,14 @@ class CleanCache {
   int size() const;
 
  private:
+  /// Nested enums are types, not state: neither the declaration nor the
+  /// enumerators inside its braces may surface as unguarded members.
+  enum class Mode { kFast, kSafe };
+  enum Legacy { kOld, kNew };
+
   mutable Mutex mu_{LockRank::kLeaf};
   CondVar cv_;
+  Mode mode_ IQ_GUARDED_BY(mu_) = Mode::kFast;
   std::vector<int> keys_ IQ_GUARDED_BY(mu_);
   int size_ IQ_GUARDED_BY(mu_) = 0;
   std::atomic<bool> open_{true};

@@ -1,0 +1,22 @@
+// Fixture: the same reads as bad/unpinned_read.cc, done right — one
+// EpochHandle pin, every read answers from that frozen epoch.
+#include "core/engine.h"
+#include "core/epoch.h"
+
+namespace iq {
+
+int CountHitsTwice(const IqEngine& engine, int target) {
+  EpochHandle snap = engine.Snapshot();
+  int first = snap.index().HitCount(target);
+  int second = snap.index().HitCount(target);
+  return first == second ? first : -1;
+}
+
+/// The other sanctioned shape: the helper takes the index itself, so the
+/// caller owns stability (a pin, the writer lock, or a single-threaded
+/// test).
+int CountHitsOnIndex(const SubdomainIndex& index, int target) {
+  return index.HitCount(target);
+}
+
+}  // namespace iq

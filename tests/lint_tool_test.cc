@@ -126,6 +126,37 @@ TEST(LintParallelForTest, FlagsCheckFreeReduction) {
             0);
 }
 
+TEST(LintUnpinnedIndexReadTest, FlagsEveryReadSiteWhenNoPinEvidence) {
+  const std::string content = ReadFileOrDie(FixturePath("bad/unpinned_read.cc"));
+  std::vector<Finding> findings =
+      CheckFile("src/core/unpinned_fixture.cc", content);
+  // Both HitCount sites, nothing else.
+  EXPECT_EQ(CountCheck(findings, "unpinned-index-read"), 2);
+  EXPECT_EQ(static_cast<int>(findings.size()), 2);
+  for (const Finding& f : findings) {
+    EXPECT_NE(f.message.find("EpochHandle"), std::string::npos) << f.message;
+  }
+
+  // Scoping: the rule targets src/core/ reader paths only — the index
+  // implementation itself and code outside src/core/ are exempt.
+  EXPECT_EQ(CountCheck(CheckFile("src/core/subdomain_index.cc", content),
+                       "unpinned-index-read"),
+            0);
+  EXPECT_EQ(CountCheck(CheckFile("tests/unpinned_fixture.cc", content),
+                       "unpinned-index-read"),
+            0);
+  EXPECT_EQ(CountCheck(CheckFile("src/index/unpinned_fixture.cc", content),
+                       "unpinned-index-read"),
+            0);
+}
+
+TEST(LintUnpinnedIndexReadTest, PinnedAndCallerPinnedShapesPass) {
+  std::vector<Finding> findings =
+      CheckFile("src/core/pinned_fixture.cc",
+                ReadFileOrDie(FixturePath("good/pinned_read.cc")));
+  EXPECT_EQ(CountCheck(findings, "unpinned-index-read"), 0);
+}
+
 TEST(LintGoodCorpusTest, CleanFixturesProduceNoFindings) {
   std::vector<Finding> h =
       CheckFile("tests/lint/good/clean.h",

@@ -16,9 +16,11 @@
 #include <cmath>
 #include <cstdint>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/engine.h"
+#include "core/epoch.h"
 #include "core/evaluator.h"
 #include "core/exhaustive.h"
 #include "core/iq_algorithms.h"
@@ -421,6 +423,71 @@ TEST(ParallelDiffTest, SolveBatchEmptyAndEngineAccessors) {
 
   auto bad = MakeEngine(16, 8, 2, 5, -1);
   EXPECT_FALSE(bad.ok());
+}
+
+TEST(ParallelDiffTest, SolveBatchOnPinnedEpochIdenticalUnderChurn) {
+  // The epoch extension of the determinism contract (DESIGN.md §12): a
+  // batch solved on a *pinned* epoch answers from that epoch alone, so the
+  // result is byte-identical across thread counts and completely unaffected
+  // by updates published while the batch is in flight.
+  constexpr int kN = 40, kM = 24;
+  const std::vector<BatchItem> items = MakeBatch(kN, kM);
+
+  // Reference: the build epoch solved with no churn at all.
+  std::vector<IqResult> reference;
+  {
+    auto engine = MakeEngine(kN, kM, 3, 2027, 0);
+    ASSERT_TRUE(engine.ok());
+    auto batch = engine->SolveBatchOn(engine->Snapshot(), items);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    reference = *std::move(batch);
+  }
+
+  for (int num_threads : {0, 2, 8}) {
+    SCOPED_TRACE(testing::Message() << "num_threads=" << num_threads);
+    auto engine = MakeEngine(kN, kM, 3, 2027, num_threads);
+    ASSERT_TRUE(engine.ok());
+    EpochHandle pinned = engine->Snapshot();
+    ASSERT_EQ(pinned.epoch(), 1u);
+
+    // One guaranteed publish before the rounds: on a loaded host the
+    // writer thread may not get scheduled before the solves finish, and
+    // the epoch-moved-on assertion below must not hinge on that.
+    ASSERT_TRUE(engine->ApplyStrategy(0, {0.01, -0.01, 0.01}).ok());
+
+    // Churn the engine underneath the pin: every apply publishes a new
+    // epoch whose cells may COW away from the pinned one mid-batch.
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+      Rng rng(2028);
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ASSERT_TRUE(
+            engine->ApplyStrategy(i++ % kN, rng.UniformVector(3, -0.02, 0.02))
+                .ok());
+      }
+    });
+
+    for (int round = 0; round < 3; ++round) {
+      auto batch = engine->SolveBatchOn(pinned, items);
+      ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+      ASSERT_EQ(batch->size(), reference.size());
+      for (size_t i = 0; i < reference.size(); ++i) {
+        SCOPED_TRACE(testing::Message() << "round " << round << " item " << i);
+        ExpectIdenticalResults(reference[i], (*batch)[i], "SolveBatchOn");
+      }
+    }
+
+    stop.store(true, std::memory_order_relaxed);
+    writer.join();
+    // The live engine moved on; only the pin stayed put.
+    EXPECT_GT(engine->Snapshot().epoch(), 1u);
+  }
+
+  // A default-constructed (never pinned) handle is an input error.
+  auto engine = MakeEngine(kN, kM, 3, 2027, 0);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_FALSE(engine->SolveBatchOn(EpochHandle(), items).ok());
 }
 
 TEST(ParallelDiffTest, MovedEngineKeepsPoolAndSolves) {

@@ -4,12 +4,14 @@
 # Run mode (default):
 #   tools/bench_regress.sh [--out=PATH] [--quick]
 #
-#   Runs the four micro-benchmarks (micro_ese, micro_solver, micro_rtree with
-#   --benchmark_repetitions, micro_parallel best-of) with their fixed builtin
-#   seeds and merges the tracked p50s plus run metadata (git SHA, build type,
-#   thread count) into one JSON report (default: BENCH_5.json in the repo
-#   root). The google-benchmark medians are the tracked p50s; micro_parallel
-#   contributes its per-path per-thread-count best-of seconds.
+#   Runs the five micro-benchmarks (micro_ese, micro_solver, micro_rtree with
+#   --benchmark_repetitions, micro_parallel best-of, micro_churn) with their
+#   fixed builtin seeds and merges the tracked p50s plus run metadata (git
+#   SHA, build type, thread count) into one JSON report (default:
+#   BENCH_5.json in the repo root). The google-benchmark medians are the
+#   tracked p50s; micro_parallel contributes its per-path per-thread-count
+#   best-of seconds; micro_churn contributes its churn-window solve/apply
+#   p50 latencies (epoch-snapshot readers under writer churn).
 #
 # Compare mode:
 #   tools/bench_regress.sh --compare OLD.json NEW.json
@@ -34,6 +36,7 @@ REPS="${IQ_BENCH_REPETITIONS:-3}"
 THRESHOLD="${IQ_BENCH_THRESHOLD:-0.20}"
 OUT="BENCH_5.json"
 PAR_ARGS=(--n=2000 --m=400 --reps=2)
+CHURN_ARGS=(--n=1000 --m=300 --readers=4 --applies=100 --reads=100)
 
 if [[ "${1:-}" == "--compare" ]]; then
   [[ $# -eq 3 ]] || { echo "usage: $0 --compare OLD.json NEW.json" >&2; exit 2; }
@@ -94,12 +97,16 @@ fi
 for arg in "$@"; do
   case "$arg" in
     --out=*) OUT="${arg#--out=}" ;;
-    --quick) MIN_TIME=0.01; PAR_ARGS=(--n=800 --m=200 --reps=1) ;;
+    --quick)
+      MIN_TIME=0.01
+      PAR_ARGS=(--n=800 --m=200 --reps=1)
+      CHURN_ARGS=(--n=400 --m=120 --readers=2 --applies=30 --reads=30)
+      ;;
     *) echo "unknown flag: $arg (known: --out= --quick --compare)" >&2; exit 2 ;;
   esac
 done
 
-for bin in micro_ese micro_solver micro_rtree micro_parallel; do
+for bin in micro_ese micro_solver micro_rtree micro_parallel micro_churn; do
   [[ -x "$BUILD_DIR/bench/$bin" ]] || {
     echo "missing $BUILD_DIR/bench/$bin -- build first (cmake --build $BUILD_DIR)" >&2
     exit 2
@@ -121,6 +128,8 @@ for bin in micro_ese micro_solver micro_rtree; do
 done
 echo "== micro_parallel (${PAR_ARGS[*]}) =="
 "$BUILD_DIR/bench/micro_parallel" "${PAR_ARGS[@]}" --json="$TMP/micro_parallel.json"
+echo "== micro_churn (${CHURN_ARGS[*]}) =="
+"$BUILD_DIR/bench/micro_churn" "${CHURN_ARGS[@]}" --json="$TMP/micro_churn.json"
 
 python3 - "$TMP" "$OUT" <<'PYEOF'
 import json, os, sys
@@ -161,6 +170,21 @@ for path in par.get("paths", []):
             "unit": "s",
             # 0 is the serial fallback: no pool, one thread of execution.
             "num_threads": max(1, int(cell["threads"])),
+        }
+
+churn = json.load(open(os.path.join(tmp, "micro_churn.json")))
+for w in churn.get("windows", []):
+    if w.get("window") != "churn":
+        continue  # reader_only is the lock-free gate, not a latency track
+    readers = int(churn.get("readers") or 1)
+    for field in ("solve_p50_nanos", "apply_p50_nanos"):
+        merged["tracked"][f"micro_churn/{field}"] = {
+            "p50": w[field],
+            "unit": "ns",
+            # The writer publishes from the driver thread while `readers`
+            # reader threads solve: that concurrency level is what the
+            # latency is measured under.
+            "num_threads": readers + 1,
         }
 
 with open(out, "w") as f:

@@ -4,7 +4,7 @@
 # the paper-critical counters must exist and be non-zero, otherwise the
 # instrumentation has silently rotted.
 #
-#   tools/check_metrics.sh [--pool|--exporter|--profile] path/to/metrics.json
+#   tools/check_metrics.sh [--pool|--exporter|--profile|--epoch] path/to/metrics.json
 #
 # --pool additionally requires the parallel-execution counters
 # (iq.pool.tasks etc.) to have moved — pass it for snapshots produced by a
@@ -20,11 +20,19 @@
 # --profile validates an iq_prof --json= machine report (DESIGN.md §11):
 # at least one profile with a label and a window, every serial_fraction in
 # [0, 1], and a non-empty verdict sentence.
+#
+# --epoch validates the epoch-snapshot gauges/counters (DESIGN.md §12) on a
+# scraped /metrics payload from a run that published at least one update
+# (micro_churn --scrape-metrics=...): iq_index_epoch must be past the build
+# epoch, retirement must have run (iq_index_epochs_retired > 0), COW must
+# have cloned cells (iq_index_cow_cells_cloned > 0), and the number of live
+# epochs must be a small positive count, not a leak.
 set -u
 
 check_pool=0
 check_exporter=0
 check_profile=0
+check_epoch=0
 if [ "${1:-}" = "--pool" ]; then
   check_pool=1
   shift
@@ -33,6 +41,9 @@ elif [ "${1:-}" = "--exporter" ]; then
   shift
 elif [ "${1:-}" = "--profile" ]; then
   check_profile=1
+  shift
+elif [ "${1:-}" = "--epoch" ]; then
+  check_epoch=1
   shift
 fi
 if [ $# -ne 1 ] || [ ! -f "$1" ]; then
@@ -87,6 +98,64 @@ if [ "$check_profile" -eq 1 ]; then
     exit 1
   fi
   echo "check_metrics: OK (profile report)"
+  exit 0
+fi
+
+if [ "$check_epoch" -eq 1 ]; then
+  # Scraped Prometheus payload from an epoch-publishing run.
+  prom_value() {
+    grep -E "^$1 -?[0-9]+$" "$json" | grep -oE '\-?[0-9]+$' || true
+  }
+
+  epoch="$(prom_value iq_index_epoch)"
+  if [ -z "$epoch" ]; then
+    echo "check_metrics: iq_index_epoch missing from $json" >&2
+    failures=$((failures + 1))
+  elif [ "$epoch" -le 1 ]; then
+    echo "check_metrics: iq_index_epoch = $epoch — no update ever" \
+         "published (expected > 1 after churn)" >&2
+    failures=$((failures + 1))
+  else
+    echo "check_metrics: iq_index_epoch = $epoch"
+  fi
+
+  retired="$(prom_value iq_index_epochs_retired)"
+  if [ -z "$retired" ] || [ "$retired" -eq 0 ]; then
+    echo "check_metrics: iq_index_epochs_retired missing or zero —" \
+         "superseded epochs are not being retired" >&2
+    failures=$((failures + 1))
+  else
+    echo "check_metrics: iq_index_epochs_retired = $retired"
+  fi
+
+  cloned="$(prom_value iq_index_cow_cells_cloned)"
+  if [ -z "$cloned" ] || [ "$cloned" -eq 0 ]; then
+    echo "check_metrics: iq_index_cow_cells_cloned missing or zero —" \
+         "COW deltas are not cloning touched cells" >&2
+    failures=$((failures + 1))
+  else
+    echo "check_metrics: iq_index_cow_cells_cloned = $cloned"
+  fi
+
+  live="$(prom_value iq_index_epochs_live)"
+  if [ -z "$live" ]; then
+    echo "check_metrics: iq_index_epochs_live missing from $json" >&2
+    failures=$((failures + 1))
+  elif [ "$live" -lt 1 ] || [ "$live" -gt 8 ]; then
+    # The scraping process holds one engine (1 live epoch) plus at most a
+    # few transiently pinned readers; dozens live = retirement leak.
+    echo "check_metrics: iq_index_epochs_live = $live outside [1, 8] —" \
+         "epoch retirement is leaking (or the engine died)" >&2
+    failures=$((failures + 1))
+  else
+    echo "check_metrics: iq_index_epochs_live = $live"
+  fi
+
+  if [ "$failures" -gt 0 ]; then
+    echo "check_metrics: FAILED ($failures problem(s))" >&2
+    exit 1
+  fi
+  echo "check_metrics: OK (epoch gauges)"
   exit 0
 fi
 

@@ -382,6 +382,12 @@ void CheckUnguardedMembers(const std::string& path,
           ClassScope closed = std::move(stack.back());
           stack.pop_back();
           if (stack.empty()) return;  // unbalanced braces; bail out
+          // Text buffered inside the closed scope but never ';'-terminated
+          // (enum bodies, for instance) must not leak into the enclosing
+          // class as a phantom member.
+          stmt.clear();
+          stmt_first_line = 0;
+          stmt_waived = false;
           if (!closed.pending_stmt.empty() &&
               depth == stack.back().body_depth) {
             stmt = closed.pending_stmt;
@@ -430,6 +436,52 @@ void CheckParallelForHasChecks(const std::string& path,
   }
 }
 
+// ------------------------------------------------ unpinned index reads --
+
+/// SubdomainIndex reader methods whose answers are only coherent against a
+/// *stable* index version — mixing two epochs across consecutive calls is
+/// exactly the bug class the epoch-snapshot layer (DESIGN.md §12) exists to
+/// prevent.
+const std::regex kIndexReadRe(
+    R"((->|\.)\s*(HitCount|HitSet|TopKScan|signature|aug_weights|)"
+    R"(num_subdomains|SubdomainOf|CheckInvariants)\s*\()");
+
+/// Evidence that a file's index reads happen against a pinned or otherwise
+/// stable version: an EpochHandle pin (IqEngine::Snapshot()), the writer
+/// lock, an IQ_REQUIRES(mu_) contract, or the caller-pinned parameter
+/// convention — the helper receives `const SubdomainIndex&/*` itself (not an
+/// engine), so stability is the caller's documented obligation
+/// (evaluator.h, self_check.h).
+const std::regex kPinEvidenceRe(
+    R"(EpochHandle|\bSnapshot\s*\(|MutexLock|IQ_REQUIRES\s*\(\s*mu_\s*\)|)"
+    R"(const SubdomainIndex\s*[&*])");
+
+/// File-level heuristic (same spirit as parallel-for-check): a src/core/
+/// reader path that calls SubdomainIndex query methods must show *some*
+/// pin/lock evidence, else every read site is flagged. Token-level, so a
+/// file mixing pinned and unpinned reads can slip through — the
+/// fine-grained guarantee comes from the clang -Wthread-safety annotations
+/// and the epoch differential tests; this check catches the structural
+/// regression of a new reader path bypassing EpochHandle entirely.
+void CheckUnpinnedIndexReads(const std::string& path,
+                             const std::vector<std::string>& sanitized,
+                             std::vector<Finding>* findings) {
+  for (const std::string& line : sanitized) {
+    if (std::regex_search(line, kPinEvidenceRe)) return;
+  }
+  for (size_t i = 0; i < sanitized.size(); ++i) {
+    if (std::regex_search(sanitized[i], kIndexReadRe)) {
+      findings->push_back(
+          {"unpinned-index-read", path, static_cast<int>(i + 1),
+           "SubdomainIndex read with no pin evidence in the file — route "
+           "reads through a pinned epoch (EpochHandle snap = "
+           "engine.Snapshot(); snap.index()...), hold the writer lock, or "
+           "take `const SubdomainIndex&` as a caller-pinned parameter "
+           "(DESIGN.md §12)"});
+    }
+  }
+}
+
 }  // namespace
 
 std::string ExpectedHeaderGuard(const std::string& path) {
@@ -463,6 +515,12 @@ std::vector<Finding> CheckFile(const std::string& path,
   if (IsSourcePath(path) && StartsWith(path, "src/") &&
       !StartsWith(path, "src/util/")) {
     CheckParallelForHasChecks(path, sanitized, &findings);
+  }
+  // The index implementation itself is exempt (its self-calls are the
+  // thing being pinned); everything else under src/core/ is a reader path.
+  if (IsSourcePath(path) && StartsWith(path, "src/core/") &&
+      path != "src/core/subdomain_index.cc") {
+    CheckUnpinnedIndexReads(path, sanitized, &findings);
   }
 
   std::sort(findings.begin(), findings.end(),

@@ -13,7 +13,9 @@ namespace lint {
 /// pattern greps into a real program — token/line analysis, no libclang —
 /// and adds the concurrency-discipline checks that shell greps cannot
 /// express: no raw std::mutex outside src/util/, no unannotated mutable
-/// members in Mutex-owning classes, no IQ_CHECK-free ParallelFor callers.
+/// members in Mutex-owning classes, no IQ_CHECK-free ParallelFor callers,
+/// and no SubdomainIndex reader path in src/core/ that bypasses the epoch
+/// pinning discipline (DESIGN.md §12).
 ///
 /// Design constraints:
 ///  * Deterministic and dependency-free: plain file reads + std::regex, so
@@ -29,7 +31,8 @@ namespace lint {
 /// One lint violation.
 struct Finding {
   /// Stable check id: "header-guard", "banned-rng", "banned-clock",
-  /// "banned-socket", "raw-mutex", "unguarded-member", "parallel-for-check".
+  /// "banned-socket", "raw-mutex", "unguarded-member", "parallel-for-check",
+  /// "unpinned-index-read".
   std::string check;
   /// Repo-relative path, forward slashes ("src/core/engine.h").
   std::string file;
