@@ -125,7 +125,7 @@ Result<int> RankUnderQueryOn(const EpochHandle& snap, int object, int q) {
   int rank = 1;
   for (int i = 0; i < dataset.size(); ++i) {
     if (i == object || !dataset.is_active(i)) continue;
-    double s = snap.view().Score(i, w);
+    double s = snap.view().Score(i, w);  // iq-lint: allow(raw-scoring-loop)
     if (s < score || (s == score && i < object)) ++rank;
   }
   return rank;
@@ -204,16 +204,17 @@ Result<IqEngine> IqEngine::Create(Dataset dataset, LinearForm form,
       /*epoch_arg=*/1, dataset_ptr, queries_ptr, view_ptr,
       std::make_shared<const SubdomainIndex>(std::move(index)));
   return IqEngine(std::move(snapshot), std::move(pool), std::move(exporter),
-                  std::move(options.event_dump_path));
+                  std::move(options.event_dump_path), options.chunk_policy);
 }
 
 IqEngine::IqEngine(std::shared_ptr<const EpochSnapshot> snapshot,
                    std::unique_ptr<ThreadPool> pool,
                    std::unique_ptr<MetricsExporter> exporter,
-                   std::string event_dump_path)
+                   std::string event_dump_path, ChunkPolicy chunk_policy)
     : pool_(std::move(pool)),
       exporter_(std::move(exporter)),
-      event_dump_path_(std::move(event_dump_path)) {
+      event_dump_path_(std::move(event_dump_path)),
+      chunk_policy_(chunk_policy) {
   EngineMetrics::Get().epoch->Set(static_cast<int64_t>(snapshot->epoch));
   epoch_.store(std::move(snapshot), std::memory_order_release);
 }
@@ -229,6 +230,7 @@ IqEngine::IqEngine(IqEngine&& other) noexcept {
   pool_ = std::move(other.pool_);
   exporter_ = std::move(other.exporter_);
   event_dump_path_ = std::move(other.event_dump_path_);
+  chunk_policy_ = other.chunk_policy_;
   apply_ticket_ = other.apply_ticket_;
 }
 
@@ -245,6 +247,7 @@ IqEngine& IqEngine::operator=(IqEngine&& other) noexcept {
     pool_ = std::move(other.pool_);
     exporter_ = std::move(other.exporter_);
     event_dump_path_ = std::move(other.event_dump_path_);
+    chunk_policy_ = other.chunk_policy_;
     apply_ticket_ = other.apply_ticket_;
   }
   return *this;
@@ -402,7 +405,7 @@ Result<std::vector<IqResult>> IqEngine::SolveBatchOn(
           slots[static_cast<size_t>(i)] = std::move(r);
         }
       },
-      "engine.solve_batch");
+      "engine.solve_batch", chunk_policy_);
   EngineMetrics::Get().batch_items->Increment(
       static_cast<uint64_t>(items.size()));
   // Deterministic error policy: the lowest-index failure wins.
@@ -462,6 +465,10 @@ IqEngine::Delta IqEngine::BeginDelta(DeltaKind kind) {
 
 void IqEngine::PublishLocked(Delta delta) {
   EngineMetrics::Get().epoch->Set(static_cast<int64_t>(delta.epoch));
+  // The maintenance hooks dropped the clone's SoA kernels (scalar fallback
+  // while mutating); rebuild them once here so every reader of the published
+  // epoch scores through the batch path (DESIGN.md §13).
+  delta.index->RebuildScoreKernels();
   auto snapshot = std::make_shared<const EpochSnapshot>(
       delta.epoch, std::move(delta.dataset), std::move(delta.queries),
       std::move(delta.view),

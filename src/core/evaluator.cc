@@ -44,23 +44,42 @@ EseEvaluator::EseEvaluator(const SubdomainIndex* index, int target)
   base_hit_flags_.assign(static_cast<size_t>(queries.size()), false);
   for (int q = 0; q < queries.size(); ++q) {
     if (!queries.is_active(q)) continue;
+    // iq-lint: allow(raw-scoring-loop): one-time hit baseline at construction
     double score = index_->view().Score(target_, index_->aug_weights(q));
     bool hit = HitByThreshold(score, thresholds_[static_cast<size_t>(q)]);
     base_hit_flags_[static_cast<size_t>(q)] = hit;
     if (hit) ++base_hits_;
   }
+  query_kernel_ = index_->query_kernel();
+  if (query_kernel_ != nullptr) {
+    dense_thresholds_.reserve(static_cast<size_t>(query_kernel_->num_rows()));
+    for (int q : query_kernel_->ids()) {
+      dense_thresholds_.push_back(thresholds_[static_cast<size_t>(q)]);
+    }
+  }
 }
 
 int EseEvaluator::HitsForCoeffs(const Vec& c) {
   ++calls_;
-  const QuerySet& queries = index_->queries();
-  int hits = 0;
-  uint64_t scored = 0;
-  for (int q = 0; q < queries.size(); ++q) {
-    if (!queries.is_active(q)) continue;
-    ++scored;
-    double score = Dot(c, index_->aug_weights(q));
-    if (HitByThreshold(score, thresholds_[static_cast<size_t>(q)])) ++hits;
+  uint64_t scored;
+  int hits;
+  if (query_kernel_ != nullptr) {
+    // SoA batch path: same per-query Dot order and the same HitByThreshold
+    // comparison as the loop below, so the count is bit-identical.
+    hits = query_kernel_->CountHits(c, dense_thresholds_);
+    scored = static_cast<uint64_t>(query_kernel_->num_rows());
+  } else {
+    const QuerySet& queries = index_->queries();
+    hits = 0;
+    scored = 0;
+    for (int q = 0; q < queries.size(); ++q) {
+      if (!queries.is_active(q)) continue;
+      ++scored;
+      // Mid-mutation fallback: the On*() hooks reset the kernels.
+      // iq-lint: allow(raw-scoring-loop)
+      double score = Dot(c, index_->aug_weights(q));
+      if (HitByThreshold(score, thresholds_[static_cast<size_t>(q)])) ++hits;
+    }
   }
   queries_rescored_ += scored;
   EseMetrics::Get().queries_reranked->Increment(scored);
@@ -105,6 +124,7 @@ int EseEvaluator::HitsViaWedges(const Vec& c) {
   int hits = base_hits_;
   std::vector<int> affected = AffectedQueries(c_base, c);
   for (int q : affected) {
+    // iq-lint: allow(raw-scoring-loop): O(|affected|) wedge rerank
     double score = Dot(c, index_->aug_weights(q));
     bool now = HitByThreshold(score, thresholds_[static_cast<size_t>(q)]);
     bool before = base_hit_flags_[static_cast<size_t>(q)];
@@ -157,6 +177,8 @@ int BruteForceEvaluator::HitsForCoeffs(const Vec& c) {
     const Vec& w = aug_w_[static_cast<size_t>(q)];
     double kth = KthBestScore(view_->rows(), &active_mask_, w,
                               queries_->query(q).k, target_);
+    // Reference evaluator: deliberately naive.
+    // iq-lint: allow(raw-scoring-loop)
     if (HitByThreshold(Dot(c, w), kth)) ++hits;
   }
   return hits;

@@ -114,6 +114,12 @@ class EseEvaluator : public StrategyEvaluator {
   int base_hits_ = 0;
   std::vector<double> thresholds_;
   std::vector<bool> base_hit_flags_;
+  /// SoA batch path for the scan evaluation (DESIGN.md §13): the index's
+  /// query kernel captured at construction (null when the index is
+  /// mid-mutation → scalar fallback), plus thresholds_ re-indexed densely
+  /// to the kernel's row order so CountHits runs one fused pass.
+  std::shared_ptr<const ScoreKernel> query_kernel_;
+  std::vector<double> dense_thresholds_;
 };
 
 /// Index-free baseline: recomputes the k-th competitor score per query with

@@ -56,6 +56,7 @@ Result<HalfspaceSet> BuildHalfspaces(const IqContext& ctx,
     double margin = options.hit_margin * (1.0 + std::fabs(t));
     hs.query_ids.push_back(q);
     hs.a.push_back(ctx.aug_w(q));
+    // iq-lint: allow(raw-scoring-loop): one-time halfspace-constant setup
     hs.b.push_back(t - margin - Dot(ctx.aug_w(q), p));
   }
   return hs;
@@ -85,6 +86,7 @@ double SubsetCost(const HalfspaceSet& hs, const std::vector<int>& pick,
   auto g = [&A, &b](const Vec& s) {
     double worst = -kInf;
     for (size_t i = 0; i < A.size(); ++i) {
+      // iq-lint: allow(raw-scoring-loop): constraint rows, not an object set
       worst = std::max(worst, Dot(A[i], s) - b[i]);
     }
     return worst;

@@ -87,8 +87,8 @@ Result<StrategyReport> ExplainStrategy(const SubdomainIndex& index,
     QueryEffect e;
     e.query = q;
     e.threshold = t;
-    e.score_before = Dot(c_before, w);
-    e.score_after = Dot(c_after, w);
+    e.score_before = Dot(c_before, w);  // iq-lint: allow(raw-scoring-loop)
+    e.score_after = Dot(c_after, w);  // iq-lint: allow(raw-scoring-loop)
     bool before = HitByThreshold(e.score_before, t);
     bool after = HitByThreshold(e.score_after, t);
     if (before) ++report.hits_before;

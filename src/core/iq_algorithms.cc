@@ -184,7 +184,7 @@ Result<HitSolution> IqContext::SolveCandidate(int q, const Vec& p_cur,
     double c_val = score_at(step) - goal;
     // Linearized constraint on the full step vector s:
     //   c(x) + grad.(s - step) <= 0   =>   grad.s <= grad.step - c(x).
-    double rhs = Dot(grad, step) - c_val;
+    double rhs = Dot(grad, step) - c_val;  // iq-lint: allow(raw-scoring-loop)
     auto lin = MinCostForHalfspace(grad, rhs, options.cost, step_box);
     if (!lin.ok()) break;
     if (ApproxEqual(lin->s, step, 1e-12)) break;
@@ -268,7 +268,7 @@ std::vector<Candidate> BuildCandidates(const IqContext& ctx,
           cand.step_cost = sol->cost;
         }
       },
-      "greedy.candidate_solve");
+      "greedy.candidate_solve", options.chunk_policy);
   out.reserve(slots.size());
   for (Candidate& cand : slots) {
     if (cand.q >= 0) out.push_back(std::move(cand));
@@ -324,7 +324,7 @@ std::vector<Candidate> BuildCandidates(const IqContext& ctx,
                             cand.hits = evaluator->HitsForCoeffs(c_cand);
                           }
                         },
-                        "greedy.candidate_eval");
+                        "greedy.candidate_eval", options.chunk_policy);
     bd->eval_seconds += eval_timer.ElapsedSeconds();
     bd->candidates_evaluated += out.size();
     SearchMetrics::Get().eval_nanos->Record(eval_timer.ElapsedNanos());

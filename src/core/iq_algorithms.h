@@ -11,10 +11,9 @@
 #include "opt/cost.h"
 #include "opt/hit_solver.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace iq {
-
-class ThreadPool;
 
 /// Options shared by every IQ scheme.
 struct IqOptions {
@@ -56,6 +55,11 @@ struct IqOptions {
   /// callers driving MinCostIq/MaxHitIq directly may pass any pool whose
   /// lifetime covers the call.
   ThreadPool* pool = nullptr;
+  /// Chunking for the pooled candidate loops. Candidate solve/eval bodies
+  /// are heavy-tailed (PR 7 measured ~140× chunk imbalance on
+  /// greedy.candidate_eval), so work-stealing claims are the default;
+  /// results are bit-identical under either policy (see util/thread_pool.h).
+  ChunkPolicy chunk_policy = ChunkPolicy::kDynamic;
 };
 
 /// Explain-style per-call breakdown of where an IQ search spent its work.

@@ -39,7 +39,7 @@ Status CrossCheckEse(const SubdomainIndex& index, int target) {
           std::to_string(cached_t) + " vs naive re-evaluation " +
           std::to_string(naive_t));
     }
-    double score = view.Score(target, w);
+    double score = view.Score(target, w);  // iq-lint: allow(raw-scoring-loop)
     bool cached_hit = index.Hits(target, q);
     bool naive_hit = HitByThreshold(score, naive_t);
     if (cached_hit != naive_hit) {

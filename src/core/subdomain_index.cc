@@ -93,6 +93,14 @@ Result<SubdomainIndex> SubdomainIndex::Build(const FunctionView* view,
   index.boundary_bloom_ = std::make_unique<BloomFilter>(
       static_cast<size_t>(std::max(64, m)) * static_cast<size_t>(kappa), 0.01);
 
+  // SoA object kernel first (DESIGN.md §13): phase 1's per-query ranking
+  // scores against it, shared read-only across the pool workers.
+  {
+    std::vector<bool> mask = ActiveMask(view->dataset());
+    index.object_kernel_ = std::make_shared<const ScoreKernel>(
+        ScoreKernel::Build(view->rows(), &mask, view->form().num_slots()));
+  }
+
   std::vector<Vec> points;
   std::vector<int> ids;
   points.reserve(static_cast<size_t>(queries->num_active()));
@@ -137,6 +145,14 @@ Result<SubdomainIndex> SubdomainIndex::Build(const FunctionView* view,
   index.rtree_ = std::make_shared<RTree>(RTree::BulkLoad(
       view->form().num_slots(), points, ids, options.rtree_max_entries));
 
+  // Query kernel second: the augmented weights only exist after phase 1.
+  {
+    std::vector<bool> qmask(static_cast<size_t>(m), false);
+    for (int q : active) qmask[static_cast<size_t>(q)] = true;
+    index.query_kernel_ = std::make_shared<const ScoreKernel>(
+        ScoreKernel::Build(index.aug_w_, &qmask, view->form().num_slots()));
+  }
+
   index.build_seconds_ = timer.ElapsedSeconds();
   IndexMetrics::Get().build_nanos->Record(timer.ElapsedNanos());
   IndexMetrics::Get().num_subdomains->Set(index.num_occupied_);
@@ -168,6 +184,9 @@ SubdomainIndex SubdomainIndex::CloneCow(const FunctionView* view,
   // The Bloom filter is append-only and small; an eager copy keeps the
   // frozen parent's filter untouched when the clone adds boundary pairs.
   copy.boundary_bloom_ = std::make_unique<BloomFilter>(*boundary_bloom_);
+  // The SoA kernels stay null on the clone: the maintenance hooks are about
+  // to mutate the owners, so the scalar paths take over until the engine
+  // calls RebuildScoreKernels() at publish time (once per epoch).
   copy.build_seconds_ = build_seconds_;
   copy.knn_shortcut_hits_ = knn_shortcut_hits_;
   copy.maintenance_rerank_events_ = maintenance_rerank_events_;
@@ -191,8 +210,26 @@ RTree& SubdomainIndex::MutableRTree() {
   return *rtree_;
 }
 
+void SubdomainIndex::RebuildScoreKernels() {
+  std::vector<bool> mask = ActiveMask(view_->dataset());
+  object_kernel_ = std::make_shared<const ScoreKernel>(
+      ScoreKernel::Build(view_->rows(), &mask, view_->form().num_slots()));
+  std::vector<bool> qmask(aug_w_.size(), false);
+  for (int q = 0; q < queries_->size(); ++q) {
+    if (queries_->is_active(q)) qmask[static_cast<size_t>(q)] = true;
+  }
+  query_kernel_ = std::make_shared<const ScoreKernel>(
+      ScoreKernel::Build(aug_w_, &qmask, view_->form().num_slots()));
+}
+
 std::vector<int> SubdomainIndex::ComputeSignature(const Vec& aug_w) const {
   IndexMetrics::Get().full_reranks->Increment();
+  if (object_kernel_ != nullptr) {
+    // SoA batch path: bit-identical to the TopKScan below (same comparator,
+    // same per-row accumulation order; see score_kernel.h).
+    std::vector<double> scratch;
+    return object_kernel_->TopKappaSignature(aug_w, kappa_, &scratch);
+  }
   std::vector<bool> mask = ActiveMask(view_->dataset());
   std::vector<ScoredObject> top =
       TopKScan(view_->rows(), &mask, aug_w, kappa_);
@@ -222,14 +259,14 @@ bool SubdomainIndex::SignatureMatches(const Vec& aug_w,
   double prev_score = -std::numeric_limits<double>::infinity();
   int prev_id = -1;
   for (int obj : sig) {
-    double s = view_->Score(obj, aug_w);
+    double s = view_->Score(obj, aug_w);  // iq-lint: allow(raw-scoring-loop)
     if (s < prev_score || (s == prev_score && obj < prev_id)) return false;
     prev_score = s;
     prev_id = obj;
   }
   for (int i = 0; i < data.size(); ++i) {
     if (!data.is_active(i) || is_member[static_cast<size_t>(i)]) continue;
-    double s = view_->Score(i, aug_w);
+    double s = view_->Score(i, aug_w);  // iq-lint: allow(raw-scoring-loop)
     if (s < prev_score || (s == prev_score && i < prev_id)) return false;
   }
   return true;
@@ -305,6 +342,7 @@ double SubdomainIndex::KthScoreExcluding(int q, int target) const {
   for (int obj : sig) {
     if (obj == target) continue;
     ++seen;
+    // iq-lint: allow(raw-scoring-loop): O(kappa) prefix read
     if (seen == k) return view_->Score(obj, w);
   }
   return std::numeric_limits<double>::infinity();
@@ -350,6 +388,10 @@ Status SubdomainIndex::OnQueryAdded(int q) {
       sd_of_[static_cast<size_t>(q)] >= 0) {
     return Status::AlreadyExists("query already indexed");
   }
+  // The owners changed: drop the SoA kernels so every scoring path below
+  // (and until the next RebuildScoreKernels) is the scalar reference.
+  object_kernel_.reset();
+  query_kernel_.reset();
   aug_w_.resize(static_cast<size_t>(queries_->size()));
   sd_of_.resize(static_cast<size_t>(queries_->size()), -1);
   aug_w_[static_cast<size_t>(q)] =
@@ -384,6 +426,8 @@ Status SubdomainIndex::OnQueryRemoved(int q) {
       sd_of_[static_cast<size_t>(q)] < 0) {
     return Status::NotFound("query is not indexed");
   }
+  object_kernel_.reset();
+  query_kernel_.reset();
   MutableRTree().Remove(aug_w_[static_cast<size_t>(q)], q);
   DetachQueryFromSubdomain(q);
   EventLog::Global().Record(
@@ -397,6 +441,8 @@ Status SubdomainIndex::OnObjectAdded(int id) {
       !view_->dataset().is_active(id)) {
     return Status::InvalidArgument("object id is not an active object");
   }
+  object_kernel_.reset();
+  query_kernel_.reset();
   sig_member_count_.resize(static_cast<size_t>(view_->dataset().size()), 0);
   const Vec& c = view_->coeffs(id);
   std::vector<int> touched_sds;
@@ -408,12 +454,13 @@ Status SubdomainIndex::OnObjectAdded(int id) {
     int sd = sd_of_[static_cast<size_t>(q)];
     const Vec& w = aug_w_[static_cast<size_t>(q)];
     const std::vector<int>& sig = Cell(sd).signature;
-    double score_new = Dot(c, w);
+    double score_new = Dot(c, w);  // iq-lint: allow(raw-scoring-loop)
     bool enters;
     if (static_cast<int>(sig.size()) < kappa_) {
       enters = true;  // prefix not full: the new object always joins it
     } else {
       int last = sig.back();
+      // iq-lint: allow(raw-scoring-loop): O(kappa) prefix repair
       double last_score = view_->Score(last, w);
       enters = score_new < last_score ||
                (score_new == last_score && id < last);
@@ -422,6 +469,7 @@ Status SubdomainIndex::OnObjectAdded(int id) {
     // Rebuild the prefix by inserting into the ordered member list.
     std::vector<std::pair<double, int>> ranked;
     ranked.reserve(sig.size() + 1);
+    // iq-lint: allow(raw-scoring-loop): O(kappa) prefix repair
     for (int obj : sig) ranked.emplace_back(view_->Score(obj, w), obj);
     ranked.emplace_back(score_new, id);
     std::sort(ranked.begin(), ranked.end());
@@ -450,6 +498,8 @@ Status SubdomainIndex::OnObjectRemoved(int id) {
   if (id < 0 || id >= static_cast<int>(sig_member_count_.size())) {
     return Status::OutOfRange("object id out of range");
   }
+  object_kernel_.reset();
+  query_kernel_.reset();
   // Collect queries whose signature contains the object. The Bloom filter
   // over (object, subdomain) membership prunes subdomains that certainly do
   // not use the object as a boundary (paper §4.3).
@@ -667,6 +717,8 @@ size_t SubdomainIndex::MemoryBytes() const {
   bytes += sig_member_count_.capacity() * sizeof(int);
   if (rtree_ != nullptr) bytes += rtree_->MemoryBytes();
   if (boundary_bloom_ != nullptr) bytes += boundary_bloom_->MemoryBytes();
+  if (object_kernel_ != nullptr) bytes += object_kernel_->MemoryBytes();
+  if (query_kernel_ != nullptr) bytes += query_kernel_->MemoryBytes();
   return bytes;
 }
 

@@ -8,6 +8,7 @@
 
 #include "core/function_view.h"
 #include "core/query.h"
+#include "core/score_kernel.h"
 #include "index/bloom_filter.h"
 #include "index/rtree.h"
 #include "util/annotations.h"
@@ -112,6 +113,25 @@ class SubdomainIndex {
   const Vec& aug_weights(int q) const {
     return aug_w_[static_cast<size_t>(q)];
   }
+
+  /// SoA batch-scoring kernels (DESIGN.md §13), or null while the index is
+  /// mid-mutation. `object_kernel()` mirrors the active FunctionView rows
+  /// (signature ranking scores against it); `query_kernel()` mirrors the
+  /// active queries' augmented weights (ESE scan evaluation scores against
+  /// it). Build() constructs both; every On*() maintenance hook and
+  /// CloneCow() drop them (the scalar paths take over, bit-identically);
+  /// RebuildScoreKernels() — called by the engine right before an epoch is
+  /// published — restores them, so each epoch builds its kernels exactly
+  /// once under the COW delta path.
+  std::shared_ptr<const ScoreKernel> object_kernel() const {
+    return object_kernel_;
+  }
+  std::shared_ptr<const ScoreKernel> query_kernel() const {
+    return query_kernel_;
+  }
+  /// Rebuilds both kernels from the current owners. Caller holds the writer
+  /// lock (or owns the index exclusively, standalone).
+  void RebuildScoreKernels();
 
   /// Object ids that appear in at least one signature — the only possible
   /// "boundary" competitors for hit changes; the geometric ESE path loops
@@ -236,6 +256,13 @@ class SubdomainIndex {
   std::vector<int> sig_member_count_ IQ_GUARDED_BY_CALLER(IqEngine::mu_);
   std::shared_ptr<RTree> rtree_ IQ_GUARDED_BY_CALLER(IqEngine::mu_);
   std::unique_ptr<BloomFilter> boundary_bloom_
+      IQ_GUARDED_BY_CALLER(IqEngine::mu_);
+  // SoA scoring kernels; null while mutating (see accessors above). Shared
+  // const so readers holding an epoch pin can keep scoring against a
+  // retired epoch's kernel after the writer moves on.
+  std::shared_ptr<const ScoreKernel> object_kernel_
+      IQ_GUARDED_BY_CALLER(IqEngine::mu_);
+  std::shared_ptr<const ScoreKernel> query_kernel_
       IQ_GUARDED_BY_CALLER(IqEngine::mu_);
 
   double build_seconds_ = 0.0;

@@ -147,6 +147,8 @@ ProfileReport BuildProfileReport(const std::string& label,
     std::vector<std::pair<uint64_t, uint64_t>> spans;
     int64_t items = 0;
     uint64_t busy = 0;
+    uint64_t claims = 0;
+    uint64_t steals = 0;
   };
   std::map<std::string, SiteAccum> sites;
   std::vector<std::pair<uint64_t, uint64_t>> all_spans;
@@ -161,6 +163,8 @@ ProfileReport BuildProfileReport(const std::string& label,
     acc.spans.emplace_back(b, e);
     acc.items += c.items;
     acc.busy += e - b;
+    acc.claims += c.claims;
+    acc.steals += c.steals;
     all_spans.emplace_back(b, e);
   }
   r.coverage_nanos = UnionLength(std::move(all_spans));
@@ -179,6 +183,8 @@ ProfileReport BuildProfileReport(const std::string& label,
                       ? static_cast<double>(p.max_chunk_nanos) /
                             static_cast<double>(p.median_chunk_nanos)
                       : 1.0;
+    p.claims = acc.claims;
+    p.steals = acc.steals;
     r.parallel_sites.push_back(std::move(p));
   }
   std::sort(r.parallel_sites.begin(), r.parallel_sites.end(),
@@ -264,7 +270,7 @@ std::string ProfileReport::ToJson() const {
         "%s\n    {\"site\": \"%s\", \"calls\": %llu, \"chunks\": %llu, "
         "\"items\": %lld, \"busy_nanos\": %llu, \"site_coverage_nanos\": "
         "%llu, \"median_chunk_nanos\": %llu, \"max_chunk_nanos\": %llu, "
-        "\"imbalance\": %.3f}",
+        "\"imbalance\": %.3f, \"claims\": %llu, \"steals\": %llu}",
         i == 0 ? "" : ",", JsonEscape(p.site).c_str(),
         static_cast<unsigned long long>(p.calls),
         static_cast<unsigned long long>(p.chunks),
@@ -272,7 +278,9 @@ std::string ProfileReport::ToJson() const {
         static_cast<unsigned long long>(p.busy_nanos),
         static_cast<unsigned long long>(p.coverage_nanos),
         static_cast<unsigned long long>(p.median_chunk_nanos),
-        static_cast<unsigned long long>(p.max_chunk_nanos), p.imbalance);
+        static_cast<unsigned long long>(p.max_chunk_nanos), p.imbalance,
+        static_cast<unsigned long long>(p.claims),
+        static_cast<unsigned long long>(p.steals));
   }
   out += parallel_sites.empty() ? "],\n" : "\n  ],\n";
   out += "  \"workers\": [";
@@ -391,6 +399,8 @@ std::vector<ProfileReport> ParseProfileReports(const std::string& text) {
       p.median_chunk_nanos = FindU64(line, "median_chunk_nanos");
       p.max_chunk_nanos = FindU64(line, "max_chunk_nanos");
       p.imbalance = FindDouble(line, "imbalance");
+      p.claims = FindU64(line, "claims");
+      p.steals = FindU64(line, "steals");
       cur->parallel_sites.push_back(std::move(p));
       continue;
     }
@@ -518,13 +528,19 @@ std::string FormatSerializationReport(
         if (shown++ >= top_n) break;
         out += StrFormat(
             "    %-28s %llu calls / %llu chunks / %lld items, busy %s, "
-            "imbalance %.2f (max %s / med %s)\n",
+            "imbalance %.2f (max %s / med %s)%s\n",
             p.site.c_str(), static_cast<unsigned long long>(p.calls),
             static_cast<unsigned long long>(p.chunks),
             static_cast<long long>(p.items),
             FormatNanos(p.busy_nanos).c_str(), p.imbalance,
             FormatNanos(p.max_chunk_nanos).c_str(),
-            FormatNanos(p.median_chunk_nanos).c_str());
+            FormatNanos(p.median_chunk_nanos).c_str(),
+            p.steals > 0
+                ? StrFormat(", %llu/%llu claims stolen",
+                            static_cast<unsigned long long>(p.steals),
+                            static_cast<unsigned long long>(p.claims))
+                      .c_str()
+                : "");
       }
     }
     if (!r.workers.empty()) {

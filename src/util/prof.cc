@@ -339,7 +339,8 @@ uint64_t NextParallelForCallId() {
 }
 
 void RecordChunkSpan(const char* site, uint64_t call_id, int64_t items,
-                     uint64_t start_ns, uint64_t end_ns) {
+                     uint64_t start_ns, uint64_t end_ns, uint32_t claims,
+                     uint32_t steals) {
   size_t idx = g_chunk_next.fetch_add(1, std::memory_order_relaxed);
   if (idx >= kMaxChunkSpans) {
     g_dropped.fetch_add(1, std::memory_order_relaxed);
@@ -347,7 +348,7 @@ void RecordChunkSpan(const char* site, uint64_t call_id, int64_t items,
   }
   ChunkSlot& slot = g_chunks[idx];
   slot.span = ChunkSpan{site != nullptr ? site : "(unlabeled)", call_id,
-                        t_worker_id, items, start_ns, end_ns};
+                        t_worker_id, items, start_ns, end_ns, claims, steals};
   slot.ready.store(1, std::memory_order_release);
 }
 

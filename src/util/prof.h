@@ -75,14 +75,21 @@ struct MutexSiteStats {
 };
 std::vector<MutexSiteStats> SnapshotMutexSites();
 
-/// One executed ParallelFor chunk.
+/// One executed ParallelFor chunk. Under ChunkPolicy::kStatic a span is one
+/// contiguous chunk (claims == 1, steals == 0). Under kDynamic a span is a
+/// time-aggregated run of individually claimed items executed back-to-back
+/// by one participant; `claims` counts the items and `steals` counts how
+/// many of them were claimed after that participant had already executed
+/// its fair share of the range (work it took off an overloaded peer).
 struct ChunkSpan {
   const char* site = nullptr;  // ParallelFor call-site label
   uint64_t call_id = 0;        // distinct per ParallelFor invocation
   uint32_t worker = 0;         // pool worker id; 0 = the calling thread
-  int64_t items = 0;           // end - begin of the chunk
+  int64_t items = 0;           // total items covered by the span
   uint64_t start_ns = 0;
   uint64_t end_ns = 0;
+  uint32_t claims = 1;         // individual claim operations folded in
+  uint32_t steals = 0;         // of which beyond the claimant's fair share
 };
 std::vector<ChunkSpan> SnapshotChunkSpans();
 
@@ -131,9 +138,11 @@ void RecordWorkerState(WorkerState state);
 /// Claims a call id for one ParallelFor invocation.
 uint64_t NextParallelForCallId();
 
-/// Appends one executed chunk span.
+/// Appends one executed chunk span. The defaults describe a static chunk;
+/// dynamic claiming passes its per-span claim/steal tallies.
 void RecordChunkSpan(const char* site, uint64_t call_id, int64_t items,
-                     uint64_t start_ns, uint64_t end_ns);
+                     uint64_t start_ns, uint64_t end_ns, uint32_t claims = 1,
+                     uint32_t steals = 0);
 
 }  // namespace internal
 }  // namespace prof

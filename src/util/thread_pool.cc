@@ -84,11 +84,97 @@ inline void RunChunkMaybeProfiled(
                                   prof::NowNanos());
 }
 
+/// Shared per-call coordination state for ParallelFor (both policies).
+struct CallState {
+  std::atomic<int64_t> next{0};
+  std::atomic<bool> failed{false};
+  Mutex err_mu{LockRank::kPoolError, "ParallelFor::err_mu"};
+  std::exception_ptr error IQ_GUARDED_BY(err_mu);  // first failure
+  Mutex done_mu{LockRank::kPoolDone, "ParallelFor::done_mu"};
+  CondVar done_cv;
+  int pending IQ_GUARDED_BY(done_mu) = 0;  // outstanding pool tasks
+};
+
+void CaptureError(CallState* state) {
+  MutexLock lock(&state->err_mu);
+  if (!state->error) state->error = std::current_exception();
+  state->failed.store(true, std::memory_order_release);
+}
+
+/// Recorded dynamic spans aggregate consecutive claimed items until the
+/// span covers at least this much wall time. This keeps the profile's
+/// span-duration distribution describing *scheduling* granularity rather
+/// than per-item cost spread: a run of cheap items folds into one
+/// target-sized span while an expensive item still stands alone, so
+/// max/median chunk imbalance collapses exactly when stealing fixed the
+/// straggler problem (tests/profile_test.cc asserts this).
+constexpr uint64_t kDynamicSpanTargetNanos = 200 * 1000;  // 200 µs
+
+/// The per-item work-stealing claim loop (ChunkPolicy::kDynamic). Every
+/// participant pulls single indices off `state->next`; once a participant
+/// has executed its fair share of the range, ceil(n / participants),
+/// further claims are counted as steals — items a statically partitioned
+/// run would have left to a (still busy) peer.
+void RunDynamicClaims(CallState* state,
+                      const std::function<void(int64_t, int64_t)>& body,
+                      int64_t n, int64_t fair_share, const char* site,
+                      uint64_t call_id) {
+  const bool profiled = prof::Enabled();
+  int64_t executed = 0;
+  // Current aggregation span (profiled mode only).
+  uint64_t span_start = 0;
+  uint64_t span_end = 0;
+  int64_t span_items = 0;
+  uint32_t span_claims = 0;
+  uint32_t span_steals = 0;
+  auto flush_span = [&] {
+    if (span_items == 0) return;
+    prof::internal::RecordChunkSpan(site, call_id, span_items, span_start,
+                                    span_end, span_claims, span_steals);
+    span_items = 0;
+    span_claims = 0;
+    span_steals = 0;
+  };
+  for (;;) {
+    const int64_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    if (state->failed.load(std::memory_order_acquire)) break;
+    const bool stolen = executed >= fair_share;
+    if (!profiled) {
+      try {
+        body(i, i + 1);
+      } catch (...) {
+        CaptureError(state);
+        break;
+      }
+      ++executed;
+      continue;
+    }
+    const uint64_t t0 = prof::NowNanos();
+    if (span_items == 0) span_start = t0;
+    bool ok = true;
+    try {
+      body(i, i + 1);
+    } catch (...) {
+      CaptureError(state);
+      ok = false;
+    }
+    span_end = prof::NowNanos();
+    ++executed;
+    ++span_claims;
+    ++span_items;
+    if (stolen) ++span_steals;
+    if (!ok) break;
+    if (span_end - span_start >= kDynamicSpanTargetNanos) flush_span();
+  }
+  if (profiled) flush_span();
+}
+
 }  // namespace
 
 void ThreadPool::ParallelFor(
     int64_t n, const std::function<void(int64_t, int64_t)>& body,
-    const char* site) {
+    const char* site, ChunkPolicy policy) {
   if (n <= 0) return;
   if (t_in_pool_worker || n == 1) {
     // Nested or trivial: run inline on the current thread. Still one span —
@@ -102,24 +188,23 @@ void ThreadPool::ParallelFor(
   const int64_t workers = static_cast<int64_t>(workers_.size());
   // Deterministic partition: chunk size depends only on n and the worker
   // count. Over-decompose (4 chunks per participant) so an unlucky slow
-  // chunk cannot serialize the whole call.
+  // chunk cannot serialize the whole call. Under kDynamic the claim unit is
+  // a single index instead; `chunk` only sizes the static path.
   const int64_t chunk =
       std::max<int64_t>(1, n / (4 * (workers + 1)) + 1);
+  // Steal threshold for kDynamic: a participant's fair share of the range.
+  const int64_t fair_share = (n + workers) / (workers + 1);
 
-  struct CallState {
-    std::atomic<int64_t> next{0};
-    std::atomic<bool> failed{false};
-    Mutex err_mu{LockRank::kPoolError, "ParallelFor::err_mu"};
-    std::exception_ptr error IQ_GUARDED_BY(err_mu);  // first failure
-    Mutex done_mu{LockRank::kPoolDone, "ParallelFor::done_mu"};
-    CondVar done_cv;
-    int pending IQ_GUARDED_BY(done_mu) = 0;  // outstanding pool tasks
-  };
   CallState state;
 
   const uint64_t call_id =
       prof::Enabled() ? prof::internal::NextParallelForCallId() : 0;
-  auto run_chunks = [&state, &body, n, chunk, site, call_id] {
+  auto run_chunks = [&state, &body, n, chunk, fair_share, site, call_id,
+                     policy] {
+    if (policy == ChunkPolicy::kDynamic) {
+      RunDynamicClaims(&state, body, n, fair_share, site, call_id);
+      return;
+    }
     for (;;) {
       int64_t begin = state.next.fetch_add(chunk, std::memory_order_relaxed);
       if (begin >= n) return;
@@ -128,16 +213,16 @@ void ThreadPool::ParallelFor(
       try {
         RunChunkMaybeProfiled(body, begin, end, site, call_id);
       } catch (...) {
-        MutexLock lock(&state.err_mu);
-        if (!state.error) state.error = std::current_exception();
-        state.failed.store(true, std::memory_order_release);
+        CaptureError(&state);
       }
     }
   };
 
-  // One helper task per worker; each claims chunks until the range drains.
+  // One helper task per worker; each claims chunks (kStatic) or single
+  // items (kDynamic) until the range drains.
+  const int64_t claim_unit = policy == ChunkPolicy::kDynamic ? 1 : chunk;
   const int64_t helpers =
-      std::min<int64_t>(workers, (n + chunk - 1) / chunk);
+      std::min<int64_t>(workers, (n + claim_unit - 1) / claim_unit);
   {
     MutexLock done(&state.done_mu);
     state.pending = static_cast<int>(helpers);
@@ -174,7 +259,7 @@ void ThreadPool::ParallelFor(
 
 void ParallelForOrSerial(ThreadPool* pool, int64_t n,
                          const std::function<void(int64_t, int64_t)>& body,
-                         const char* site) {
+                         const char* site, ChunkPolicy policy) {
   if (n <= 0) return;
   if (pool == nullptr) {
     // Serial fallback records one covering span so a serial run's profile
@@ -185,7 +270,7 @@ void ParallelForOrSerial(ThreadPool* pool, int64_t n,
                               : 0);
     return;
   }
-  pool->ParallelFor(n, body, site);
+  pool->ParallelFor(n, body, site, policy);
 }
 
 }  // namespace iq

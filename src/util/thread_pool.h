@@ -12,17 +12,36 @@
 
 namespace iq {
 
+/// How ParallelFor partitions [0, n) across participants (DESIGN.md §13).
+///
+///   kStatic  — fixed-size chunks (n and the worker count alone determine
+///              the boundaries). Lowest claim overhead; heavy-tailed bodies
+///              can strand one participant with the expensive chunk while
+///              the rest idle (the ~140× chunk imbalance PR 7 measured on
+///              greedy.candidate_eval).
+///   kDynamic — work-stealing via per-item claiming on a shared atomic
+///              counter: every participant pulls one index at a time, so a
+///              participant stuck on an expensive item simply stops
+///              claiming and its remaining share is stolen by the others.
+///              Claim/steal counts surface through the chunk-span profile.
+///
+/// Both policies satisfy the same determinism contract (below): bodies
+/// write per-index slots, so results are bit-identical under any claim
+/// order. Policy choice is purely a latency/imbalance trade.
+enum class ChunkPolicy { kStatic, kDynamic };
+
 /// Fixed-size worker pool backing the parallel execution layer (DESIGN.md
 /// §8). Dependency-free: std::thread workers around a single locked task
 /// queue. The pool is deliberately simple — the engine's parallel units
 /// (candidate evaluation, signature ranking, batch IQ solving) are coarse
 /// enough that queue contention is negligible next to the work itself.
 ///
-/// Determinism contract: ParallelFor partitions [0, n) into chunks whose
-/// boundaries depend only on `n` and the worker count, and callers write
-/// results into per-index slots, so every reduction downstream of a
-/// ParallelFor is independent of scheduling. The serial fallback (a null
-/// pool, see ParallelForOrSerial) executes the identical per-index code.
+/// Determinism contract: ParallelFor partitions [0, n) into chunks (or,
+/// under ChunkPolicy::kDynamic, individually claimed indices) and callers
+/// write results into per-index slots, so every reduction downstream of a
+/// ParallelFor is independent of scheduling and of the chunk policy. The
+/// serial fallback (a null pool, see ParallelForOrSerial) executes the
+/// identical per-index code.
 ///
 /// Nested parallelism: a ParallelFor issued from inside a pool worker runs
 /// inline on that worker instead of re-entering the queue, so composed
@@ -46,10 +65,13 @@ class ThreadPool {
   /// Called from a pool worker, runs body(0, n) inline (see class comment).
   /// `site` names the call site in profile reports (util/prof.h) — a static
   /// string like "greedy.candidate_solve"; pass nullptr for unattributed
-  /// call sites (tests).
+  /// call sites (tests). `policy` selects static chunking or per-item
+  /// work-stealing claims (see ChunkPolicy); results are bit-identical
+  /// either way.
   void ParallelFor(int64_t n,
                    const std::function<void(int64_t, int64_t)>& body,
-                   const char* site = nullptr);
+                   const char* site = nullptr,
+                   ChunkPolicy policy = ChunkPolicy::kStatic);
 
   /// True when the current thread is a worker of any ThreadPool.
   static bool InWorker();
@@ -87,7 +109,8 @@ class ThreadPool {
 /// cover (the Amdahl ceiling, measurable even on one core).
 void ParallelForOrSerial(ThreadPool* pool, int64_t n,
                          const std::function<void(int64_t, int64_t)>& body,
-                         const char* site = nullptr);
+                         const char* site = nullptr,
+                         ChunkPolicy policy = ChunkPolicy::kStatic);
 
 }  // namespace iq
 

@@ -1,0 +1,35 @@
+// Fixture: per-element scalar scoring in loops — every loop shape the
+// raw-scoring-loop check must catch (linted as a fake src/core/ file by
+// lint_tool_test.cc). A straight-line Score call and a batch ScoreAll call
+// ride along; neither may be flagged.
+#include "core/function_view.h"
+#include "core/score_kernel.h"
+#include "geom/vec.h"
+
+namespace iq {
+
+double SumAllScores(const FunctionView& view, const std::vector<Vec>& ws) {
+  double total = 0.0;
+  for (const Vec& w : ws) {
+    total += view.Score(0, w);  // flagged: member Score in a for body
+  }
+  int q = 0;
+  while (q < static_cast<int>(ws.size())) {
+    total += Dot(ws[static_cast<size_t>(q)], ws[0]);  // flagged: Dot in while
+    ++q;
+  }
+  for (const Vec& w : ws) total += Dot(w, w);  // flagged: braceless body
+  return total;
+}
+
+double FineOutsideLoops(const FunctionView* view, const Vec& w,
+                        const ScoreKernel& kernel) {
+  double one = view->Score(3, w);  // straight-line call: not in a loop
+  std::vector<double> scores;
+  for (int rep = 0; rep < 2; ++rep) {
+    kernel.ScoreAll(w, &scores);  // batch call in a loop is the fix, not a hit
+  }
+  return one + scores[0];
+}
+
+}  // namespace iq

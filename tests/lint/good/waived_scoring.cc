@@ -1,0 +1,25 @@
+// Fixture: the sanctioned scalar-scoring shapes — a waiver appended to the
+// flagged line and a waiver on its own comment line directly above (both
+// placements must pass), plus the batch-kernel form the check steers
+// toward.
+#include "core/score_kernel.h"
+#include "geom/vec.h"
+
+namespace iq {
+
+double WaivedScalarPaths(const ScoreKernel& kernel,
+                         const std::vector<Vec>& ws) {
+  double total = 0.0;
+  for (const Vec& w : ws) {
+    total += Dot(w, w);  // iq-lint: allow(raw-scoring-loop)
+  }
+  for (const Vec& w : ws) {
+    // iq-lint: allow(raw-scoring-loop)
+    total += Dot(w, ws[0]);
+  }
+  std::vector<double> scores;
+  kernel.ScoreAll(ws[0], &scores);
+  return total + scores[0];
+}
+
+}  // namespace iq

@@ -157,6 +157,38 @@ TEST(LintUnpinnedIndexReadTest, PinnedAndCallerPinnedShapesPass) {
   EXPECT_EQ(CountCheck(findings, "unpinned-index-read"), 0);
 }
 
+TEST(LintRawScoringLoopTest, FlagsEveryScalarCallInLoops) {
+  const std::string content = ReadFileOrDie(FixturePath("bad/raw_scoring.cc"));
+  std::vector<Finding> findings =
+      CheckFile("src/core/raw_scoring_fixture.cc", content);
+  // The braced for body, the while body, and the braceless for body — but
+  // not the straight-line Score call and not the batch ScoreAll call.
+  EXPECT_EQ(CountCheck(findings, "raw-scoring-loop"), 3);
+  EXPECT_EQ(static_cast<int>(findings.size()), 3);
+  for (const Finding& f : findings) {
+    EXPECT_NE(f.message.find("ScoreAll"), std::string::npos) << f.message;
+  }
+
+  // Scoping: the kernel implementation's own loops are the sanctioned
+  // scoring loops, and the rule targets src/core/ only.
+  EXPECT_EQ(CountCheck(CheckFile("src/core/score_kernel.cc", content),
+                       "raw-scoring-loop"),
+            0);
+  EXPECT_EQ(CountCheck(CheckFile("tests/raw_scoring_fixture.cc", content),
+                       "raw-scoring-loop"),
+            0);
+  EXPECT_EQ(CountCheck(CheckFile("src/topk/raw_scoring_fixture.cc", content),
+                       "raw-scoring-loop"),
+            0);
+}
+
+TEST(LintRawScoringLoopTest, WaiversAndBatchCallsPass) {
+  std::vector<Finding> findings =
+      CheckFile("src/core/waived_scoring_fixture.cc",
+                ReadFileOrDie(FixturePath("good/waived_scoring.cc")));
+  EXPECT_EQ(CountCheck(findings, "raw-scoring-loop"), 0);
+}
+
 TEST(LintGoodCorpusTest, CleanFixturesProduceNoFindings) {
   std::vector<Finding> h =
       CheckFile("tests/lint/good/clean.h",

@@ -51,6 +51,71 @@ TEST(ThreadPoolTest, EveryIndexVisitedExactlyOnce) {
   }
 }
 
+TEST(ThreadPoolTest, DynamicClaimsVisitEveryIndexExactlyOnceHeavyTailed) {
+  // Work-stealing correctness under the workload it exists for: a heavy
+  // head (items 0..7 spin ~1000x longer than the tail) forces the fast
+  // participants past their fair share, so claims beyond it — steals — must
+  // happen, and still every index runs exactly once.
+  ThreadPool pool(4);
+  constexpr int64_t kN = 4'000;
+  std::vector<std::atomic<int>> visits(kN);
+  std::atomic<uint64_t> burned{0};
+  pool.ParallelFor(
+      kN,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          uint64_t acc = static_cast<uint64_t>(i);
+          const int spins = i < 8 ? 200'000 : 200;
+          for (int s = 0; s < spins; ++s) acc = acc * 2862933555777941757ULL + 3037000493ULL;
+          burned.fetch_add(acc & 1, std::memory_order_relaxed);
+          visits[static_cast<size_t>(i)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+        }
+      },
+      "test.dynamic_exactly_once", ChunkPolicy::kDynamic);
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(visits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, DynamicPolicyPropagatesExceptionsAndPoolSurvives) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.ParallelFor(
+                   1000,
+                   [&](int64_t begin, int64_t) {
+                     if (begin == 500) throw std::runtime_error("boom");
+                   },
+                   "test.dynamic_throw", ChunkPolicy::kDynamic),
+               std::runtime_error);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(
+      100,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          sum.fetch_add(i, std::memory_order_relaxed);
+        }
+      },
+      "test.dynamic_recover", ChunkPolicy::kDynamic);
+  EXPECT_EQ(sum.load(), 99 * 100 / 2);
+}
+
+TEST(ThreadPoolTest, DynamicPolicySerialAndInlinePathsUnaffected) {
+  // Null pool and n==1 take the serial/inline shortcuts for either policy.
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  ParallelForOrSerial(
+      nullptr, 17,
+      [&](int64_t begin, int64_t end) { ranges.emplace_back(begin, end); },
+      nullptr, ChunkPolicy::kDynamic);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].first, 0);
+  EXPECT_EQ(ranges[0].second, 17);
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(
+      1, [&](int64_t, int64_t) { ++calls; }, nullptr, ChunkPolicy::kDynamic);
+  EXPECT_EQ(calls, 1);
+}
+
 TEST(ThreadPoolTest, ThreadCountClampedToAtLeastOne) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.num_threads(), 1);
@@ -168,16 +233,22 @@ TEST(ParallelDiffTest, GreedySearchesIdenticalAcrossThreadCounts) {
 
     std::vector<IqResult> min_cost, max_hit;
     for (ThreadPool* pool : pools) {
-      IqOptions options;
-      options.pool = pool;
-      EseEvaluator ese(w.index.get(), target);
-      auto mc = MinCostIq(*ctx, &ese, tau, options);
-      ASSERT_TRUE(mc.ok()) << mc.status().ToString();
-      min_cost.push_back(*std::move(mc));
-      EseEvaluator ese2(w.index.get(), target);
-      auto mh = MaxHitIq(*ctx, &ese2, beta, options);
-      ASSERT_TRUE(mh.ok()) << mh.status().ToString();
-      max_hit.push_back(*std::move(mh));
+      // Both chunk policies per pool: work-stealing claims must reproduce
+      // the static-chunk (and serial) results byte for byte.
+      for (ChunkPolicy policy :
+           {ChunkPolicy::kStatic, ChunkPolicy::kDynamic}) {
+        IqOptions options;
+        options.pool = pool;
+        options.chunk_policy = policy;
+        EseEvaluator ese(w.index.get(), target);
+        auto mc = MinCostIq(*ctx, &ese, tau, options);
+        ASSERT_TRUE(mc.ok()) << mc.status().ToString();
+        min_cost.push_back(*std::move(mc));
+        EseEvaluator ese2(w.index.get(), target);
+        auto mh = MaxHitIq(*ctx, &ese2, beta, options);
+        ASSERT_TRUE(mh.ok()) << mh.status().ToString();
+        max_hit.push_back(*std::move(mh));
+      }
     }
     for (size_t i = 1; i < min_cost.size(); ++i) {
       SCOPED_TRACE(testing::Message()
@@ -310,12 +381,14 @@ TEST(ParallelDiffTest, ParallelMaintenanceMatchesSerialRebuild) {
 // ---------------------------------------------------------------------------
 
 Result<IqEngine> MakeEngine(int n, int m, int dim, uint64_t seed,
-                            int num_threads) {
+                            int num_threads,
+                            ChunkPolicy chunk_policy = ChunkPolicy::kDynamic) {
   Dataset data = MakeIndependent(n, dim, seed);
   QueryGenOptions qopts;
   qopts.k_max = 5;
   EngineOptions options;
   options.num_threads = num_threads;
+  options.chunk_policy = chunk_policy;
   return IqEngine::Create(std::move(data), LinearForm::Identity(dim),
                           MakeQueries(m, dim, seed + 1, qopts), options);
 }
@@ -353,6 +426,39 @@ TEST(ParallelDiffTest, SolveBatchIdenticalAcrossThreadCounts) {
     for (size_t i = 0; i < items.size(); ++i) {
       SCOPED_TRACE(testing::Message() << "engine #" << e << " item " << i);
       ExpectIdenticalResults(per_engine[0][i], per_engine[e][i], "SolveBatch");
+    }
+  }
+}
+
+TEST(ParallelDiffTest, SolveBatchIdenticalAcrossChunkPolicies) {
+  // engine.solve_batch under work-stealing claims vs static chunks vs
+  // serial: every observable, including the EvalBreakdown work counters,
+  // must be byte-identical — the per-index-slot results plus the serial
+  // index-order reduction make the claim order invisible.
+  constexpr int kN = 40, kM = 24;
+  const std::vector<BatchItem> items = MakeBatch(kN, kM);
+  std::vector<std::vector<IqResult>> per_config;
+  struct Config {
+    int num_threads;
+    ChunkPolicy policy;
+  };
+  const Config configs[] = {{0, ChunkPolicy::kStatic},
+                            {4, ChunkPolicy::kStatic},
+                            {4, ChunkPolicy::kDynamic},
+                            {8, ChunkPolicy::kDynamic}};
+  for (const Config& config : configs) {
+    auto engine = MakeEngine(kN, kM, 3, 8888, config.num_threads,
+                             config.policy);
+    ASSERT_TRUE(engine.ok());
+    auto batch = engine->SolveBatch(items);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    per_config.push_back(*std::move(batch));
+  }
+  for (size_t e = 1; e < per_config.size(); ++e) {
+    for (size_t i = 0; i < items.size(); ++i) {
+      SCOPED_TRACE(testing::Message() << "config #" << e << " item " << i);
+      ExpectIdenticalResults(per_config[0][i], per_config[e][i],
+                             "SolveBatch policy");
     }
   }
 }

@@ -173,6 +173,112 @@ TEST(ProfileTest, ChunkSpansThroughPoolAndSerialFallback) {
   EXPECT_GT(report.ProjectedSpeedup(8), 1.0);
 }
 
+TEST(ProfileTest, ChunkImbalanceCollapsesUnderDynamicPolicy) {
+  // Contention-injection differential for the work-stealing tentpole: the
+  // same heavy-tailed workload (16 items spinning ~20ms, 176 items ~2us —
+  // the shape PR 7 measured on greedy.candidate_eval at ~140x) is profiled
+  // under both chunk policies. Static chunking must report a pathological
+  // max/median chunk ratio (the whole heavy head lands in the first fixed
+  // chunk) while dynamic claiming collapses it: heavy items become
+  // standalone spans and cheap items aggregate into spans of comparable
+  // duration (thread_pool.cc's 200us span target), so max ~= median.
+  // Heavy items are 20ms, not smaller, so that on an oversubscribed box
+  // (5 spinning participants on 1 core) the worst-case rescheduling delay a
+  // span can absorb after its spin deadline (~a round of peer timeslices,
+  // ~16ms observed) stays well under the 4x dynamic-imbalance bound.
+  ProfilingScope scope;
+  ThreadPool pool(4);
+  constexpr int64_t kItems = 192;
+  auto heavy_tailed = [](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      SpinFor(i < 16 ? 20'000'000 : 2'000);
+    }
+  };
+
+  prof::SetEnabled(true);
+  const uint64_t start_ns = prof::EnabledSinceNanos();
+  pool.ParallelFor(kItems, heavy_tailed, "profile_test.static_tail",
+                   ChunkPolicy::kStatic);
+  pool.ParallelFor(kItems, heavy_tailed, "profile_test.dynamic_tail",
+                   ChunkPolicy::kDynamic);
+  const uint64_t end_ns = prof::NowNanos();
+  prof::SetEnabled(false);
+
+  ProfileReport report = BuildProfileReport("chunk-policy", start_ns, end_ns);
+  const ParallelSiteReport* stat =
+      FindSite(report, "profile_test.static_tail");
+  const ParallelSiteReport* dyn =
+      FindSite(report, "profile_test.dynamic_tail");
+  ASSERT_NE(stat, nullptr);
+  ASSERT_NE(dyn, nullptr);
+
+  EXPECT_EQ(stat->items, kItems);
+  EXPECT_EQ(dyn->items, kItems);
+  // Static: one claim per fixed chunk, never beyond the fair share.
+  EXPECT_EQ(stat->claims, stat->chunks);
+  EXPECT_EQ(stat->steals, 0u);
+  // Dynamic: one claim per item, and the fast participants must have
+  // claimed beyond their fair share ((192+4)/5 = 39 items) to cover for
+  // the stragglers stuck on the heavy head.
+  EXPECT_EQ(dyn->claims, static_cast<uint64_t>(kItems));
+  EXPECT_GT(dyn->steals, 0u);
+  EXPECT_LT(dyn->steals, dyn->claims);
+
+  // The headline assertion: imbalance >50x static, <4x dynamic.
+  EXPECT_GT(stat->imbalance, 50.0)
+      << "static max " << stat->max_chunk_nanos << " median "
+      << stat->median_chunk_nanos;
+  EXPECT_LT(dyn->imbalance, 4.0)
+      << "dynamic max " << dyn->max_chunk_nanos << " median "
+      << dyn->median_chunk_nanos;
+
+  // The counters survive the iq_prof --json= round-trip...
+  std::vector<ProfileReport> parsed = ParseProfileReports(report.ToJson());
+  ASSERT_EQ(parsed.size(), 1u);
+  const ParallelSiteReport* dyn_rt =
+      FindSite(parsed[0], "profile_test.dynamic_tail");
+  ASSERT_NE(dyn_rt, nullptr);
+  EXPECT_EQ(dyn_rt->claims, dyn->claims);
+  EXPECT_EQ(dyn_rt->steals, dyn->steals);
+  EXPECT_EQ(FindSite(parsed[0], "profile_test.static_tail")->steals, 0u);
+
+  // ...and surface in the human-readable serialization report.
+  const std::string text = FormatSerializationReport(parsed, 4);
+  EXPECT_NE(text.find("claims stolen"), std::string::npos);
+}
+
+TEST(ProfileTest, StealCountersRoundTripThroughProfilezEndpoint) {
+  ProfilingScope scope;
+  ThreadPool pool(2);
+  prof::SetEnabled(true);
+  pool.ParallelFor(
+      64,
+      [](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          SpinFor(i == 0 ? 400'000 : 2'000);
+        }
+      },
+      "profile_test.profilez_steals", ChunkPolicy::kDynamic);
+  const std::string response = ExporterResponseForPath("/profilez", 0);
+  prof::SetEnabled(false);
+
+  const size_t body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  std::vector<ProfileReport> parsed =
+      ParseProfileReports(response.substr(body_at + 4));
+  ASSERT_EQ(parsed.size(), 1u);
+  const ParallelSiteReport* site =
+      FindSite(parsed[0], "profile_test.profilez_steals");
+  ASSERT_NE(site, nullptr);
+  // One claim per item under dynamic claiming; the exported JSON carries
+  // the claim/steal keys (steals may be zero on a one-core box, so assert
+  // presence and consistency rather than a positive count here).
+  EXPECT_EQ(site->claims, 64u);
+  EXPECT_LE(site->steals, site->claims);
+  EXPECT_NE(response.find("\"claims\":"), std::string::npos);
+  EXPECT_NE(response.find("\"steals\":"), std::string::npos);
+}
+
 TEST(ProfileTest, WorkerTimelineRecordsPoolActivity) {
   ProfilingScope scope;
   ThreadPool pool(2);
@@ -208,8 +314,8 @@ TEST(ProfileTest, ReportJsonRoundTrip) {
   r.dropped_records = 7;
   r.mutexes.push_back({"IqEngine::mu_", "kEngine", 42, 5, 12000, 900, 88000});
   r.mutexes.push_back({"ThreadPool::mu_", "kPoolQueue", 10, 1, 345, 345, 50});
-  r.parallel_sites.push_back(
-      {"engine.solve_batch", 3, 24, 640, 555000, 540000, 20000, 46000, 2.3});
+  r.parallel_sites.push_back({"engine.solve_batch", 3, 24, 640, 555000,
+                              540000, 20000, 46000, 2.3, 640, 41});
   r.workers.push_back({1, 400000, 100000});
   r.workers.push_back({2, 350000, 150000});
 
@@ -242,6 +348,8 @@ TEST(ProfileTest, ReportJsonRoundTrip) {
   EXPECT_EQ(p.parallel_sites[0].median_chunk_nanos, 20000u);
   EXPECT_EQ(p.parallel_sites[0].max_chunk_nanos, 46000u);
   EXPECT_NEAR(p.parallel_sites[0].imbalance, 2.3, 1e-6);
+  EXPECT_EQ(p.parallel_sites[0].claims, 640u);
+  EXPECT_EQ(p.parallel_sites[0].steals, 41u);
   ASSERT_EQ(p.workers.size(), 2u);
   EXPECT_EQ(p.workers[1].worker, 2u);
   EXPECT_EQ(p.workers[1].running_nanos, 350000u);

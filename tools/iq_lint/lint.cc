@@ -482,6 +482,73 @@ void CheckUnpinnedIndexReads(const std::string& path,
   }
 }
 
+// --------------------------------------------------- raw scoring loops --
+
+/// A scalar scoring call: geom/vec.h's Dot() or FunctionView::Score().
+/// The '(' must follow the name immediately, so batch calls like
+/// ScoreAll(...) and identifiers that merely contain "Score" never match.
+const std::regex kScalarScoreCallRe(R"(\bDot\s*\(|(->|\.)\s*Score\s*\()");
+const std::regex kLoopHeadRe(R"(\b(for|while)\s*\()");
+
+/// src/core/ hot paths must score object/query sets through the ScoreKernel
+/// batch calls (ScoreAll/TopKappaSignature/CountHits), not by calling
+/// Dot()/FunctionView::Score() once per element: the per-element form
+/// defeats the SoA layout and the vectorizer (DESIGN.md §13). A scalar
+/// scoring call inside any for/while loop is flagged unless the line
+/// carries the raw-scoring-loop waiver — sanctioned for the mid-mutation
+/// fallback paths (kernels are reset by the On*() hooks) and for O(κ)-sized
+/// reads where building a kernel would cost more than it saves.
+///
+/// Token-level like the other checks: a brace-depth pass tracks which open
+/// braces belong to loop bodies; `pending_loop` covers a loop head whose
+/// '{' has not arrived yet and braceless single-statement bodies (cleared
+/// by the first top-level ';' after the head's parens close).
+void CheckRawScoringLoops(const std::string& path,
+                          const std::vector<std::string>& raw,
+                          const std::vector<std::string>& sanitized,
+                          std::vector<Finding>* findings) {
+  std::vector<bool> brace_is_loop;
+  int loops_open = 0;
+  bool pending_loop = false;
+  int paren_depth = 0;
+  for (size_t i = 0; i < sanitized.size(); ++i) {
+    const std::string& line = sanitized[i];
+    if (std::regex_search(line, kLoopHeadRe)) pending_loop = true;
+    // The waiver counts on the flagged line or the line directly above it,
+    // so long scoring statements can keep the 80-column style.
+    const bool waived =
+        raw[i].find(kWaiverRawScoringLoop) != std::string::npos ||
+        (i > 0 && raw[i - 1].find(kWaiverRawScoringLoop) != std::string::npos);
+    if ((loops_open > 0 || pending_loop) &&
+        std::regex_search(line, kScalarScoreCallRe) && !waived) {
+      findings->push_back(
+          {"raw-scoring-loop", path, static_cast<int>(i + 1),
+           "scalar Dot()/Score() call inside a loop — score the set through "
+           "a ScoreKernel batch call (ScoreAll/TopKappaSignature/CountHits), "
+           "or waive a deliberate scalar path with // " +
+               std::string(kWaiverRawScoringLoop)});
+    }
+    for (char c : line) {
+      if (c == '(') {
+        ++paren_depth;
+      } else if (c == ')') {
+        if (paren_depth > 0) --paren_depth;
+      } else if (c == '{') {
+        brace_is_loop.push_back(pending_loop);
+        if (pending_loop) ++loops_open;
+        pending_loop = false;
+      } else if (c == '}') {
+        if (!brace_is_loop.empty()) {
+          if (brace_is_loop.back()) --loops_open;
+          brace_is_loop.pop_back();
+        }
+      } else if (c == ';' && paren_depth == 0 && pending_loop) {
+        pending_loop = false;  // braceless loop body ended
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::string ExpectedHeaderGuard(const std::string& path) {
@@ -521,6 +588,12 @@ std::vector<Finding> CheckFile(const std::string& path,
   if (IsSourcePath(path) && StartsWith(path, "src/core/") &&
       path != "src/core/subdomain_index.cc") {
     CheckUnpinnedIndexReads(path, sanitized, &findings);
+  }
+  // The kernel implementation is exempt: its slot-major inner loops ARE the
+  // sanctioned scoring loops everything else should be calling.
+  if (IsSourcePath(path) && StartsWith(path, "src/core/") &&
+      path != "src/core/score_kernel.cc") {
+    CheckRawScoringLoops(path, raw, sanitized, &findings);
   }
 
   std::sort(findings.begin(), findings.end(),

@@ -32,7 +32,7 @@ namespace lint {
 struct Finding {
   /// Stable check id: "header-guard", "banned-rng", "banned-clock",
   /// "banned-socket", "raw-mutex", "unguarded-member", "parallel-for-check",
-  /// "unpinned-index-read".
+  /// "unpinned-index-read", "raw-scoring-loop".
   std::string check;
   /// Repo-relative path, forward slashes ("src/core/engine.h").
   std::string file;
@@ -47,6 +47,14 @@ struct Finding {
 /// nearby comment; DESIGN.md §10 lists the sanctioned cases.
 inline constexpr char kWaiverUnguardedMember[] =
     "iq-lint: allow(unguarded-member)";
+
+/// Marker that waives the raw-scoring-loop check for the line it appears
+/// on (or, placed on its own comment line, for the line directly below):
+/// a deliberate scalar scoring loop in src/core/ (the mid-mutation
+/// fallback paths, the O(κ) threshold reads) instead of a ScoreKernel
+/// batch call. Leave the reason in a nearby comment.
+inline constexpr char kWaiverRawScoringLoop[] =
+    "iq-lint: allow(raw-scoring-loop)";
 
 /// Lints `content` as if it were the repo file at `path` (repo-relative,
 /// forward slashes). Which checks run depends on the path: bans are scoped
