@@ -37,6 +37,16 @@
 //                          tools/iq_prof ingests. Profiling is OFF during
 //                          the timed reps, so this flag does not perturb the
 //                          reported seconds.
+//   --slow-trace-nanos=N   enable causal tracing with an N-nanosecond
+//                          tail-capture threshold (DESIGN.md §14) for the
+//                          whole run; root solves at or over N are retained
+//                          in the last-K store. Use a low N (e.g. 1000) to
+//                          force retention for the trace-smoke CI lane.
+//   --scrape-tracez=PATH   after the run, GET /tracez over loopback and
+//                          write the payload to PATH (starts an ephemeral
+//                          exporter when no --exporter-port= was given);
+//                          tools/iq_trace and check_metrics.sh --trace
+//                          consume the file.
 //
 // Note on expectations: speedup > 1 needs real cores. On a single-core
 // machine the pooled paths measure the (small) coordination overhead
@@ -54,6 +64,7 @@
 #include "obs/exporter.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -319,7 +330,9 @@ Result<std::vector<int>> ParseThreadList(const std::string& list) {
 int Main(int argc, char** argv) {
   int n = 4000, m = 800, reps = 3;
   int exporter_port = -1;
+  int slow_trace_nanos = 0;
   std::string json_path, scrape_path, profile_path, threads_list;
+  std::string scrape_tracez_path;
   std::string chunk_policy = "dynamic";
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -332,7 +345,8 @@ int Main(int argc, char** argv) {
       return false;
     };
     if (intval("--n=", &n) || intval("--m=", &m) || intval("--reps=", &reps) ||
-        intval("--exporter-port=", &exporter_port)) {
+        intval("--exporter-port=", &exporter_port) ||
+        intval("--slow-trace-nanos=", &slow_trace_nanos)) {
       continue;
     }
     if (arg.rfind("--json=", 0) == 0) {
@@ -341,6 +355,10 @@ int Main(int argc, char** argv) {
     }
     if (arg.rfind("--scrape-metrics=", 0) == 0) {
       scrape_path = arg.substr(17);
+      continue;
+    }
+    if (arg.rfind("--scrape-tracez=", 0) == 0) {
+      scrape_tracez_path = arg.substr(16);
       continue;
     }
     if (arg.rfind("--profile=", 0) == 0) {
@@ -385,8 +403,22 @@ int Main(int argc, char** argv) {
   std::vector<ProfileReport> profiles;
   if (!profile_path.empty()) cfg.profiles = &profiles;
 
+  if (slow_trace_nanos > 0) {
+    // Whole-run tail capture: every engine root solve at or over the
+    // threshold lands in the retained store that /tracez serves. The
+    // engines BenchSolveBatch creates would configure this themselves via
+    // EngineOptions, but doing it here keeps one config for the whole run
+    // regardless of which cells execute.
+    TraceTailConfig tail;
+    tail.slow_trace_nanos = slow_trace_nanos;
+    TraceCollector::Global().ConfigureTailCapture(tail);
+    TraceCollector::Global().SetEnabled(true);
+    std::printf("tracing on: slow-trace threshold %d ns\n", slow_trace_nanos);
+  }
+
   MetricsExporter exporter;
-  if (exporter_port >= 0 || !scrape_path.empty()) {
+  if (exporter_port >= 0 || !scrape_path.empty() ||
+      !scrape_tracez_path.empty()) {
     Status st = exporter.Start(exporter_port >= 0 ? exporter_port : 0);
     if (!st.ok()) {
       std::fprintf(stderr, "exporter: %s\n", st.ToString().c_str());
@@ -438,6 +470,25 @@ int Main(int argc, char** argv) {
     std::fclose(f);
     std::fprintf(stderr, "scraped /metrics written to %s\n",
                  scrape_path.c_str());
+  }
+  if (!scrape_tracez_path.empty()) {
+    // Same loopback contract as --scrape-metrics=: the file proves the
+    // exporter serves the retained-trace store, not a direct render.
+    Result<std::string> body = HttpGetLocal(exporter.port(), "/tracez");
+    if (!body.ok()) {
+      std::fprintf(stderr, "tracez scrape failed: %s\n",
+                   body.status().ToString().c_str());
+      return 1;
+    }
+    std::FILE* f = std::fopen(scrape_tracez_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", scrape_tracez_path.c_str());
+      return 1;
+    }
+    std::fwrite(body->data(), 1, body->size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "scraped /tracez written to %s\n",
+                 scrape_tracez_path.c_str());
   }
   return 0;
 }

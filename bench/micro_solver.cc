@@ -4,7 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+
 #include "bench/common/micro_main.h"
+#include "obs/trace.h"
 #include "opt/dykstra.h"
 #include "opt/hit_solver.h"
 #include "util/annotations.h"
@@ -114,6 +117,65 @@ void BM_MutexProfileOverheadEnabled(benchmark::State& state) {
   prof::Reset();
 }
 BENCHMARK(BM_MutexProfileOverheadEnabled);
+
+// Overhead guards for causal tracing (DESIGN.md §14), same contract as the
+// mutex-profiler pair above: the *disabled* scope — which sits inside every
+// candidate evaluation once the macros are compiled in — must stay at one
+// relaxed atomic load plus a predictable branch. Tracked by
+// tools/bench_regress.sh; the enabled/slow-path variants document the cost
+// of collection and retention rather than gating them.
+void BM_TraceOverheadDisabled(benchmark::State& state) {
+  TraceCollector& tc = TraceCollector::Global();
+  tc.SetEnabled(false);
+  int64_t x = 0;
+  for (auto _ : state) {
+    IQ_TRACE_SCOPE("bench.disabled");
+    benchmark::DoNotOptimize(++x);
+  }
+}
+BENCHMARK(BM_TraceOverheadDisabled);
+
+// Enabled scope on the discard path: record into the ring, no retention
+// (a root finishing under threshold costs one atomic add).
+void BM_TraceOverheadEnabled(benchmark::State& state) {
+  TraceCollector& tc = TraceCollector::Global();
+  tc.Clear();
+  TraceTailConfig config;
+  config.slow_trace_nanos = INT64_MAX;  // nothing retained
+  tc.ConfigureTailCapture(config);
+  tc.SetEnabled(true);
+  int64_t x = 0;
+  for (auto _ : state) {
+    IQ_TRACE_SCOPE("bench.enabled");
+    benchmark::DoNotOptimize(++x);
+  }
+  tc.SetEnabled(false);
+  tc.Clear();
+}
+BENCHMARK(BM_TraceOverheadEnabled);
+
+// The retention slow path: a root over threshold, spans collected out of
+// the rings into the bounded store every iteration. This is the cost a
+// *slow* solve pays once — it must stay trivial next to the solve itself.
+void BM_TraceOverheadSlowPath(benchmark::State& state) {
+  TraceCollector& tc = TraceCollector::Global();
+  tc.Clear();
+  tc.ClearRetained();
+  TraceTailConfig config;
+  config.slow_trace_nanos = 1;  // everything retained
+  config.max_retained = 4;
+  tc.ConfigureTailCapture(config);
+  tc.SetEnabled(true);
+  for (auto _ : state) {
+    IQ_TRACE_ROOT_SCOPE(root, "bench.slow_root");
+    IQ_TRACE_SCOPE("bench.slow_child");
+    benchmark::DoNotOptimize(root.trace_id());
+  }
+  tc.SetEnabled(false);
+  tc.Clear();
+  tc.ClearRetained();
+}
+BENCHMARK(BM_TraceOverheadSlowPath);
 
 }  // namespace
 }  // namespace iq

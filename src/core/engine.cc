@@ -91,8 +91,8 @@ Result<IqResult> SolveOne(const SubdomainIndex* index,
 /// the per-call EvalBreakdown (success) or the failure status (error), plus
 /// the epoch the solve was pinned to.
 void RecordSolveEnd(const char* op, IqScheme scheme, int target,
-                    const Result<IqResult>& r, double seconds,
-                    uint64_t epoch) {
+                    const Result<IqResult>& r, double seconds, uint64_t epoch,
+                    uint64_t trace_id) {
   Event e;
   if (r.ok()) {
     const EvalBreakdown& b = r->breakdown;
@@ -106,6 +106,17 @@ void RecordSolveEnd(const char* op, IqScheme scheme, int target,
                            0.0, 0, 0, 0, 0, 0, 0, 0, seconds, epoch);
     e.note = r.status().ToString();
   }
+  e.trace_id = trace_id;
+  EventLog::Global().Record(std::move(e));
+}
+
+/// SolveStart stamped with the solve's causal trace id, so a slow-trace id
+/// from /tracez greps straight into the flight-recorder JSONL.
+void RecordSolveStart(const char* op, IqScheme scheme, int target, int tau,
+                      double beta, uint64_t epoch, uint64_t trace_id) {
+  Event e =
+      EventLog::SolveStart(op, IqSchemeName(scheme), target, tau, beta, epoch);
+  e.trace_id = trace_id;
   EventLog::Global().Record(std::move(e));
 }
 
@@ -200,6 +211,19 @@ Result<IqEngine> IqEngine::Create(Dataset dataset, LinearForm form,
     exporter = std::make_unique<MetricsExporter>();
     IQ_RETURN_IF_ERROR(exporter->Start(options.exporter_port));
   }
+  if (options.slow_trace_nanos > 0) {
+    // Tail-based capture (DESIGN.md §14): configure the process-global
+    // collector and switch span recording on. Like the metrics registry,
+    // the collector is process-wide — the last engine configured wins,
+    // which is the same sharing model /metrics already has.
+    TraceTailConfig tail;
+    tail.slow_trace_nanos = options.slow_trace_nanos;
+    tail.keep_first_n = options.slow_trace_keep_first;
+    tail.max_retained =
+        static_cast<size_t>(std::max(1, options.slow_trace_max_retained));
+    TraceCollector::Global().ConfigureTailCapture(tail);
+    TraceCollector::Global().SetEnabled(true);
+  }
   auto snapshot = std::make_shared<const EpochSnapshot>(
       /*epoch_arg=*/1, dataset_ptr, queries_ptr, view_ptr,
       std::make_shared<const SubdomainIndex>(std::move(index)));
@@ -270,7 +294,7 @@ std::vector<int> IqEngine::ReverseTopK(int object) const {
 
 Result<std::vector<ScoredObject>> IqEngine::TopK(const Vec& weights,
                                                  int k) const {
-  IQ_TRACE_SCOPE("IqEngine::TopK");
+  IQ_TRACE_SCOPE_ARG("IqEngine::TopK", k);
   EpochHandle snap = Snapshot();
   const Dataset& dataset = snap.dataset();
   const FunctionView& view = snap.view();
@@ -305,7 +329,10 @@ Result<int> IqEngine::BestWorkloadRank(int object) const {
 Result<IqResult> IqEngine::MinCost(int target, int tau,
                                    const IqOptions& options,
                                    IqScheme scheme) const {
-  IQ_TRACE_SCOPE("IqEngine::MinCost");
+  // Root span of the solve (DESIGN.md §14): allocates the trace id every
+  // span below — including chunk bodies on pool workers — inherits, and
+  // decides keep/discard against the slow-trace threshold at scope exit.
+  IQ_TRACE_ROOT_SCOPE(root, "IqEngine::MinCost", target, tau);
   ScopedTimer latency(EngineMetrics::Get().min_cost_nanos);
   EpochHandle snap = Snapshot();
   BatchItem item;
@@ -316,21 +343,22 @@ Result<IqResult> IqEngine::MinCost(int target, int tau,
   // Single-target calls parallelize *inside* the search (candidate
   // generation + ESE evaluation); see SolveBatch for across-target fan-out.
   item.options.pool = pool_.get();
-  EventLog::Global().Record(EventLog::SolveStart(
-      "MinCost", IqSchemeName(scheme), target, tau, 0.0, snap.epoch()));
+  RecordSolveStart("MinCost", scheme, target, tau, 0.0, snap.epoch(),
+                   root.trace_id());
   Result<IqResult> r = SolveOne(snap.index_ptr(), snap.view_ptr(),
                                 snap.queries_ptr(), item, scheme);
   RecordSolveEnd("MinCost", scheme, target, r,
                  static_cast<double>(latency.ElapsedNanos()) / 1e9,
-                 snap.epoch());
-  NoteOutcome(r.ok() ? Status::Ok() : r.status());
+                 snap.epoch(), root.trace_id());
+  if (!r.ok()) root.NoteError();
+  NoteOutcome(r.ok() ? Status::Ok() : r.status(), root.trace_id());
   return r;
 }
 
 Result<IqResult> IqEngine::MaxHit(int target, double beta,
                                   const IqOptions& options,
                                   IqScheme scheme) const {
-  IQ_TRACE_SCOPE("IqEngine::MaxHit");
+  IQ_TRACE_ROOT_SCOPE(root, "IqEngine::MaxHit", target);
   ScopedTimer latency(EngineMetrics::Get().max_hit_nanos);
   EpochHandle snap = Snapshot();
   BatchItem item;
@@ -339,14 +367,15 @@ Result<IqResult> IqEngine::MaxHit(int target, double beta,
   item.beta = beta;
   item.options = options;
   item.options.pool = pool_.get();
-  EventLog::Global().Record(EventLog::SolveStart(
-      "MaxHit", IqSchemeName(scheme), target, 0, beta, snap.epoch()));
+  RecordSolveStart("MaxHit", scheme, target, 0, beta, snap.epoch(),
+                   root.trace_id());
   Result<IqResult> r = SolveOne(snap.index_ptr(), snap.view_ptr(),
                                 snap.queries_ptr(), item, scheme);
   RecordSolveEnd("MaxHit", scheme, target, r,
                  static_cast<double>(latency.ElapsedNanos()) / 1e9,
-                 snap.epoch());
-  NoteOutcome(r.ok() ? Status::Ok() : r.status());
+                 snap.epoch(), root.trace_id());
+  if (!r.ok()) root.NoteError();
+  NoteOutcome(r.ok() ? Status::Ok() : r.status(), root.trace_id());
   return r;
 }
 
@@ -358,11 +387,19 @@ Result<std::vector<IqResult>> IqEngine::SolveBatch(
 Result<std::vector<IqResult>> IqEngine::SolveBatchOn(
     const EpochHandle& snap, const std::vector<BatchItem>& items,
     IqScheme scheme) const {
-  IQ_TRACE_SCOPE("IqEngine::SolveBatch");
+  // Batch-level root: one trace for the whole batch. The per-item roots in
+  // the worker lambda below run with this trace active (ParallelFor
+  // propagates the context into the chunk bodies), so they join it as child
+  // spans instead of opening traces of their own — a slow batch shows up at
+  // /tracez as a single trace whose spans carry the worker tids.
+  IQ_TRACE_ROOT_SCOPE(batch_root, "IqEngine::SolveBatch",
+                      static_cast<int64_t>(items.size()));
   ScopedTimer latency(EngineMetrics::Get().solve_batch_nanos);
   if (!snap.valid()) {
+    batch_root.NoteError();
     return NoteOutcome(
-        Status::InvalidArgument("SolveBatchOn requires a pinned epoch"));
+        Status::InvalidArgument("SolveBatchOn requires a pinned epoch"),
+        batch_root.trace_id());
   }
   // Raw read-only pointers into the pinned epoch for the workers. The pin
   // (held by the caller for SolveBatchOn, by our Snapshot() temporary for
@@ -392,16 +429,24 @@ Result<std::vector<IqResult>> IqEngine::SolveBatchOn(
           // just makes the contract explicit and thread-count-independent).
           item.options.pool = nullptr;
           const bool min_cost = item.kind == BatchItem::Kind::kMinCost;
+          // Per-item root span, opened on whichever worker claimed the
+          // item. The batch root's context arrived with the chunk, so this
+          // joins the batch's trace as a child span rather than starting a
+          // new one — standalone semantics (own trace) apply only when the
+          // item solve is the outermost traced operation.
+          IQ_TRACE_ROOT_SCOPE(item_root, "SolveBatch.item", item.target, i);
           // Per-item flight-recorder events, recorded from the worker
           // thread that solved the item (the lock striping keeps the
           // concurrent appends cheap — see tests/event_log_test.cc).
-          EventLog::Global().Record(EventLog::SolveStart(
-              "SolveBatch", IqSchemeName(scheme), item.target,
-              min_cost ? item.tau : 0, min_cost ? 0.0 : item.beta, epoch));
+          RecordSolveStart("SolveBatch", scheme, item.target,
+                           min_cost ? item.tau : 0,
+                           min_cost ? 0.0 : item.beta, epoch,
+                           item_root.trace_id());
           WallTimer item_timer;
           Result<IqResult> r = SolveOne(index, view, queries, item, scheme);
           RecordSolveEnd("SolveBatch", scheme, item.target, r,
-                         item_timer.ElapsedSeconds(), epoch);
+                         item_timer.ElapsedSeconds(), epoch,
+                         item_root.trace_id());
           slots[static_cast<size_t>(i)] = std::move(r);
         }
       },
@@ -412,7 +457,10 @@ Result<std::vector<IqResult>> IqEngine::SolveBatchOn(
   std::vector<IqResult> out;
   out.reserve(items.size());
   for (auto& slot : slots) {
-    if (!slot->ok()) return NoteOutcome(slot->status());
+    if (!slot->ok()) {
+      batch_root.NoteError();
+      return NoteOutcome(slot->status(), batch_root.trace_id());
+    }
     out.push_back(*std::move(*slot));
   }
   return out;
@@ -521,23 +569,27 @@ Status IqEngine::RemoveObject(int id) {
 }
 
 Status IqEngine::ApplyStrategy(int target, const Vec& strategy) {
-  IQ_TRACE_SCOPE("IqEngine::ApplyStrategy");
+  IQ_TRACE_ROOT_SCOPE(root, "IqEngine::ApplyStrategy", target);
   ScopedTimer latency(EngineMetrics::Get().apply_strategy_nanos);
   MutexLock lock(&mu_);
   Delta delta = BeginDelta(DeltaKind::kObjects);
   uint64_t reranked = 0, reused = 0, affected = 0;
   Status st = ApplyStrategyOnDelta(delta, target, strategy, &reranked,
                                    &reused, &affected);
-  EventLog::Global().Record(EventLog::ApplyStrategy(
+  Event apply_event = EventLog::ApplyStrategy(
       target, st.ok(), reranked, reused, static_cast<int64_t>(affected),
-      static_cast<double>(latency.ElapsedNanos()) / 1e9, delta.epoch));
+      static_cast<double>(latency.ElapsedNanos()) / 1e9, delta.epoch);
+  apply_event.trace_id = root.trace_id();
+  EventLog::Global().Record(std::move(apply_event));
   if (st.ok()) {
     PublishLocked(std::move(delta));
+  } else {
+    root.NoteError();
   }
   // On failure the delta is simply dropped here: the engine stays exactly
   // at the previous epoch (the old in-place path could leave the target
   // removed when a late step failed).
-  return NoteOutcome(std::move(st));
+  return NoteOutcome(std::move(st), root.trace_id());
 }
 
 Status IqEngine::ApplyStrategyOnDelta(Delta& delta, int target,
@@ -590,9 +642,11 @@ Status IqEngine::ApplyStrategyOnDelta(Delta& delta, int target,
   return Status::Ok();
 }
 
-Status IqEngine::NoteOutcome(Status st) const {
+Status IqEngine::NoteOutcome(Status st, uint64_t trace_id) const {
   if (st.ok()) return st;
-  EventLog::Global().Record(EventLog::Error("IqEngine", st.ToString()));
+  Event e = EventLog::Error("IqEngine", st.ToString());
+  e.trace_id = trace_id;
+  EventLog::Global().Record(std::move(e));
   if (!event_dump_path_.empty()) {
     // Best effort: an unwritable dump path must not mask the real error.
     (void)EventLog::Global().WriteJsonl(event_dump_path_);

@@ -58,6 +58,19 @@ struct EngineOptions {
   /// this path, so the window of events leading up to the failure survives
   /// the process. Empty = no automatic dumps.
   std::string event_dump_path;
+  /// Tail-based slow-solve capture (DESIGN.md §14). 0 (the default) leaves
+  /// causal tracing off. Any value > 0 enables the trace collector and
+  /// retains every root solve (MinCost / MaxHit / ApplyStrategy /
+  /// SolveBatch) whose wall clock reaches this many nanoseconds — plus
+  /// every erred solve — in the bounded store served at /tracez. Tracing is
+  /// observation-only: results stay byte-identical with it on or off
+  /// (tests/parallel_diff_test.cc).
+  int64_t slow_trace_nanos = 0;
+  /// With capture on, also retain the first N root solves unconditionally
+  /// (warmup examples for a fresh process before anything is slow).
+  int slow_trace_keep_first = 0;
+  /// Capacity of the retained-trace store; oldest traces drop first.
+  int slow_trace_max_retained = 32;
 };
 
 /// One unit of work for IqEngine::SolveBatch: a Min-Cost or Max-Hit
@@ -270,9 +283,11 @@ class IqEngine {
   void PublishLocked(Delta delta) IQ_REQUIRES(mu_);
 
   /// Flight-recorder post-mortem hook: on a non-OK status, records an error
-  /// event and (when EngineOptions::event_dump_path is set) dumps the event
-  /// ring as JSONL there. Always returns `st` so call sites can tail-call.
-  Status NoteOutcome(Status st) const;
+  /// event (stamped with the failing solve's causal trace id when tracing
+  /// is on) and (when EngineOptions::event_dump_path is set) dumps the
+  /// event ring as JSONL there. Always returns `st` so call sites can
+  /// tail-call.
+  Status NoteOutcome(Status st, uint64_t trace_id = 0) const;
 
   /// ApplyStrategy body, operating on the writer's delta; reports the §4.3
   /// reuse accounting of this call (queries re-ranked / kept, subdomains

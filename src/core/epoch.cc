@@ -1,6 +1,7 @@
 #include "core/epoch.h"
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace iq {
 namespace {
@@ -38,6 +39,11 @@ EpochSnapshot::EpochSnapshot(uint64_t epoch_arg,
 }
 
 EpochSnapshot::~EpochSnapshot() {
+  // Near-instant span, recorded for its *identity* rather than duration: it
+  // marks which traced operation dropped the last pin on this epoch, with
+  // the epoch id in the arg payload — the causal link between a slow solve
+  // and the retirement churn it triggers.
+  IQ_TRACE_SCOPE_ARG("EpochSnapshot::retire", epoch);
   EpochMetrics::Get().epochs_live->Add(-1);
   EpochMetrics::Get().epochs_retired->Increment();
 }

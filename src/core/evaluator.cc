@@ -89,7 +89,7 @@ int EseEvaluator::HitsForCoeffs(const Vec& c) {
 
 std::vector<int> EseEvaluator::AffectedQueries(const Vec& c_from,
                                                const Vec& c_to) const {
-  IQ_TRACE_SCOPE("EseEvaluator::AffectedQueries");
+  IQ_TRACE_SCOPE_ARG("EseEvaluator::AffectedQueries", target_);
   const QuerySet& queries = index_->queries();
   uint64_t wedges_searched = 0;
   std::vector<bool> seen(static_cast<size_t>(queries.size()), false);
@@ -118,7 +118,7 @@ std::vector<int> EseEvaluator::AffectedQueries(const Vec& c_from,
 }
 
 int EseEvaluator::HitsViaWedges(const Vec& c) {
-  IQ_TRACE_SCOPE("EseEvaluator::HitsViaWedges");
+  IQ_TRACE_SCOPE_ARG("EseEvaluator::HitsViaWedges", target_);
   ++calls_;
   const Vec& c_base = index_->view().coeffs(target_);
   int hits = base_hits_;

@@ -233,7 +233,7 @@ std::vector<Candidate> BuildCandidates(const IqContext& ctx,
                                        const IqOptions& options,
                                        bool evaluate_hits,
                                        EvalBreakdown* bd) {
-  IQ_TRACE_SCOPE("BuildCandidates");
+  IQ_TRACE_SCOPE_ARG("BuildCandidates", ctx.target());
   std::vector<Candidate> out;
   const QuerySet& queries = ctx.queries();
   WallTimer solver_timer;
@@ -424,7 +424,7 @@ void FinishBreakdown(const StrategyEvaluator& ev, size_t calls_before,
 
 Result<IqResult> MinCostIq(const IqContext& ctx, StrategyEvaluator* evaluator,
                            int tau, const IqOptions& options) {
-  IQ_TRACE_SCOPE("MinCostIq");
+  IQ_TRACE_SCOPE_ARG2("MinCostIq", ctx.target(), tau);
   if (tau < 1) return Status::InvalidArgument("tau must be >= 1");
   WallTimer timer;
   const size_t calls_before = evaluator->calls();
@@ -488,7 +488,7 @@ Result<IqResult> MinCostIq(const IqContext& ctx, StrategyEvaluator* evaluator,
 
 Result<IqResult> MaxHitIq(const IqContext& ctx, StrategyEvaluator* evaluator,
                           double beta, const IqOptions& options) {
-  IQ_TRACE_SCOPE("MaxHitIq");
+  IQ_TRACE_SCOPE_ARG("MaxHitIq", ctx.target());
   if (beta < 0) return Status::InvalidArgument("budget must be >= 0");
   WallTimer timer;
   const size_t calls_before = evaluator->calls();

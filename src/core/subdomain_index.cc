@@ -73,7 +73,8 @@ Result<SubdomainIndex> SubdomainIndex::Build(const FunctionView* view,
     return Status::InvalidArgument(
         "query weight count does not match the utility form");
   }
-  IQ_TRACE_SCOPE("SubdomainIndex::Build");
+  IQ_TRACE_SCOPE_ARG2("SubdomainIndex::Build", queries->size(),
+                      options.epoch);
   WallTimer timer;
   SubdomainIndex index;
   index.view_ = view;
@@ -436,7 +437,7 @@ Status SubdomainIndex::OnQueryRemoved(int q) {
 }
 
 Status SubdomainIndex::OnObjectAdded(int id) {
-  IQ_TRACE_SCOPE("SubdomainIndex::OnObjectAdded");
+  IQ_TRACE_SCOPE_ARG2("SubdomainIndex::OnObjectAdded", id, epoch_);
   if (id < 0 || id >= view_->dataset().size() ||
       !view_->dataset().is_active(id)) {
     return Status::InvalidArgument("object id is not an active object");
@@ -494,7 +495,7 @@ Status SubdomainIndex::OnObjectAdded(int id) {
 }
 
 Status SubdomainIndex::OnObjectRemoved(int id) {
-  IQ_TRACE_SCOPE("SubdomainIndex::OnObjectRemoved");
+  IQ_TRACE_SCOPE_ARG2("SubdomainIndex::OnObjectRemoved", id, epoch_);
   if (id < 0 || id >= static_cast<int>(sig_member_count_.size())) {
     return Status::OutOfRange("object id out of range");
   }

@@ -128,6 +128,10 @@ std::string Event::ToJson() const {
     case EventType::kError:
       break;
   }
+  if (trace_id != 0) {
+    out += StrFormat(",\"trace_id\":%llu",
+                     static_cast<unsigned long long>(trace_id));
+  }
   if (!note.empty()) {
     out += StrFormat(",\"note\":\"%s\"", JsonEscape(note).c_str());
   }

@@ -232,9 +232,27 @@ std::string ExporterResponseForPath(const std::string& path,
   if (path == "/profilez") {
     return HttpResponse("200 OK", "application/json", CurrentProfileJson());
   }
+  if (path == "/tracez") {
+    return HttpResponse("200 OK", "application/json",
+                        TraceCollector::Global().TracezJson());
+  }
+  // /tracez?trace=ID — one retained trace as Perfetto/Chrome JSON (load in
+  // chrome://tracing), with per-thread lanes and cross-thread flow arrows.
+  if (path.compare(0, 14, "/tracez?trace=") == 0) {
+    auto id = ParseInt(path.substr(14));
+    std::string body =
+        id.ok() && *id > 0
+            ? TraceCollector::Global().TraceJson(static_cast<uint64_t>(*id))
+            : std::string();
+    if (body.empty()) {
+      return HttpResponse("404 Not Found", "text/plain; charset=utf-8",
+                          "no retained trace with that id (see /tracez)\n");
+    }
+    return HttpResponse("200 OK", "application/json", body);
+  }
   return HttpResponse(
       "404 Not Found", "text/plain; charset=utf-8",
-      "not found (try /metrics, /healthz, /statusz, /profilez)\n");
+      "not found (try /metrics, /healthz, /statusz, /profilez, /tracez)\n");
 }
 
 MetricsExporter::~MetricsExporter() { Stop(); }

@@ -3,40 +3,103 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "util/annotations.h"
 #include "util/status.h"
+#include "util/trace_context.h"
 
-// Scoped tracing with Chrome-trace export. Usage on an instrumented path:
+// Causal, request-scoped tracing with tail-based slow-solve capture
+// (DESIGN.md §14). Two layers:
 //
-//   IQ_TRACE_SCOPE("SubdomainIndex::Build");
+//  * Scoped spans (PR 2, upgraded): IQ_TRACE_SCOPE("name") records a
+//    completed scope into the calling thread's ring buffer. Spans now carry
+//    a trace id / span id / parent span id read from the thread's
+//    util/trace_context.h slot, which ThreadPool::ParallelFor propagates
+//    into every chunk body — so the spans of one solve link into a tree
+//    even when they ran on different workers.
 //
-// Events land in a per-thread ring buffer and are flushed on demand with
-// TraceCollector::Global().WriteJson(path); the file loads directly in
-// chrome://tracing or https://ui.perfetto.dev.
+//  * Root spans + tail retention: IQ_TRACE_ROOT_SCOPE(root, "op") opens a
+//    *root* span at a solve entry point (MinCost / MaxHit / ApplyStrategy /
+//    SolveBatch). It allocates a fresh trace id, installs the context, and
+//    at destruction asks the collector to keep or discard the whole trace:
+//    retained iff the solve erred, its latency cleared the configured
+//    slow-trace threshold, or it fell in the keep-first-N warmup — into a
+//    bounded last-K store served at /tracez. Discarding is free (the scratch
+//    rings are simply left to be overwritten), which is what makes always-on
+//    capture affordable in production. A TraceRoot constructed while a trace
+//    is already active joins it as a child span instead (per-item roots
+//    inside a SolveBatch root), so one batch is one trace.
 //
-// Two gates keep this off the hot path:
-//  * build time — configure with -DIQ_ENABLE_TRACING=OFF and the macro
-//    compiles to nothing (the default presets keep it ON);
-//  * run time — collection starts only after SetEnabled(true); a disabled
-//    scope costs a single relaxed atomic load.
+// Construction of TraceScope / TraceRoot outside this header is banned by
+// iq_lint (direct-trace-record): instrumented code must use the macros so
+// the compile-time gate (IQ_ENABLE_TRACING) keeps working.
+//
+// Two gates keep all of this off the hot path:
+//  * build time — configure with -DIQ_ENABLE_TRACING=OFF and the macros
+//    compile to nothing (the default presets keep it ON);
+//  * run time — collection starts only after SetEnabled(true) (the engine
+//    flips it when EngineOptions::slow_trace_nanos > 0); a disabled scope
+//    costs a single relaxed atomic load
+//    (bench/micro_solver.cc BM_TraceOverheadDisabled gates this).
 
 namespace iq {
+
+class Counter;
 
 /// Monotonic clock for trace timestamps. Lives in src/obs/ (with
 /// util/timer.h, the only sanctioned direct steady_clock user — see
 /// tools/lint.sh).
 uint64_t TraceNowNanos();
 
-/// One completed scope. `name` must have static storage duration (the macro
-/// passes string literals); the collector stores the pointer, not a copy.
+/// One completed span. `name` must have static storage duration (the macros
+/// pass string literals); the collector stores the pointer, not a copy.
+/// trace/span/parent ids are 0 for flat spans recorded outside any root.
 struct TraceEvent {
+  /// "unset" sentinel for the fixed arg payload (args are small facts like
+  /// a candidate index or an epoch id, rendered only when set).
+  static constexpr int64_t kNoArg = INT64_MIN;
+
   const char* name = nullptr;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
   uint64_t start_ns = 0;
   uint64_t dur_ns = 0;
+  /// Collector-assigned id of the recording thread (stamped by Record).
+  int tid = 0;
+  int64_t arg0 = kNoArg;
+  int64_t arg1 = kNoArg;
+};
+
+/// Tail-based retention policy (DESIGN.md §14). All three knobs combine
+/// with OR: a finished root trace is retained if it erred, OR ran at least
+/// `slow_trace_nanos` (when > 0), OR was one of the first `keep_first_n`
+/// roots since configuration (warmup — so a fresh process always has a few
+/// example traces even before anything is slow).
+struct TraceTailConfig {
+  int64_t slow_trace_nanos = 0;
+  int keep_first_n = 0;
+  size_t max_retained = 32;
+};
+
+/// One retained trace: the root solve's identity plus every span collected
+/// from the scratch rings, sorted by start time.
+struct RetainedTrace {
+  uint64_t trace_id = 0;
+  const char* op = nullptr;  // root span name ("IqEngine::SolveBatch")
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  bool erred = false;
+  /// Retained by the keep-first-N warmup rather than by latency/error.
+  bool warmup = false;
+  std::vector<TraceEvent> spans;
+
+  /// Distinct recording threads among `spans`.
+  int NumThreads() const;
 };
 
 class TraceCollector {
@@ -51,10 +114,19 @@ class TraceCollector {
   }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
-  /// Appends a completed scope to the calling thread's ring buffer.
-  void Record(const char* name, uint64_t start_ns, uint64_t dur_ns);
+  /// Allocates a process-unique nonzero span/trace id.
+  uint64_t NewId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
 
-  /// All buffered events (every thread), in Chrome trace-event JSON.
+  /// Appends a completed span to the calling thread's ring buffer, stamping
+  /// the thread's collector tid. Overwrites the oldest span when the ring
+  /// is full (mirrored to iq.trace.dropped).
+  void Record(TraceEvent e);
+
+  /// All buffered events (every thread), in Chrome trace-event JSON with
+  /// per-thread tids and thread-name metadata events (the flat PR 2 export,
+  /// kept for whole-process captures like examples/trace_demo.cpp).
   std::string ToJson() const;
   /// ToJson() written to `path`.
   Status WriteJson(const std::string& path) const;
@@ -66,6 +138,46 @@ class TraceCollector {
   /// many were overwritten — exposed so tests can assert ring semantics.
   size_t EventCount() const;
   uint64_t DroppedCount() const;
+
+  // ---- tail-based capture (root spans; DESIGN.md §14) ----
+
+  /// Installs the retention policy. Takes effect for roots finishing after
+  /// the call; resets the keep-first-N warmup counter.
+  void ConfigureTailCapture(const TraceTailConfig& config);
+  TraceTailConfig tail_config() const;
+
+  /// Called by a finishing TraceRoot that owns its trace: applies the
+  /// retention policy and, when the trace is kept, collects its spans from
+  /// every thread's ring into the bounded last-K store. Not user API — the
+  /// root-span macro is the entry point.
+  void FinishRoot(const char* op, uint64_t trace_id, uint64_t start_ns,
+                  uint64_t dur_ns, bool erred);
+
+  /// The retained slow traces, oldest first.
+  std::vector<RetainedTrace> RetainedTraces() const;
+  /// Drops all retained traces (counters keep running).
+  void ClearRetained();
+
+  /// Roots retained / discarded since process start (also mirrored to the
+  /// metrics registry as iq.trace.slow_retained / iq.trace.discarded).
+  uint64_t retained_total() const {
+    return retained_total_.load(std::memory_order_relaxed);
+  }
+  uint64_t discarded_total() const {
+    return discarded_total_.load(std::memory_order_relaxed);
+  }
+
+  /// The /tracez payload: retention config, drop/retain counters, and every
+  /// retained trace with its spans. Line-oriented JSON (one "trace_summary"
+  /// or "span" object per line) so tools/iq_trace re-ingests it with a
+  /// tolerant line scanner — same idiom as obs/profile.h reports.
+  std::string TracezJson() const;
+
+  /// Single-trace Perfetto/Chrome JSON for a retained trace: "X" spans with
+  /// real per-thread tids, thread-name metadata events, and flow arrows
+  /// binding cross-thread child spans to their parents. Empty string when
+  /// `trace_id` is not in the store.
+  std::string TraceJson(uint64_t trace_id) const;
 
  private:
   struct ThreadBuffer {
@@ -82,32 +194,77 @@ class TraceCollector {
     size_t next IQ_GUARDED_BY(mu) = 0;
   };
 
-  TraceCollector() = default;
+  TraceCollector();
 
   ThreadBuffer* BufferForThisThread();
+
+  /// Copies every buffered span of `trace_id` out of the rings, sorted by
+  /// (start_ns, span_id).
+  std::vector<TraceEvent> CollectSpans(uint64_t trace_id) const;
 
   mutable Mutex mu_{LockRank::kTraceRegistry, "TraceCollector::mu_"};
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_ IQ_GUARDED_BY(mu_);
   int next_tid_ IQ_GUARDED_BY(mu_) = 1;
   std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_id_{1};
+
+  // Tail-capture state. Config knobs are relaxed atomics so the per-root
+  // discard decision takes no lock.
+  std::atomic<int64_t> slow_trace_nanos_{0};
+  std::atomic<int> keep_first_n_{0};
+  std::atomic<size_t> max_retained_{32};
+  std::atomic<uint64_t> roots_finished_{0};
+  std::atomic<uint64_t> retained_total_{0};
+  std::atomic<uint64_t> discarded_total_{0};
+
+  /// Bounded last-K slow-trace store. Rank kTraceStore: only ever taken
+  /// with no other trace lock held (FinishRoot collects first, inserts
+  /// after releasing the registry/buffer locks).
+  mutable Mutex store_mu_{LockRank::kTraceStore, "TraceCollector::store_mu_"};
+  std::deque<RetainedTrace> retained_ IQ_GUARDED_BY(store_mu_);
+
+  /// Metric mirrors (iq.trace.*), resolved once in the constructor so
+  /// incrementing under the ring locks is a lock-free atomic add.
+  Counter* dropped_counter_ = nullptr;        // iq-lint: allow(unguarded-member)
+  Counter* slow_retained_counter_ = nullptr;  // iq-lint: allow(unguarded-member)
+  Counter* discarded_counter_ = nullptr;      // iq-lint: allow(unguarded-member)
 };
 
 /// RAII body of IQ_TRACE_SCOPE. The enabled check happens at construction;
 /// a scope that started while tracing was on is recorded even if tracing is
-/// switched off before it closes.
+/// switched off before it closes. While open, the scope is the thread's
+/// current span (children recorded inside parent under it).
 class TraceScope {
  public:
-  explicit TraceScope(const char* name) {
-    if (TraceCollector::Global().enabled()) {
-      name_ = name;
-      start_ns_ = TraceNowNanos();
-    }
+  explicit TraceScope(const char* name,
+                      int64_t arg0 = TraceEvent::kNoArg,
+                      int64_t arg1 = TraceEvent::kNoArg) {
+    TraceCollector& tc = TraceCollector::Global();
+    if (!tc.enabled()) return;
+    name_ = name;
+    arg0_ = arg0;
+    arg1_ = arg1;
+    const TraceContext ctx = CurrentTraceContext();
+    trace_id_ = ctx.trace_id;
+    parent_span_id_ = ctx.span_id;
+    span_id_ = tc.NewId();
+    SetTraceContext(TraceContext{trace_id_, span_id_});
+    start_ns_ = TraceNowNanos();
   }
   ~TraceScope() {
-    if (name_ != nullptr) {
-      TraceCollector::Global().Record(name_, start_ns_,
-                                      TraceNowNanos() - start_ns_);
-    }
+    if (name_ == nullptr) return;
+    const uint64_t end_ns = TraceNowNanos();
+    SetTraceContext(TraceContext{trace_id_, parent_span_id_});
+    TraceEvent e;
+    e.name = name_;
+    e.trace_id = trace_id_;
+    e.span_id = span_id_;
+    e.parent_span_id = parent_span_id_;
+    e.start_ns = start_ns_;
+    e.dur_ns = end_ns - start_ns_;
+    e.arg0 = arg0_;
+    e.arg1 = arg1_;
+    TraceCollector::Global().Record(e);
   }
 
   TraceScope(const TraceScope&) = delete;
@@ -115,7 +272,103 @@ class TraceScope {
 
  private:
   const char* name_ = nullptr;
+  uint64_t trace_id_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_span_id_ = 0;
   uint64_t start_ns_ = 0;
+  int64_t arg0_ = TraceEvent::kNoArg;
+  int64_t arg1_ = TraceEvent::kNoArg;
+};
+
+/// RAII body of IQ_TRACE_ROOT_SCOPE: the root span of one solve. Allocates
+/// a fresh trace id and owns the keep/discard decision at destruction —
+/// unless a trace is already active on the thread, in which case it joins
+/// as a plain child span (per-item roots inside a SolveBatch trace) and the
+/// enclosing root decides. The engine stamps trace_id() onto the flight
+/// recorder's solve events and calls NoteError() on failed solves so erred
+/// traces are always retained.
+class TraceRoot {
+ public:
+  explicit TraceRoot(const char* op,
+                     int64_t arg0 = TraceEvent::kNoArg,
+                     int64_t arg1 = TraceEvent::kNoArg) {
+    TraceCollector& tc = TraceCollector::Global();
+    if (!tc.enabled()) return;
+    op_ = op;
+    arg0_ = arg0;
+    arg1_ = arg1;
+    prev_ = CurrentTraceContext();
+    if (prev_.active()) {
+      trace_id_ = prev_.trace_id;
+      parent_span_id_ = prev_.span_id;
+      span_id_ = tc.NewId();
+      owns_trace_ = false;
+    } else {
+      // The root span's id doubles as the trace id.
+      trace_id_ = tc.NewId();
+      span_id_ = trace_id_;
+      parent_span_id_ = 0;
+      owns_trace_ = true;
+    }
+    SetTraceContext(TraceContext{trace_id_, span_id_});
+    start_ns_ = TraceNowNanos();
+  }
+  ~TraceRoot() {
+    if (op_ == nullptr) return;
+    const uint64_t end_ns = TraceNowNanos();
+    SetTraceContext(prev_);
+    TraceEvent e;
+    e.name = op_;
+    e.trace_id = trace_id_;
+    e.span_id = span_id_;
+    e.parent_span_id = parent_span_id_;
+    e.start_ns = start_ns_;
+    e.dur_ns = end_ns - start_ns_;
+    e.arg0 = arg0_;
+    e.arg1 = arg1_;
+    TraceCollector& tc = TraceCollector::Global();
+    tc.Record(e);
+    if (owns_trace_) {
+      tc.FinishRoot(op_, trace_id_, start_ns_, end_ns - start_ns_, erred_);
+    }
+  }
+
+  TraceRoot(const TraceRoot&) = delete;
+  TraceRoot& operator=(const TraceRoot&) = delete;
+
+  /// Marks the solve as failed: the trace is retained regardless of
+  /// latency. No-op for joined (non-owning) roots — the enclosing solve
+  /// fails too and its root retains the shared trace.
+  void NoteError() { erred_ = true; }
+
+  /// The id stamped on this solve's spans and flight-recorder events;
+  /// 0 when tracing is disabled.
+  uint64_t trace_id() const { return trace_id_; }
+
+  /// False when this root joined an enclosing trace instead of starting
+  /// its own.
+  bool owns_trace() const { return owns_trace_; }
+
+ private:
+  const char* op_ = nullptr;
+  TraceContext prev_;
+  uint64_t trace_id_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_span_id_ = 0;
+  uint64_t start_ns_ = 0;
+  int64_t arg0_ = TraceEvent::kNoArg;
+  int64_t arg1_ = TraceEvent::kNoArg;
+  bool owns_trace_ = false;
+  bool erred_ = false;
+};
+
+/// Compiled-out stand-in for TraceRoot: same surface, no code.
+struct NoopTraceRoot {
+  explicit NoopTraceRoot(const char* /*op*/, int64_t /*arg0*/ = 0,
+                         int64_t /*arg1*/ = 0) {}
+  void NoteError() {}
+  uint64_t trace_id() const { return 0; }
+  bool owns_trace() const { return false; }
 };
 
 }  // namespace iq
@@ -125,8 +378,22 @@ class TraceScope {
 #define IQ_TRACE_CONCAT_(a, b) IQ_TRACE_CONCAT2_(a, b)
 #define IQ_TRACE_SCOPE(name) \
   ::iq::TraceScope IQ_TRACE_CONCAT_(iq_trace_scope_, __LINE__)(name)
+/// Span with a small fixed arg payload (candidate index, epoch id, ...).
+#define IQ_TRACE_SCOPE_ARG(name, a0) \
+  ::iq::TraceScope IQ_TRACE_CONCAT_(iq_trace_scope_, __LINE__)( \
+      name, static_cast<int64_t>(a0))
+#define IQ_TRACE_SCOPE_ARG2(name, a0, a1)                        \
+  ::iq::TraceScope IQ_TRACE_CONCAT_(iq_trace_scope_, __LINE__)(  \
+      name, static_cast<int64_t>(a0), static_cast<int64_t>(a1))
+/// Root span of one solve; declares `var` so the call site can reach
+/// NoteError() / trace_id().
+#define IQ_TRACE_ROOT_SCOPE(var, op, ...) \
+  ::iq::TraceRoot var(op __VA_OPT__(, ) __VA_ARGS__)
 #else
 #define IQ_TRACE_SCOPE(name) static_cast<void>(0)
+#define IQ_TRACE_SCOPE_ARG(name, a0) static_cast<void>(0)
+#define IQ_TRACE_SCOPE_ARG2(name, a0, a1) static_cast<void>(0)
+#define IQ_TRACE_ROOT_SCOPE(var, op, ...) ::iq::NoopTraceRoot var(op)
 #endif
 
 #endif  // IQ_OBS_TRACE_H_

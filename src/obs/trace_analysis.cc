@@ -1,0 +1,315 @@
+#include "obs/trace_analysis.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace iq {
+namespace {
+
+/// Extracts the raw token after `"key":` on `line`; false when absent.
+/// Same tolerant scanner as the iq_prof ingestion path — it must survive
+/// hand-edited or truncated dumps.
+bool FindRawValue(const std::string& line, const char* key,
+                  std::string* out) {
+  std::string needle = StrFormat("\"%s\":", key);
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  size_t v = pos + needle.size();
+  while (v < line.size() && line[v] == ' ') ++v;
+  if (v >= line.size()) return false;
+  if (line[v] == '"') {
+    size_t e = line.find('"', v + 1);
+    if (e == std::string::npos) return false;
+    *out = line.substr(v + 1, e - v - 1);
+    return true;
+  }
+  size_t e = line.find_first_of(",}]", v);
+  if (e == std::string::npos) e = line.size();
+  *out = std::string(StrTrim(line.substr(v, e - v)));
+  return !out->empty();
+}
+
+uint64_t FindU64(const std::string& line, const char* key) {
+  std::string raw;
+  if (!FindRawValue(line, key, &raw)) return 0;
+  auto v = ParseInt(raw);
+  return v.ok() && *v >= 0 ? static_cast<uint64_t>(*v) : 0;
+}
+
+int64_t FindI64(const std::string& line, const char* key, int64_t dflt) {
+  std::string raw;
+  if (!FindRawValue(line, key, &raw)) return dflt;
+  auto v = ParseInt(raw);
+  return v.ok() ? *v : dflt;
+}
+
+std::string FormatNanos(uint64_t ns) {
+  if (ns >= 1000000000ULL) {
+    return StrFormat("%.2f s", static_cast<double>(ns) / 1e9);
+  }
+  if (ns >= 1000000ULL) {
+    return StrFormat("%.2f ms", static_cast<double>(ns) / 1e6);
+  }
+  if (ns >= 1000ULL) {
+    return StrFormat("%.2f us", static_cast<double>(ns) / 1e3);
+  }
+  return StrFormat("%llu ns", static_cast<unsigned long long>(ns));
+}
+
+}  // namespace
+
+TraceDump ParseTracezDump(const std::string& text) {
+  TraceDump dump;
+  ParsedTrace* cur = nullptr;
+  std::string raw;
+  for (std::string_view line_view : StrSplit(text, '\n')) {
+    const std::string line(line_view);
+    if (line.find("\"config\":") != std::string::npos) {
+      dump.config.slow_trace_nanos = FindI64(line, "slow_trace_nanos", 0);
+      dump.config.keep_first_n =
+          static_cast<int>(FindI64(line, "keep_first_n", 0));
+      dump.config.max_retained = FindU64(line, "max_retained");
+      continue;
+    }
+    if (line.find("\"counters\":") != std::string::npos) {
+      dump.dropped = FindU64(line, "dropped");
+      dump.slow_retained = FindU64(line, "slow_retained");
+      dump.discarded = FindU64(line, "discarded");
+      continue;
+    }
+    if (line.find("\"trace_summary\":") != std::string::npos) {
+      dump.traces.emplace_back();
+      cur = &dump.traces.back();
+      cur->trace_id = FindU64(line, "trace_id");
+      if (FindRawValue(line, "op", &raw)) cur->op = raw;
+      cur->start_ns = FindU64(line, "start_ns");
+      cur->dur_ns = FindU64(line, "dur_ns");
+      if (FindRawValue(line, "erred", &raw)) cur->erred = raw == "true";
+      if (FindRawValue(line, "warmup", &raw)) cur->warmup = raw == "true";
+      cur->num_threads = static_cast<int>(FindU64(line, "num_threads"));
+      continue;
+    }
+    if (cur != nullptr && line.find("\"span\":") != std::string::npos) {
+      ParsedSpan s;
+      s.trace_id = FindU64(line, "trace_id");
+      s.span_id = FindU64(line, "span_id");
+      s.parent_span_id = FindU64(line, "parent_span_id");
+      if (FindRawValue(line, "name", &raw)) s.name = raw;
+      s.tid = static_cast<int>(FindU64(line, "tid"));
+      s.start_ns = FindU64(line, "start_ns");
+      s.dur_ns = FindU64(line, "dur_ns");
+      s.arg0 = FindI64(line, "arg0", TraceEvent::kNoArg);
+      s.arg1 = FindI64(line, "arg1", TraceEvent::kNoArg);
+      cur->spans.push_back(std::move(s));
+    }
+  }
+  return dump;
+}
+
+TraceAnalysis AnalyzeTrace(const ParsedTrace& trace) {
+  TraceAnalysis a;
+  a.trace_id = trace.trace_id;
+  a.op = trace.op;
+  a.dur_ns = trace.dur_ns;
+  a.erred = trace.erred;
+  a.num_threads = trace.num_threads;
+  a.num_spans = trace.spans.size();
+
+  std::map<uint64_t, const ParsedSpan*> by_id;
+  std::map<uint64_t, std::vector<const ParsedSpan*>> children;
+  const ParsedSpan* root = nullptr;
+  for (const ParsedSpan& s : trace.spans) {
+    by_id[s.span_id] = &s;
+    children[s.parent_span_id].push_back(&s);
+    if (s.parent_span_id == 0 && root == nullptr) root = &s;
+  }
+
+  // Per-name self time: duration minus the direct children's durations
+  // (clamped — timestamps come from different threads' interleaved reads of
+  // one steady clock, so a child can overrun its parent by a few ns).
+  std::map<std::string, SelfTimeRollup> rollup;
+  for (const ParsedSpan& s : trace.spans) {
+    uint64_t child_ns = 0;
+    auto it = children.find(s.span_id);
+    if (it != children.end()) {
+      for (const ParsedSpan* c : it->second) child_ns += c->dur_ns;
+    }
+    SelfTimeRollup& r = rollup[s.name];
+    r.name = s.name;
+    r.self_ns += s.dur_ns > child_ns ? s.dur_ns - child_ns : 0;
+    ++r.spans;
+  }
+  for (auto& [name, r] : rollup) a.self_time.push_back(std::move(r));
+  std::sort(a.self_time.begin(), a.self_time.end(),
+            [](const SelfTimeRollup& x, const SelfTimeRollup& y) {
+              return x.self_ns != y.self_ns ? x.self_ns > y.self_ns
+                                            : x.name < y.name;
+            });
+
+  if (root == nullptr) return a;  // orphaned trace: rings lost the root
+
+  // Critical path: from the root, descend into the child whose interval
+  // ends last — the child the parent actually waited for. Self time per
+  // step is the parent's duration minus that child's; the telescoping sum
+  // plus the leaf's full duration reconstructs the root's wall clock.
+  const ParsedSpan* cur = root;
+  while (cur != nullptr) {
+    const ParsedSpan* next = nullptr;
+    auto it = children.find(cur->span_id);
+    if (it != children.end()) {
+      for (const ParsedSpan* c : it->second) {
+        if (next == nullptr ||
+            c->start_ns + c->dur_ns > next->start_ns + next->dur_ns) {
+          next = c;
+        }
+      }
+    }
+    CriticalPathStep step;
+    step.name = cur->name;
+    step.span_id = cur->span_id;
+    step.tid = cur->tid;
+    step.dur_ns = cur->dur_ns;
+    const uint64_t child_dur = next != nullptr ? next->dur_ns : 0;
+    step.self_ns = cur->dur_ns > child_dur ? cur->dur_ns - child_dur : 0;
+    a.accounted_ns += step.self_ns;
+    a.critical_path.push_back(std::move(step));
+    cur = next;
+  }
+  a.accounted_fraction =
+      a.dur_ns > 0
+          ? static_cast<double>(a.accounted_ns) / static_cast<double>(a.dur_ns)
+          : 0.0;
+  return a;
+}
+
+std::string TraceVerdict(const TraceAnalysis& a) {
+  if (a.critical_path.empty()) {
+    return StrFormat(
+        "trace %llu has no root span — the scratch rings overwrote it "
+        "before retention (iq.trace.dropped); raise the ring capacity or "
+        "lower span volume",
+        static_cast<unsigned long long>(a.trace_id));
+  }
+  const CriticalPathStep* hot = &a.critical_path.front();
+  for (const CriticalPathStep& s : a.critical_path) {
+    if (s.self_ns > hot->self_ns) hot = &s;
+  }
+  const double share =
+      a.dur_ns > 0 ? 100.0 * static_cast<double>(hot->self_ns) /
+                         static_cast<double>(a.dur_ns)
+                   : 0.0;
+  if (a.erred) {
+    return StrFormat(
+        "trace %llu was retained for an error; before failing it spent "
+        "%.1f%% of %s in %s",
+        static_cast<unsigned long long>(a.trace_id), share,
+        FormatNanos(a.dur_ns).c_str(), hot->name.c_str());
+  }
+  return StrFormat(
+      "trace %llu (%s, %s over %d thread%s): %.1f%% of the wall clock is "
+      "self time in %s on the critical path",
+      static_cast<unsigned long long>(a.trace_id), a.op.c_str(),
+      FormatNanos(a.dur_ns).c_str(), a.num_threads,
+      a.num_threads == 1 ? "" : "s", share, hot->name.c_str());
+}
+
+std::string FormatTraceReport(const TraceDump& dump, int top_n) {
+  std::string out = StrFormat(
+      "iq_trace: %zu retained trace(s); slow_trace_nanos=%lld "
+      "keep_first_n=%d max_retained=%zu\n"
+      "counters: dropped=%llu slow_retained=%llu discarded=%llu\n",
+      dump.traces.size(),
+      static_cast<long long>(dump.config.slow_trace_nanos),
+      dump.config.keep_first_n, dump.config.max_retained,
+      static_cast<unsigned long long>(dump.dropped),
+      static_cast<unsigned long long>(dump.slow_retained),
+      static_cast<unsigned long long>(dump.discarded));
+  for (const ParsedTrace& t : dump.traces) {
+    const TraceAnalysis a = AnalyzeTrace(t);
+    out += StrFormat(
+        "\ntrace %llu  %s  %s  spans=%zu threads=%d%s%s\n",
+        static_cast<unsigned long long>(a.trace_id), a.op.c_str(),
+        FormatNanos(a.dur_ns).c_str(), a.num_spans, a.num_threads,
+        a.erred ? "  [erred]" : "", t.warmup ? "  [warmup]" : "");
+    out += StrFormat("  critical path (%.1f%% of wall accounted):\n",
+                     100.0 * a.accounted_fraction);
+    for (const CriticalPathStep& s : a.critical_path) {
+      out += StrFormat("    %-40s self %-10s tid %d\n", s.name.c_str(),
+                       FormatNanos(s.self_ns).c_str(), s.tid);
+    }
+    out += "  top self-time by span name:\n";
+    int shown = 0;
+    for (const SelfTimeRollup& r : a.self_time) {
+      if (shown++ >= top_n) break;
+      out += StrFormat("    %-40s %-10s (%llu span%s)\n", r.name.c_str(),
+                       FormatNanos(r.self_ns).c_str(),
+                       static_cast<unsigned long long>(r.spans),
+                       r.spans == 1 ? "" : "s");
+    }
+    out += StrFormat("  verdict: %s\n", TraceVerdict(a).c_str());
+  }
+  if (dump.traces.empty()) {
+    out +=
+        "\nno retained traces: nothing erred or cleared the slow-trace "
+        "threshold (see \"discarded\" above for how many solves ran)\n";
+  }
+  return out;
+}
+
+std::string TraceReportJson(const TraceDump& dump) {
+  std::string out = "{\"iq_trace\": {\n";
+  out += StrFormat("\"num_traces\": %zu,\n", dump.traces.size());
+  out += StrFormat(
+      "\"counters\": {\"dropped\": %llu, \"slow_retained\": %llu, "
+      "\"discarded\": %llu},\n",
+      static_cast<unsigned long long>(dump.dropped),
+      static_cast<unsigned long long>(dump.slow_retained),
+      static_cast<unsigned long long>(dump.discarded));
+  std::string verdict = dump.traces.empty()
+                            ? "no retained traces"
+                            : TraceVerdict(AnalyzeTrace(dump.traces.back()));
+  // JsonEscape is overkill here: verdicts are built from span names, which
+  // are static identifiers without quotes or backslashes.
+  out += StrFormat("\"verdict\": \"%s\",\n", verdict.c_str());
+  out += "\"traces\": [";
+  bool first_trace = true;
+  for (const ParsedTrace& t : dump.traces) {
+    const TraceAnalysis a = AnalyzeTrace(t);
+    out += StrFormat(
+        "%s\n{\"trace_analysis\": {\"trace_id\": %llu, \"op\": \"%s\", "
+        "\"dur_ns\": %llu, \"erred\": %s, \"num_spans\": %zu, "
+        "\"num_threads\": %d, \"accounted_ns\": %llu, "
+        "\"accounted_fraction\": %.4f}}",
+        first_trace ? "" : ",", static_cast<unsigned long long>(a.trace_id),
+        a.op.c_str(), static_cast<unsigned long long>(a.dur_ns),
+        a.erred ? "true" : "false", a.num_spans, a.num_threads,
+        static_cast<unsigned long long>(a.accounted_ns),
+        a.accounted_fraction);
+    first_trace = false;
+    for (const CriticalPathStep& s : a.critical_path) {
+      out += StrFormat(
+          ",\n{\"path_step\": {\"trace_id\": %llu, \"name\": \"%s\", "
+          "\"span_id\": %llu, \"tid\": %d, \"dur_ns\": %llu, "
+          "\"self_ns\": %llu}}",
+          static_cast<unsigned long long>(a.trace_id), s.name.c_str(),
+          static_cast<unsigned long long>(s.span_id), s.tid,
+          static_cast<unsigned long long>(s.dur_ns),
+          static_cast<unsigned long long>(s.self_ns));
+    }
+    for (const SelfTimeRollup& r : a.self_time) {
+      out += StrFormat(
+          ",\n{\"self_time\": {\"trace_id\": %llu, \"name\": \"%s\", "
+          "\"self_ns\": %llu, \"spans\": %llu}}",
+          static_cast<unsigned long long>(a.trace_id), r.name.c_str(),
+          static_cast<unsigned long long>(r.self_ns),
+          static_cast<unsigned long long>(r.spans));
+    }
+  }
+  out += "\n]\n}}\n";
+  return out;
+}
+
+}  // namespace iq

@@ -1,0 +1,123 @@
+#ifndef IQ_OBS_TRACE_ANALYSIS_H_
+#define IQ_OBS_TRACE_ANALYSIS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+// Slow-trace ingestion + analysis (DESIGN.md §14) — the tools/iq_trace core,
+// testable in-process like the obs/profile.h half of iq_prof. Consumes a
+// /tracez payload (scraped live or dumped by micro_parallel
+// --scrape-tracez=) and answers the question tail capture exists to answer:
+// *where did this slow solve spend its wall-clock?* For each retained trace
+// it reconstructs the span tree, walks the critical path (at every span,
+// descend into the child whose interval ends last), attributes self time
+// along it, and rolls up per-name self time across the whole trace.
+
+namespace iq {
+
+/// One span parsed back from a /tracez dump. Mirrors TraceEvent with owned
+/// strings (the dump outlives no static literals).
+struct ParsedSpan {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  std::string name;
+  int tid = 0;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  int64_t arg0 = TraceEvent::kNoArg;
+  int64_t arg1 = TraceEvent::kNoArg;
+};
+
+/// One retained trace parsed back from a /tracez dump.
+struct ParsedTrace {
+  uint64_t trace_id = 0;
+  std::string op;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  bool erred = false;
+  bool warmup = false;
+  int num_threads = 0;
+  std::vector<ParsedSpan> spans;
+};
+
+/// A whole /tracez payload: retention config, loss/retain counters, traces.
+struct TraceDump {
+  TraceTailConfig config;
+  uint64_t dropped = 0;
+  uint64_t slow_retained = 0;
+  uint64_t discarded = 0;
+  std::vector<ParsedTrace> traces;
+};
+
+/// Parses a /tracez payload (or anything containing its "trace_summary" /
+/// "span" lines). Tolerant line scanner in the obs/profile.h idiom: unknown
+/// lines are skipped, a "trace_summary" line starts a new trace, "span"
+/// lines attach to the most recent one — no JSON library in the tree.
+TraceDump ParseTracezDump(const std::string& text);
+
+/// One hop of a trace's critical path.
+struct CriticalPathStep {
+  std::string name;
+  uint64_t span_id = 0;
+  int tid = 0;
+  uint64_t dur_ns = 0;
+  /// This span's duration minus the chosen child's — wall-clock the path
+  /// spent *here* rather than deeper in the tree.
+  uint64_t self_ns = 0;
+};
+
+/// Per-span-name self time over one whole trace (duration minus the sum of
+/// direct children), the "who burned the time" ranking.
+struct SelfTimeRollup {
+  std::string name;
+  uint64_t self_ns = 0;
+  uint64_t spans = 0;
+};
+
+/// Everything iq_trace reports about one retained trace.
+struct TraceAnalysis {
+  uint64_t trace_id = 0;
+  std::string op;
+  uint64_t dur_ns = 0;
+  bool erred = false;
+  int num_threads = 0;
+  size_t num_spans = 0;
+  /// Root-to-leaf walk descending into the latest-ending child at each
+  /// level. Because child intervals nest inside their parents, the steps'
+  /// self times telescope back to the root duration.
+  std::vector<CriticalPathStep> critical_path;
+  /// Sum of self times along the path, and its share of the root duration.
+  /// A healthy causal trace accounts for ~100% of the wall clock; a low
+  /// fraction means orphaned spans (ring overwrites ate the parents).
+  uint64_t accounted_ns = 0;
+  double accounted_fraction = 0.0;
+  std::vector<SelfTimeRollup> self_time;  // sorted by self_ns desc
+};
+
+/// Reconstructs the span tree and computes the critical path + rollups.
+/// Traces without a root span (parent_span_id == 0) yield an analysis with
+/// an empty critical_path and accounted_fraction 0.
+TraceAnalysis AnalyzeTrace(const ParsedTrace& trace);
+
+/// One sentence naming where the slow solve's wall-clock went — the span
+/// name with the largest self time on the critical path — or what kept the
+/// trace (error, warmup) when timing says nothing interesting.
+std::string TraceVerdict(const TraceAnalysis& analysis);
+
+/// Human-readable report over a whole dump: retention config and loss
+/// counters, then per trace the critical path (top `top_n` steps by self
+/// time kept, in path order), the self-time ranking, and a verdict.
+std::string FormatTraceReport(const TraceDump& dump, int top_n);
+
+/// Machine form of the same: {"iq_trace": {"num_traces": N, ...}} with one
+/// "trace_analysis" / "path_step" / "self_time" object per line — consumed
+/// by tools/check_metrics.sh --trace and the trace-smoke CI lane.
+std::string TraceReportJson(const TraceDump& dump);
+
+}  // namespace iq
+
+#endif  // IQ_OBS_TRACE_ANALYSIS_H_

@@ -26,6 +26,8 @@ const char* LockRankName(LockRank rank) {
       return "kTraceRegistry";
     case LockRank::kTraceBuffer:
       return "kTraceBuffer";
+    case LockRank::kTraceStore:
+      return "kTraceStore";
     case LockRank::kLeaf:
       return "kLeaf";
   }

@@ -56,6 +56,11 @@ enum class LockRank : int {
   /// rank (a flush iterates them one at a time under kTraceRegistry);
   /// TraceScope destructors may take one while holding any lock above.
   kTraceBuffer = 650,
+  /// TraceCollector slow-trace store (the bounded last-K retained traces,
+  /// DESIGN.md §14). Taken with no trace lock held: a finishing root span
+  /// collects its spans under kTraceRegistry/kTraceBuffer, releases them,
+  /// then inserts the retained trace under this rank.
+  kTraceStore = 660,
   /// Default for mutexes outside the engine's documented order (tests,
   /// ad-hoc tools). A leaf can be acquired while holding anything, but
   /// nothing ranked can be acquired while holding a leaf.

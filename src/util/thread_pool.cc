@@ -7,6 +7,7 @@
 #include "util/check.h"
 #include "util/prof.h"
 #include "util/timer.h"
+#include "util/trace_context.h"
 
 namespace iq {
 namespace {
@@ -199,6 +200,15 @@ void ThreadPool::ParallelFor(
 
   const uint64_t call_id =
       prof::Enabled() ? prof::internal::NextParallelForCallId() : 0;
+  // Causal-trace propagation (DESIGN.md §14): the helper tasks below run on
+  // workers whose thread-local TraceContext is whatever the previous task
+  // left behind (zeroed by the save/restore here). Capture the dispatcher's
+  // context now and install it around the chunk bodies, so every span a
+  // chunk opens carries the dispatching solve's trace id and parents under
+  // the span that issued this ParallelFor. The caller's own participation,
+  // the serial fallback and the nested-inline path all run on a thread that
+  // already holds the context, so only the enqueued tasks need the handoff.
+  const TraceContext dispatch_ctx = CurrentTraceContext();
   auto run_chunks = [&state, &body, n, chunk, fair_share, site, call_id,
                      policy] {
     if (policy == ChunkPolicy::kDynamic) {
@@ -230,14 +240,19 @@ void ThreadPool::ParallelFor(
   {
     MutexLock lock(&mu_);
     for (int64_t i = 0; i < helpers; ++i) {
-      queue_.emplace_back([&state, &run_chunks, timer = WallTimer()] {
-        TaskObserver observer =
-            g_task_observer.load(std::memory_order_acquire);
-        if (observer != nullptr) observer(timer.ElapsedNanos());
-        run_chunks();
-        MutexLock done(&state.done_mu);
-        if (--state.pending == 0) state.done_cv.NotifyOne();
-      });
+      queue_.emplace_back(
+          [&state, &run_chunks, dispatch_ctx, timer = WallTimer()] {
+            TaskObserver observer =
+                g_task_observer.load(std::memory_order_acquire);
+            if (observer != nullptr) observer(timer.ElapsedNanos());
+            // run_chunks never throws (chunk exceptions are captured into
+            // state.error), so the restore cannot be skipped.
+            const TraceContext saved = ExchangeTraceContext(dispatch_ctx);
+            run_chunks();
+            SetTraceContext(saved);
+            MutexLock done(&state.done_mu);
+            if (--state.pending == 0) state.done_cv.NotifyOne();
+          });
     }
   }
   work_cv_.NotifyAll();

@@ -47,6 +47,15 @@ enum class ChunkPolicy { kStatic, kDynamic };
 /// inline on that worker instead of re-entering the queue, so composed
 /// parallel paths (e.g. IqEngine::SolveBatch items that themselves evaluate
 /// candidates) can never deadlock waiting on their own pool.
+///
+/// Trace-context propagation (DESIGN.md §14): ParallelFor captures the
+/// dispatching thread's util/trace_context.h slot and installs it around
+/// every chunk body it hands to a worker (save/restore per helper task), so
+/// spans opened inside chunks — static, dynamic work-stealing, the serial
+/// fallback and the nested-inline path alike — carry the dispatching
+/// solve's trace id and parent under the dispatching span. Observation
+/// only: no body reads the context, so the determinism contract holds with
+/// tracing on or off.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (clamped to >= 1).

@@ -1,0 +1,23 @@
+#include "util/trace_context.h"
+
+namespace iq {
+namespace {
+
+/// One slot per thread for the process lifetime. Plain POD thread_local:
+/// reading/writing it is two word moves, cheap enough for the per-task
+/// save/restore in ThreadPool's dispatch path even with tracing disabled.
+thread_local TraceContext t_trace_context;
+
+}  // namespace
+
+TraceContext CurrentTraceContext() { return t_trace_context; }
+
+void SetTraceContext(const TraceContext& ctx) { t_trace_context = ctx; }
+
+TraceContext ExchangeTraceContext(const TraceContext& ctx) {
+  TraceContext prev = t_trace_context;
+  t_trace_context = ctx;
+  return prev;
+}
+
+}  // namespace iq

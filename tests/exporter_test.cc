@@ -6,12 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "core/engine.h"
 #include "data/queries.h"
 #include "data/synthetic.h"
 #include "obs/exporter.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace iq {
 namespace {
@@ -155,6 +157,52 @@ TEST(ExporterTest, EngineOwnedExporterServesEngineMetrics) {
   EXPECT_NE(body->find("iq_engine_"), std::string::npos);
   EXPECT_NE(body->find("iq_index_"), std::string::npos);
 }
+
+#if defined(IQ_TRACING_ENABLED)
+
+TEST(ExporterTest, TracezServesRetainedTracesAndSingleTraceExport) {
+  Dataset data = MakeIndependent(24, 3, 91);
+  QueryGenOptions qopts;
+  qopts.k_max = 5;
+  EngineOptions eopts;
+  eopts.exporter_port = 0;
+  eopts.slow_trace_nanos = 1;  // retain every root solve
+  auto engine = IqEngine::Create(std::move(data), LinearForm::Identity(3),
+                                 MakeQueries(12, 3, 92, qopts), eopts);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_NE(engine->exporter(), nullptr);
+  TraceCollector& tc = TraceCollector::Global();
+  tc.ClearRetained();
+  tc.Clear();
+
+  ASSERT_TRUE(engine->MinCost(1, 2, {}).ok());
+  std::vector<RetainedTrace> retained = tc.RetainedTraces();
+  ASSERT_EQ(retained.size(), 1u);
+
+  auto tracez = HttpGetLocal(engine->exporter()->port(), "/tracez");
+  ASSERT_TRUE(tracez.ok()) << tracez.status().ToString();
+  EXPECT_NE(tracez->find("\"tracez\""), std::string::npos);
+  EXPECT_NE(tracez->find("\"trace_summary\""), std::string::npos);
+  EXPECT_NE(tracez->find("\"IqEngine::MinCost\""), std::string::npos);
+
+  const std::string single =
+      "/tracez?trace=" + std::to_string(retained[0].trace_id);
+  auto perfetto = HttpGetLocal(engine->exporter()->port(), single);
+  ASSERT_TRUE(perfetto.ok());
+  EXPECT_EQ(perfetto->rfind("{\"traceEvents\": [", 0), 0u);
+  EXPECT_NE(perfetto->find("\"thread_name\""), std::string::npos);
+
+  auto unknown =
+      HttpGetLocal(engine->exporter()->port(), "/tracez?trace=999999999");
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_NE(unknown->find("no retained trace"), std::string::npos);
+
+  tc.SetEnabled(false);
+  tc.Clear();
+  tc.ClearRetained();
+}
+
+#endif  // IQ_TRACING_ENABLED
 
 }  // namespace
 }  // namespace iq

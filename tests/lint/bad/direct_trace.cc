@@ -1,0 +1,25 @@
+// Fixture: direct trace construction outside src/obs/trace.* — every shape
+// the direct-trace ban must catch. The mentions inside this comment
+// (TraceScope, TraceRoot, TraceCollector::Record) must stay invisible.
+
+#include "obs/trace.h"
+
+namespace iq {
+
+void HandRolledSpans() {
+  TraceScope scope("bypasses_the_macro");  // flagged: direct construction
+  TraceRoot root("bypasses_the_macro_too");  // flagged: direct construction
+  TraceEvent e;
+  e.name = "hand_built";
+  TraceCollector::Global().Record(e);  // flagged: direct Record call
+}
+
+void MacroUseIsFine() {
+  IQ_TRACE_SCOPE("sanctioned");
+  IQ_TRACE_ROOT_SCOPE(root, "also_sanctioned");
+  static_cast<void>(root.trace_id());
+  // Reading the collector is fine; only span construction is banned.
+  static_cast<void>(TraceCollector::Global().EventCount());
+}
+
+}  // namespace iq

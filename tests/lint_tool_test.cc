@@ -182,6 +182,38 @@ TEST(LintRawScoringLoopTest, FlagsEveryScalarCallInLoops) {
             0);
 }
 
+TEST(LintDirectTraceTest, FlagsEveryHandRolledSpan) {
+  const std::string content = ReadFileOrDie(FixturePath("bad/direct_trace.cc"));
+  std::vector<Finding> findings =
+      CheckFile("src/core/direct_trace_fixture.cc", content);
+  // TraceScope construction, TraceRoot construction, and the direct
+  // Record() call — the macro uses and collector reads stay silent.
+  EXPECT_EQ(CountCheck(findings, "direct-trace"), 3);
+  for (const Finding& f : findings) {
+    if (f.check == "direct-trace") {
+      EXPECT_NE(f.message.find("IQ_TRACE_SCOPE"), std::string::npos)
+          << f.message;
+    }
+  }
+
+  // The macros' expansion site is the one sanctioned constructor...
+  EXPECT_EQ(CountCheck(CheckFile("src/obs/trace.h", content), "direct-trace"),
+            0);
+  EXPECT_EQ(CountCheck(CheckFile("src/obs/trace.cc", content), "direct-trace"),
+            0);
+  // ...and the exemption's trailing '.' keeps trace_analysis.* in scope.
+  EXPECT_EQ(CountCheck(CheckFile("src/obs/trace_analysis.cc", content),
+                       "direct-trace"),
+            3);
+}
+
+TEST(LintDirectTraceTest, MacroOnlyFixturePasses) {
+  std::vector<Finding> findings =
+      CheckFile("src/core/macro_trace_fixture.cc",
+                ReadFileOrDie(FixturePath("good/macro_trace.cc")));
+  EXPECT_EQ(CountCheck(findings, "direct-trace"), 0);
+}
+
 TEST(LintRawScoringLoopTest, WaiversAndBatchCallsPass) {
   std::vector<Finding> findings =
       CheckFile("src/core/waived_scoring_fixture.cc",

@@ -258,6 +258,49 @@ TEST(TraceTest, RingOverwritesOldestBeyondCapacity) {
   EXPECT_EQ(tc.DroppedCount(), 0u);
 }
 
+TEST(TraceTest, FlatExportCarriesThreadMetadataAndCausalArgs) {
+  // The flat whole-process export (PR 2's ToJson, kept for
+  // examples/trace_demo.cpp) now renders real per-thread lanes: a
+  // thread_name metadata event per recording thread, tids on every span,
+  // and — for spans recorded under a root — the causal ids in "args".
+  TraceCollector& tc = TraceCollector::Global();
+  tc.Clear();
+  tc.SetEnabled(true);
+  {
+    IQ_TRACE_ROOT_SCOPE(root, "flat_root");
+    { IQ_TRACE_SCOPE("flat_child"); }
+    std::thread other([] { IQ_TRACE_SCOPE("flat_other_thread"); });
+    other.join();
+  }
+  { IQ_TRACE_SCOPE_ARG("flat_arged", 42); }
+  tc.SetEnabled(false);
+  std::string json = tc.ToJson();
+  EXPECT_EQ(json.find("{\"traceEvents\": ["), 0u);
+  EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": "), std::string::npos);
+  // Causal ids surface for rooted spans; the flat arg payload renders too.
+  EXPECT_NE(json.find("\"trace_id\": "), std::string::npos);
+  EXPECT_NE(json.find("\"parent_span_id\": "), std::string::npos);
+  EXPECT_NE(json.find("\"arg0\": 42"), std::string::npos);
+  // Two recording threads = two metadata events.
+  size_t meta = 0;
+  for (size_t pos = 0;
+       (pos = json.find("\"thread_name\"", pos)) != std::string::npos; ++pos) {
+    ++meta;
+  }
+  EXPECT_GE(meta, 2u);
+  int braces = 0, brackets = 0;
+  for (char ch : json) {
+    braces += ch == '{' ? 1 : ch == '}' ? -1 : 0;
+    brackets += ch == '[' ? 1 : ch == ']' ? -1 : 0;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  tc.Clear();
+  tc.ClearRetained();  // the root above may have been retained
+}
+
 #endif  // IQ_TRACING_ENABLED
 
 // ---- Engine-level counters on a known workload ----

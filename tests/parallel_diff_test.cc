@@ -26,6 +26,7 @@
 #include "core/iq_algorithms.h"
 #include "data/queries.h"
 #include "data/synthetic.h"
+#include "obs/trace.h"
 #include "tests/test_world.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -594,6 +595,44 @@ TEST(ParallelDiffTest, SolveBatchOnPinnedEpochIdenticalUnderChurn) {
   auto engine = MakeEngine(kN, kM, 3, 2027, 0);
   ASSERT_TRUE(engine.ok());
   EXPECT_FALSE(engine->SolveBatchOn(EpochHandle(), items).ok());
+}
+
+TEST(ParallelDiffTest, SolveBatchIdenticalWithTracingOnAndOff) {
+  // Causal tracing (DESIGN.md §14) is observation-only: a forced-retention
+  // run (1 ns slow-trace threshold traces every root solve) must reproduce
+  // the untraced results byte for byte, at every thread count.
+  constexpr int kN = 40, kM = 24;
+  const std::vector<BatchItem> items = MakeBatch(kN, kM);
+  for (int num_threads : {0, 4}) {
+    SCOPED_TRACE(testing::Message() << "num_threads=" << num_threads);
+    auto plain = MakeEngine(kN, kM, 3, 6060, num_threads);
+    ASSERT_TRUE(plain.ok());
+    auto baseline = plain->SolveBatch(items);
+    ASSERT_TRUE(baseline.ok());
+
+    Dataset data = MakeIndependent(kN, 3, 6060);
+    QueryGenOptions qopts;
+    qopts.k_max = 5;
+    EngineOptions options;
+    options.num_threads = num_threads;
+    options.slow_trace_nanos = 1;  // retain every solve
+    auto traced = IqEngine::Create(std::move(data), LinearForm::Identity(3),
+                                   MakeQueries(kM, 3, 6061, qopts), options);
+    ASSERT_TRUE(traced.ok());
+    auto traced_batch = traced->SolveBatch(items);
+    ASSERT_TRUE(traced_batch.ok());
+
+    ASSERT_EQ(baseline->size(), traced_batch->size());
+    for (size_t i = 0; i < baseline->size(); ++i) {
+      SCOPED_TRACE(testing::Message() << "item " << i);
+      ExpectIdenticalResults((*baseline)[i], (*traced_batch)[i], "tracing");
+    }
+  }
+#if defined(IQ_TRACING_ENABLED)
+  TraceCollector::Global().SetEnabled(false);
+  TraceCollector::Global().Clear();
+  TraceCollector::Global().ClearRetained();
+#endif
 }
 
 TEST(ParallelDiffTest, MovedEngineKeepsPoolAndSolves) {

@@ -27,12 +27,23 @@
 # epoch, retirement must have run (iq_index_epochs_retired > 0), COW must
 # have cloned cells (iq_index_cow_cells_cloned > 0), and the number of live
 # epochs must be a small positive count, not a leak.
+#
+# --trace validates a scraped /tracez payload (DESIGN.md §14) from a run
+# with a forced-low slow-trace threshold: the tail-capture config and
+# counter block must be present, at least one trace must have been
+# retained, every retained trace must carry spans, and the per-summary
+# num_spans bookkeeping must match the span lines actually emitted. An
+# optional second argument names a /metrics scrape to cross-check the
+# iq_trace_* mirror counters against the tracez payload.
+#
+#   tools/check_metrics.sh --trace tracez.json [metrics_scrape.txt]
 set -u
 
 check_pool=0
 check_exporter=0
 check_profile=0
 check_epoch=0
+check_trace=0
 if [ "${1:-}" = "--pool" ]; then
   check_pool=1
   shift
@@ -45,13 +56,96 @@ elif [ "${1:-}" = "--profile" ]; then
 elif [ "${1:-}" = "--epoch" ]; then
   check_epoch=1
   shift
+elif [ "${1:-}" = "--trace" ]; then
+  check_trace=1
+  shift
 fi
-if [ $# -ne 1 ] || [ ! -f "$1" ]; then
-  echo "usage: $0 [--pool|--exporter|--profile] metrics.json" >&2
+want_args=1
+if [ "$check_trace" -eq 1 ] && [ $# -eq 2 ]; then
+  want_args=2
+fi
+if [ $# -ne "$want_args" ] || [ ! -f "$1" ]; then
+  echo "usage: $0 [--pool|--exporter|--profile|--epoch] metrics.json" >&2
+  echo "       $0 --trace tracez.json [metrics_scrape.txt]" >&2
   exit 2
 fi
 json="$1"
 failures=0
+
+if [ "$check_trace" -eq 1 ]; then
+  # Scraped /tracez payload: tail-captured slow traces plus drop counters.
+  if ! grep -q '"tracez":' "$json"; then
+    echo "check_metrics: $json is not a /tracez payload (no tracez key)" >&2
+    echo "check_metrics: FAILED (1 problem(s))" >&2
+    exit 1
+  fi
+  if ! grep -q '"config":' "$json" || \
+     ! grep -q '"slow_trace_nanos":' "$json"; then
+    echo "check_metrics: tail-capture config block missing" >&2
+    failures=$((failures + 1))
+  fi
+  for c in dropped slow_retained discarded; do
+    if ! grep -qE "\"$c\": [0-9]+" "$json"; then
+      echo "check_metrics: counter \"$c\" missing from tracez payload" >&2
+      failures=$((failures + 1))
+    fi
+  done
+  num_traces="$(grep -c '"trace_summary":' "$json" || true)"
+  num_spans="$(grep -c '"span":' "$json" || true)"
+  if [ "$num_traces" -eq 0 ]; then
+    echo "check_metrics: no retained traces — tail capture never fired" \
+         "(is slow_trace_nanos low enough?)" >&2
+    failures=$((failures + 1))
+  else
+    echo "check_metrics: $num_traces retained trace(s), $num_spans span(s)"
+  fi
+  if [ "$num_traces" -gt 0 ] && [ "$num_spans" -eq 0 ]; then
+    echo "check_metrics: retained traces carry no spans — ring capture" \
+         "is not wired to retention" >&2
+    failures=$((failures + 1))
+  fi
+  # Per-summary span accounting must match the span lines emitted.
+  declared="$(grep -oE '"num_spans": [0-9]+' "$json" | grep -oE '[0-9]+$' \
+              | awk '{s += $1} END {print s + 0}')"
+  if [ "$declared" -ne "$num_spans" ]; then
+    echo "check_metrics: summaries declare $declared spans but payload" \
+         "carries $num_spans" >&2
+    failures=$((failures + 1))
+  fi
+  # Every span must name its thread; tid 0 means stamping is broken.
+  if grep -qE '"span": \{[^}]*"tid": 0[,}]' "$json"; then
+    echo "check_metrics: span with tid 0 — thread stamping broken" >&2
+    failures=$((failures + 1))
+  fi
+  retained_tz="$(grep -oE '"slow_retained": [0-9]+' "$json" \
+                 | grep -oE '[0-9]+$' | head -n1 || true)"
+  if [ $# -eq 2 ] && [ -f "$2" ]; then
+    # Cross-check the metric mirrors in the Prometheus scrape.
+    scrape="$2"
+    for name in iq_trace_dropped iq_trace_slow_retained iq_trace_discarded; do
+      if ! grep -qE "^${name} [0-9]+$" "$scrape"; then
+        echo "check_metrics: $name missing from $scrape" >&2
+        failures=$((failures + 1))
+      fi
+    done
+    retained_prom="$(grep -E '^iq_trace_slow_retained [0-9]+$' "$scrape" \
+                     | grep -oE '[0-9]+$' || true)"
+    if [ -n "$retained_prom" ] && [ -n "$retained_tz" ] && \
+       [ "$retained_prom" -lt "$retained_tz" ]; then
+      echo "check_metrics: iq_trace_slow_retained ($retained_prom) <" \
+           "tracez slow_retained ($retained_tz) — mirror out of sync" >&2
+      failures=$((failures + 1))
+    else
+      echo "check_metrics: iq_trace_slow_retained = ${retained_prom:-?}"
+    fi
+  fi
+  if [ "$failures" -gt 0 ]; then
+    echo "check_metrics: FAILED ($failures problem(s))" >&2
+    exit 1
+  fi
+  echo "check_metrics: OK (tracez payload)"
+  exit 0
+fi
 
 if [ "$check_profile" -eq 1 ]; then
   # iq_prof machine report, not a metrics snapshot.

@@ -192,6 +192,19 @@ const BanRule kBanRules[] = {
      "MutexLock / CondVar from util/annotations.h so the thread-safety "
      "analysis and the lock-rank detector see the lock)",
      [](const std::string& path) { return StartsWith(path, "src/util/"); }},
+    {"direct-trace",
+     R"(\bTraceScope\b|\bTraceRoot\b|TraceCollector::Record\b|)"
+     R"(TraceCollector::Global\(\)\s*\.\s*Record\b)",
+     "direct TraceScope/TraceRoot construction or TraceCollector::Record "
+     "call outside src/obs/trace.* (use IQ_TRACE_SCOPE / "
+     "IQ_TRACE_ROOT_SCOPE so spans compile out when IQ_ENABLE_TRACING is "
+     "off and trace-context save/restore stays correct)",
+     [](const std::string& path) {
+       // The macros' own expansion site; trace_analysis.* is NOT exempt
+       // (the '.' excludes it), and needs no exemption — it consumes span
+       // dumps, it never constructs spans.
+       return StartsWith(path, "src/obs/trace.");
+     }},
 };
 
 void CheckBannedPatterns(const std::string& path,

@@ -1,0 +1,100 @@
+// iq_trace — per-trace critical-path summary over /tracez dumps
+// (DESIGN.md §14). Ingests the tail-capture payload produced by
+// obs/trace.h — a saved /tracez scrape, a `bench/micro_parallel
+// --scrape-tracez=` dump, or a live scrape via --scrape= — and prints,
+// per retained trace, the critical path through the span tree, where the
+// wall clock went (self time by span name), and a one-line verdict.
+//
+// Usage:
+//   iq_trace <dump.json>           read retained traces from a file
+//   iq_trace --scrape=PORT         scrape 127.0.0.1:PORT/tracez
+//   iq_trace --json=OUT <input>    also write the machine report to OUT
+//   iq_trace --top=N               self-time rows per trace (default 5)
+//
+// All the analysis logic lives in obs/trace_analysis.{h,cc} (testable
+// in-process); this binary is argument parsing and I/O.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/exporter.h"
+#include "obs/trace_analysis.h"
+#include "util/string_util.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--scrape=PORT] [--json=OUT] [--top=N] "
+               "[dump.json]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input_path;
+  std::string json_out;
+  int scrape_port = -1;
+  int top_n = 5;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (iq::StrStartsWith(arg, "--scrape=")) {
+      auto port = iq::ParseInt(arg.substr(strlen("--scrape=")));
+      if (!port.ok() || *port <= 0 || *port > 65535) return Usage(argv[0]);
+      scrape_port = static_cast<int>(*port);
+    } else if (iq::StrStartsWith(arg, "--json=")) {
+      json_out = arg.substr(strlen("--json="));
+    } else if (iq::StrStartsWith(arg, "--top=")) {
+      auto n = iq::ParseInt(arg.substr(strlen("--top=")));
+      if (!n.ok() || *n <= 0) return Usage(argv[0]);
+      top_n = static_cast<int>(*n);
+    } else if (iq::StrStartsWith(arg, "--")) {
+      return Usage(argv[0]);
+    } else if (input_path.empty()) {
+      input_path = arg;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (input_path.empty() == (scrape_port < 0)) {
+    // Exactly one input source: a file or a scrape.
+    return Usage(argv[0]);
+  }
+
+  std::string text;
+  if (scrape_port > 0) {
+    auto body = iq::HttpGetLocal(scrape_port, "/tracez");
+    if (!body.ok()) {
+      std::fprintf(stderr, "iq_trace: scrape failed: %s\n",
+                   body.status().message().c_str());
+      return 1;
+    }
+    text = *body;
+  } else {
+    std::ifstream in(input_path);
+    if (!in) {
+      std::fprintf(stderr, "iq_trace: cannot open %s\n", input_path.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+
+  const iq::TraceDump dump = iq::ParseTracezDump(text);
+  std::fputs(iq::FormatTraceReport(dump, top_n).c_str(), stdout);
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    if (!out) {
+      std::fprintf(stderr, "iq_trace: cannot write %s\n", json_out.c_str());
+      return 1;
+    }
+    out << iq::TraceReportJson(dump);
+  }
+  return dump.traces.empty() ? 1 : 0;
+}
